@@ -1,0 +1,115 @@
+//! ASCII rendering of reachability plots, so the text reports show the same
+//! "dents" the paper's figures show.
+
+/// Renders a reachability plot as an ASCII panel of `width` columns and
+/// `height` rows. Positions are bucketed into columns (mean of the finite
+/// values per bucket); ∞ values render as full-height `|` spikes. The
+/// vertical axis is linear from 0 to the clamp value (95th percentile of
+/// the finite values, so one huge jump does not flatten everything).
+pub fn render_plot(values: &[f64], width: usize, height: usize) -> String {
+    assert!(width >= 1 && height >= 1, "panel must be at least 1x1");
+    if values.is_empty() {
+        return String::from("(empty plot)\n");
+    }
+    // Clamp level: 95th percentile of finite values (min 1e-9 to avoid /0).
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let clamp = if finite.is_empty() {
+        1.0
+    } else {
+        finite.sort_by(f64::total_cmp);
+        let p95 = finite[((finite.len() - 1) as f64 * 0.95).round() as usize];
+        p95.max(1e-9)
+    };
+
+    // Column values: mean finite value, or +inf if the bucket contains an
+    // undefined spike and no finite values.
+    let width = width.min(values.len());
+    let mut cols: Vec<f64> = Vec::with_capacity(width);
+    for c in 0..width {
+        let lo = c * values.len() / width;
+        let hi = ((c + 1) * values.len() / width).max(lo + 1);
+        let bucket = &values[lo..hi.min(values.len())];
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        let mut spike = false;
+        for &v in bucket {
+            if v.is_finite() {
+                sum += v;
+                cnt += 1;
+            } else {
+                spike = true;
+            }
+        }
+        if cnt > 0 {
+            // A single ∞ inside an otherwise-finite bucket still marks a
+            // walk start; represent by the max so the jump stays visible.
+            let mean = sum / cnt as f64;
+            cols.push(if spike { clamp } else { mean });
+        } else if spike {
+            cols.push(f64::INFINITY);
+        } else {
+            cols.push(0.0);
+        }
+    }
+
+    let mut out = String::with_capacity((width + 1) * height + 32);
+    for row in 0..height {
+        // Row 0 is the top; the bottom row's level is 0, so every finite
+        // value draws a baseline mark.
+        let level = (height - 1 - row) as f64 / height as f64 * clamp;
+        for &v in &cols {
+            if v.is_infinite() {
+                out.push('|');
+            } else if v >= level {
+                out.push('#');
+            } else {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("scale: 0..{clamp:.3} ({} positions)\n", values.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dents_are_visible() {
+        let mut v = vec![5.0; 20];
+        v.extend(vec![0.2; 20]);
+        v.extend(vec![5.0; 20]);
+        let panel = render_plot(&v, 30, 6);
+        let lines: Vec<&str> = panel.lines().collect();
+        assert_eq!(lines.len(), 7); // 6 rows + scale line
+        // Top row: high plateaus filled, dent empty in the middle.
+        let top = lines[0];
+        assert!(top.starts_with('#'));
+        assert!(top.contains(' '));
+        assert!(top.ends_with('#'));
+        // Bottom row: everything (including the dent) is above level 0+.
+        let bottom = lines[5];
+        assert!(!bottom.contains(' '));
+    }
+
+    #[test]
+    fn infinity_renders_as_spike() {
+        let v = vec![f64::INFINITY, f64::INFINITY, f64::INFINITY];
+        let panel = render_plot(&v, 3, 3);
+        assert!(panel.lines().next().unwrap().contains('|'));
+    }
+
+    #[test]
+    fn empty_plot_is_handled() {
+        assert!(render_plot(&[], 10, 3).contains("empty"));
+    }
+
+    #[test]
+    fn width_larger_than_data_is_clamped() {
+        let panel = render_plot(&[1.0, 2.0], 80, 2);
+        let first = panel.lines().next().unwrap();
+        assert!(first.len() <= 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! figures [--scale quick|default|paper] [--out DIR] [--seed N] <figure>...|all
+//! ```
+//!
+//! Reports are written to `<out>/<figure>.txt` (+ `.json` series) and
+//! echoed to stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use db_bench::config::{RunConfig, Scale};
+use db_bench::{run_figure, ALL_FIGURES};
+
+fn usage() -> String {
+    format!(
+        "usage: figures [--scale quick|default|paper] [--out DIR] [--seed N] <figure>...|all\n\
+         figures: {}",
+        ALL_FIGURES.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut cfg = RunConfig::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next().and_then(|v| Scale::parse(&v)) else {
+                    eprintln!("--scale needs one of quick|default|paper\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                cfg.scale = v;
+            }
+            "--out" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                cfg.out_dir = PathBuf::from(v);
+            }
+            "--seed" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                cfg.seed = v;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
+    }
+
+    for t in &targets {
+        println!("\n================ {t} ================");
+        let started = std::time::Instant::now();
+        if let Err(e) = run_figure(t, &cfg) {
+            eprintln!("{t} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[{t} done in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,168 @@
+//! Workload scales and shared experiment configuration.
+
+use std::path::PathBuf;
+
+use db_datagen::{
+    corel_like, ds1, ds2, gaussian_family, CorelParams, Ds1Params, Ds2Params,
+    GaussianFamilyParams, LabeledDataset,
+};
+
+/// How large the workloads are.
+///
+/// The paper ran on 1M-point databases; reproducing those sizes is
+/// supported (`Paper`) but a full figure sweep then takes hours. `Default`
+/// scales everything down 10× — keeping every *compression factor*, cluster
+/// count and dimension identical, so the figures keep their shape — and
+/// `Quick` another 5× for smoke tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test scale (DS1 = 20k points).
+    Quick,
+    /// Default scale (DS1 = 100k points).
+    Default,
+    /// The paper's original sizes (DS1 = 1M points).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `quick` / `default` / `paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// DS1 size (paper: 1,000,000).
+    pub fn ds1_n(self) -> usize {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Default => 100_000,
+            Scale::Paper => 1_000_000,
+        }
+    }
+
+    /// DS2 size (paper: 100,000).
+    pub fn ds2_n(self) -> usize {
+        match self {
+            Scale::Quick => 5_000,
+            Scale::Default => 20_000,
+            Scale::Paper => 100_000,
+        }
+    }
+
+    /// Size of the dimension-scaling Gaussian family (paper: 1,000,000).
+    pub fn family_n(self) -> usize {
+        match self {
+            Scale::Quick => 10_000,
+            Scale::Default => 50_000,
+            Scale::Paper => 1_000_000,
+        }
+    }
+
+    /// Size of the Corel substitute (the real data set has 68,040 rows).
+    pub fn corel_n(self) -> usize {
+        match self {
+            Scale::Quick => 10_000,
+            Scale::Default => 68_040,
+            Scale::Paper => 68_040,
+        }
+    }
+
+    /// Largest dimensionality at which the *original* OPTICS reference run
+    /// is attempted (the paper could not run the original algorithm at 20
+    /// dimensions either, §9.1).
+    pub fn max_reference_dim(self) -> usize {
+        match self {
+            Scale::Quick => 10,
+            Scale::Default => 10,
+            Scale::Paper => 10,
+        }
+    }
+}
+
+/// Configuration shared by all experiment runners.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Output directory for the report files.
+    pub out_dir: PathBuf,
+    /// Base RNG seed (generators fork from it deterministically).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { scale: Scale::Default, out_dir: PathBuf::from("results"), seed: 2001 }
+    }
+}
+
+impl RunConfig {
+    /// DS1 at the configured scale.
+    pub fn make_ds1(&self) -> LabeledDataset {
+        ds1(&Ds1Params { n: self.scale.ds1_n(), ..Ds1Params::default() }, self.seed)
+    }
+
+    /// DS2 at the configured scale.
+    pub fn make_ds2(&self) -> LabeledDataset {
+        ds2(&Ds2Params { n: self.scale.ds2_n(), ..Ds2Params::default() }, self.seed ^ 0xD52)
+    }
+
+    /// The dimension-scaling family, generated at `dim` (project down for
+    /// lower-dimensional variants).
+    pub fn make_family(&self, dim: usize) -> LabeledDataset {
+        gaussian_family(
+            &GaussianFamilyParams {
+                n: self.scale.family_n(),
+                dim,
+                clusters: 15,
+                domain: 150.0,
+                ..GaussianFamilyParams::default()
+            },
+            self.seed ^ 0xFA,
+        )
+    }
+
+    /// The Corel color-moments substitute.
+    pub fn make_corel(&self) -> LabeledDataset {
+        corel_like(
+            &CorelParams { n: self.scale.corel_n(), ..CorelParams::default() },
+            self.seed ^ 0xC0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn sizes_increase_with_scale() {
+        assert!(Scale::Quick.ds1_n() < Scale::Default.ds1_n());
+        assert!(Scale::Default.ds1_n() < Scale::Paper.ds1_n());
+        assert!(Scale::Quick.ds2_n() < Scale::Paper.ds2_n());
+        assert!(Scale::Quick.family_n() < Scale::Paper.family_n());
+    }
+
+    #[test]
+    fn workloads_are_constructed_at_quick_scale() {
+        let cfg = RunConfig { scale: Scale::Quick, ..RunConfig::default() };
+        assert_eq!(cfg.make_ds1().len(), 20_000);
+        assert_eq!(cfg.make_ds2().len(), 5_000);
+        let fam = cfg.make_family(5);
+        assert_eq!(fam.data.dim(), 5);
+        assert_eq!(fam.n_clusters(), 15);
+        assert_eq!(cfg.make_corel().data.dim(), 9);
+    }
+}

@@ -1,0 +1,151 @@
+//! Ablations beyond the paper, isolating the design choices DESIGN.md
+//! calls out:
+//!
+//! 1. **Bubble distance (Def. 6) vs. plain rep-to-rep distance** — why the
+//!    structural distortion disappears;
+//! 2. **Virtual reachability (Def. 9) vs. §5-style weighted expansion** on
+//!    the same bubble ordering;
+//! 3. **Spatial index choice** for the full-OPTICS reference run.
+
+use std::io;
+use std::time::Instant;
+
+use data_bubbles::pipeline::{expand_bubbles, expand_weighted};
+use data_bubbles::{BubbleSpace, DataBubble};
+use db_optics::{optics, optics_points, OpticsParams, PointSpace};
+use db_sampling::compress_by_sampling;
+use db_spatial::{AnyIndex, GridIndex, KdTree, LinearScan};
+use serde::Serialize;
+
+use crate::config::RunConfig;
+use crate::experiments::common::{dents, ds1_setup, expanded_quality};
+use crate::report::Report;
+
+#[derive(Serialize)]
+struct AblationRow {
+    ablation: &'static str,
+    variant: &'static str,
+    ari: f64,
+    dents: usize,
+}
+
+#[derive(Serialize)]
+struct IndexRow {
+    index: &'static str,
+    runtime_s: f64,
+}
+
+/// Runs all ablations.
+pub fn run(cfg: &RunConfig) -> io::Result<()> {
+    let mut rep = Report::new("ablations", &cfg.out_dir)?;
+    rep.line("Ablations: bubble distance, virtual reachability, index choice");
+    rep.line(format!("scale = {:?}", cfg.scale));
+    let data = cfg.make_ds1();
+    let setup = ds1_setup(data.len());
+    let k = (data.len() / 1_000).max(10);
+    let mut rows: Vec<AblationRow> = Vec::new();
+
+    // Shared compression for ablations 1 and 2.
+    let compressed = compress_by_sampling(&data.data, k, cfg.seed)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let members = compressed.members();
+    let bubbles: Vec<DataBubble> =
+        compressed.stats.iter().map(DataBubble::from_cf).collect();
+
+    // --- Ablation 1: Definition 6 vs. plain representative distance. ----
+    rep.section("ablation 1: bubble distance (Def. 6) vs. rep-to-rep distance");
+    let space = BubbleSpace::new(bubbles.clone());
+    let ordering = optics(&space, &setup.bubble_optics());
+    let full = expand_bubbles(&ordering, &members, &space, setup.min_pts);
+    let q_full = expanded_quality(&full, &data, setup.cut);
+    let d_full = dents(&full.reachabilities(), &setup);
+    rep.line(format!("Def. 6 distance:      ARI = {:.3}, dents = {d_full}", q_full.ari));
+    rows.push(AblationRow {
+        ablation: "distance",
+        variant: "def6",
+        ari: q_full.ari,
+        dents: d_full,
+    });
+
+    // Zero-extent bubbles degrade Def. 6 to the plain distance between the
+    // representatives and Lemma 1 to nndist ≡ 0, isolating the distance
+    // definition (weights and expansion structure stay identical).
+    let flat: Vec<DataBubble> = bubbles
+        .iter()
+        .map(|b| DataBubble::new(b.rep().to_vec(), b.n(), 0.0))
+        .collect();
+    let flat_space = BubbleSpace::new(flat);
+    let flat_ordering = optics(&flat_space, &setup.bubble_optics());
+    let flat_expanded = expand_bubbles(&flat_ordering, &members, &flat_space, setup.min_pts);
+    let q_flat = expanded_quality(&flat_expanded, &data, setup.cut);
+    let d_flat = dents(&flat_expanded.reachabilities(), &setup);
+    rep.line(format!("rep-to-rep distance:  ARI = {:.3}, dents = {d_flat}", q_flat.ari));
+    rows.push(AblationRow {
+        ablation: "distance",
+        variant: "rep-to-rep",
+        ari: q_flat.ari,
+        dents: d_flat,
+    });
+
+    // --- Ablation 2: virtual reachability vs. weighted expansion. -------
+    rep.section("ablation 2: expansion — virtual reachability (Def. 9) vs. §5 weighted");
+    let weighted = expand_weighted(&ordering, &members);
+    let q_weighted = expanded_quality(&weighted, &data, setup.cut);
+    let d_weighted = dents(&weighted.reachabilities(), &setup);
+    rep.line(format!("virtual reachability: ARI = {:.3}, dents = {d_full}", q_full.ari));
+    rep.line(format!("weighted filler:      ARI = {:.3}, dents = {d_weighted}", q_weighted.ari));
+    rows.push(AblationRow {
+        ablation: "expansion",
+        variant: "virtual-reachability",
+        ari: q_full.ari,
+        dents: d_full,
+    });
+    rows.push(AblationRow {
+        ablation: "expansion",
+        variant: "weighted-filler",
+        ari: q_weighted.ari,
+        dents: d_weighted,
+    });
+
+    // --- Ablation 3: index choice for the reference run. ----------------
+    rep.section("ablation 3: spatial index for the full-OPTICS reference");
+    // Cap the size so the linear scan stays feasible.
+    let n_idx = data.len().min(20_000);
+    let subset = data.prefix(n_idx);
+    let sub_setup = ds1_setup(n_idx);
+    let mut index_rows = Vec::new();
+    let variants: [(&'static str, AnyIndex); 3] = [
+        ("grid", AnyIndex::Grid(GridIndex::build(&subset.data, sub_setup.eps).expect("grid ok"))),
+        ("kd-tree", AnyIndex::KdTree(KdTree::build(&subset.data))),
+        ("linear", AnyIndex::Linear(LinearScan::build(&subset.data))),
+    ];
+    for (name, index) in variants {
+        let t = Instant::now();
+        let space = PointSpace::with_index(&subset.data, index);
+        let o = optics(&space, &OpticsParams { eps: sub_setup.eps, min_pts: sub_setup.min_pts });
+        let dt = t.elapsed();
+        assert_eq!(o.len(), n_idx);
+        rep.line(format!("{name:>8}: {:.3}s (n = {n_idx})", dt.as_secs_f64()));
+        index_rows.push(IndexRow { index: name, runtime_s: dt.as_secs_f64() });
+    }
+    // Sanity: same walk irrespective of the index.
+    {
+        let a = optics_points(&subset.data, &sub_setup.optics());
+        let space = PointSpace::with_index(&subset.data, AnyIndex::KdTree(KdTree::build(&subset.data)));
+        let b = optics(&space, &sub_setup.optics());
+        let same = a
+            .entries
+            .iter()
+            .zip(&b.entries)
+            .all(|(x, y)| x.id == y.id && (x.reachability - y.reachability).abs() < 1e-9
+                || (x.reachability.is_infinite() && y.reachability.is_infinite() && x.id == y.id));
+        rep.line(format!("walks identical across indexes: {same}"));
+    }
+
+    #[derive(Serialize)]
+    struct All {
+        quality: Vec<AblationRow>,
+        index: Vec<IndexRow>,
+    }
+    rep.finish(Some(&All { quality: rows, index: index_rows }))
+}

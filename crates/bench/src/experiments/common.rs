@@ -1,0 +1,264 @@
+//! Shared helpers: per-dataset OPTICS parameters, the full-OPTICS reference
+//! run, and quality metrics over expanded orderings.
+
+use std::time::{Duration, Instant};
+
+use data_bubbles::pipeline::ExpandedOrdering;
+use db_datagen::LabeledDataset;
+use db_eval::{adjusted_rand_index, count_dents};
+use db_optics::{extract_dbscan, optics_points, ClusterOrdering, OpticsParams};
+
+/// OPTICS parameters plus the flat-extraction cut level for one workload.
+///
+/// All distance-valued settings are derived from the data density, so they
+/// stay meaningful across [`crate::config::Scale`]s: k-NN distances in a
+/// 2-d region of `n` points scale with `sqrt(min_pts / n)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Setup {
+    /// OPTICS generating distance ε.
+    pub eps: f64,
+    /// OPTICS MinPts (counts original objects, also for bubbles).
+    pub min_pts: usize,
+    /// Cut level ε′ for flat cluster extraction from the plots.
+    pub cut: f64,
+}
+
+impl Setup {
+    /// Parameters for the full-data reference run (finite ε so the spatial
+    /// index pays off).
+    pub fn optics(&self) -> OpticsParams {
+        OpticsParams { eps: self.eps, min_pts: self.min_pts }
+    }
+
+    /// Parameters for OPTICS over *Data Bubbles*: MinPts counts original
+    /// objects (Def. 7) so it carries over unchanged; ε is unbounded
+    /// because the bubble space is exhaustively scanned anyway (paper §8:
+    /// the step "runs in O(k·k)").
+    pub fn bubble_optics(&self) -> OpticsParams {
+        OpticsParams { eps: f64::INFINITY, min_pts: self.min_pts }
+    }
+
+    /// Parameters for OPTICS over representative *points* (the naive and
+    /// weighted variants): there MinPts counts representatives, so it must
+    /// shrink with the compression — a sample of `k` points cannot support
+    /// the full-data MinPts.
+    pub fn rep_optics(&self, k: usize) -> OpticsParams {
+        OpticsParams {
+            eps: f64::INFINITY,
+            min_pts: self.min_pts.min((k / 50).max(2)),
+        }
+    }
+}
+
+/// Density-scaled MinPts: 1 per 10,000 objects, at least 10.
+fn scaled_min_pts(n: usize) -> usize {
+    (n / 10_000).max(10)
+}
+
+/// Setup for DS1 (2-d, domain 100², ~9% noise of density `0.09·n/10⁴`).
+/// The cut is calibrated to sit between the densest clusters' and the
+/// noise floor's MinPts-distances.
+pub fn ds1_setup(n: usize) -> Setup {
+    let min_pts = scaled_min_pts(n);
+    let cut = 120.0 * ((min_pts as f64) / (n as f64)).sqrt();
+    Setup { eps: 3.0 * cut, min_pts, cut }
+}
+
+/// Setup for DS2 (five σ=2 Gaussians, inter-center gaps ≥ 30).
+pub fn ds2_setup(n: usize) -> Setup {
+    let min_pts = scaled_min_pts(n);
+    let cut = 100.0 * ((min_pts as f64) / (n as f64)).sqrt();
+    Setup { eps: 3.0 * cut, min_pts, cut }
+}
+
+/// Setup for the dimension-scaling Gaussian family. Within-cluster
+/// MinPts-distances grow with `σ·sqrt(2d)` (Gaussian shell geometry), so
+/// the cut scales the same way.
+pub fn family_setup(n: usize, dim: usize) -> Setup {
+    let min_pts = scaled_min_pts(n);
+    let sigma_max = 3.0;
+    let cut = 1.1 * sigma_max * (2.0 * dim as f64).sqrt();
+    let _ = n;
+    Setup { eps: 2.0 * cut, min_pts, cut }
+}
+
+/// Setup for the Corel substitute (9-d unit cube, background 10-NN
+/// distance ≈ 0.39; the tiny clusters are ≥ 0.4 away from any background
+/// point).
+pub fn corel_setup(_n: usize) -> Setup {
+    Setup { eps: 0.6, min_pts: 10, cut: 0.25 }
+}
+
+/// Number of representatives for a compression factor, floored at 20 so
+/// the smallest runs stay non-degenerate (the paper's smallest k is 100).
+pub fn k_for(n: usize, factor: usize) -> usize {
+    (n / factor).max(20).min(n)
+}
+
+/// A data-driven extraction cut for *representative-scale* plots (naive and
+/// weighted variants): 4× the median finite reachability. Within-cluster
+/// values dominate any plot that retains structure, so jumps exceed the
+/// cut; when the structure is destroyed (high compression) everything falls
+/// on one side and a single cluster remains — exactly the paper's reading
+/// of those figures.
+pub fn adaptive_cut(values: &[f64]) -> f64 {
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return f64::INFINITY;
+    }
+    finite.sort_by(f64::total_cmp);
+    4.0 * finite[finite.len() / 2]
+}
+
+/// One full-OPTICS reference run, timed.
+pub fn reference_run(data: &LabeledDataset, setup: &Setup) -> (ClusterOrdering, Duration) {
+    let t = Instant::now();
+    let ordering = optics_points(&data.data, &setup.optics());
+    (ordering, t.elapsed())
+}
+
+/// Quality of a clustering against the generator's ground truth.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Quality {
+    /// Adjusted Rand index vs. the ground-truth labels.
+    pub ari: f64,
+    /// Number of clusters found by flat extraction.
+    pub clusters_found: usize,
+    /// Number of ground-truth clusters.
+    pub clusters_true: usize,
+}
+
+/// Quality of a *reference* ordering (per object id = walk id).
+pub fn reference_quality(
+    ordering: &ClusterOrdering,
+    data: &LabeledDataset,
+    cut: f64,
+) -> Quality {
+    let labels = extract_dbscan(ordering, cut, data.len());
+    quality_from_labels(&labels, data)
+}
+
+/// Quality of an expanded pipeline ordering.
+pub fn expanded_quality(expanded: &ExpandedOrdering, data: &LabeledDataset, cut: f64) -> Quality {
+    let labels = expanded.extract_dbscan(cut);
+    quality_from_labels(&labels, data)
+}
+
+fn quality_from_labels(labels: &[i32], data: &LabeledDataset) -> Quality {
+    // Count only "visible" clusters (≥ 0.2% of the objects, at least 5):
+    // the flat extraction emits micro-clusters at density borders which no
+    // reader of the figure would count.
+    let mut sizes = std::collections::HashMap::new();
+    for &l in labels {
+        if l >= 0 {
+            *sizes.entry(l).or_insert(0usize) += 1;
+        }
+    }
+    let visible = (labels.len() / 500).max(5);
+    Quality {
+        ari: adjusted_rand_index(&data.labels, labels),
+        clusters_found: sizes.values().filter(|&&s| s >= visible).count(),
+        clusters_true: data.n_clusters(),
+    }
+}
+
+/// Counts the dents of a plot at the cut level. A dent must span at least
+/// MinPts positions and at least 0.2% of the plot — the latter keeps the
+/// count comparable across scales (it mirrors "visible in the figure").
+pub fn dents(values: &[f64], setup: &Setup) -> usize {
+    count_dents(values, setup.cut, setup.min_pts.max(values.len() / 500))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_pts_scales_with_n() {
+        assert_eq!(ds1_setup(20_000).min_pts, 10);
+        assert_eq!(ds1_setup(100_000).min_pts, 10);
+        assert_eq!(ds1_setup(1_000_000).min_pts, 100);
+    }
+
+    #[test]
+    fn cut_is_scale_invariant_for_ds1() {
+        // n and min_pts both ×10 ⇒ identical cut.
+        let a = ds1_setup(100_000);
+        let b = ds1_setup(1_000_000);
+        assert!((a.cut * (10.0f64).sqrt() / (10.0f64).sqrt() - b.cut).abs() < 1e-9);
+    }
+
+    #[test]
+    fn family_cut_grows_with_dimension() {
+        assert!(family_setup(50_000, 20).cut > family_setup(50_000, 2).cut);
+    }
+
+    #[test]
+    fn k_for_floors_and_clamps() {
+        assert_eq!(k_for(100_000, 100), 1_000);
+        assert_eq!(k_for(20_000, 5_000), 20); // floored
+        assert_eq!(k_for(10, 1), 10); // clamped at n
+    }
+
+    #[test]
+    fn adaptive_cut_separates_jumps() {
+        let mut v = vec![0.5; 90];
+        v.extend(vec![50.0; 10]);
+        let cut = adaptive_cut(&v);
+        assert!(cut > 0.5 && cut < 50.0, "cut {cut}");
+        assert!(adaptive_cut(&[f64::INFINITY]).is_infinite());
+    }
+
+    #[test]
+    fn rep_optics_scales_min_pts_down() {
+        let s = ds1_setup(100_000);
+        assert_eq!(s.rep_optics(1_000).min_pts, s.min_pts); // large k keeps MinPts
+        assert_eq!(s.rep_optics(100).min_pts, 2);
+        assert_eq!(s.rep_optics(4).min_pts, 2);
+        assert!(s.rep_optics(100).eps.is_infinite());
+        assert!(s.bubble_optics().eps.is_infinite());
+        assert_eq!(s.bubble_optics().min_pts, s.min_pts);
+    }
+
+    #[test]
+    fn eps_exceeds_cut() {
+        for s in [ds1_setup(1000), ds2_setup(1000), family_setup(1000, 5), corel_setup(1000)] {
+            assert!(s.eps > s.cut);
+            assert!(s.min_pts >= 1);
+        }
+    }
+
+    #[test]
+    fn quality_from_perfect_labels() {
+        use db_spatial::Dataset;
+        // Two clusters of 5 points each (the "visible" minimum).
+        let mut ds = Dataset::new(1).unwrap();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            ds.push(&[if i < 5 { 0.0 } else { 5.0 } + i as f64 * 0.01]).unwrap();
+            labels.push(i32::from(i >= 5));
+        }
+        let data = LabeledDataset::new(ds, labels.clone());
+        let q = quality_from_labels(&labels, &data);
+        assert!((q.ari - 1.0).abs() < 1e-9);
+        assert_eq!(q.clusters_found, 2);
+        assert_eq!(q.clusters_true, 2);
+    }
+
+    #[test]
+    fn quality_ignores_micro_clusters() {
+        use db_spatial::Dataset;
+        // 100 objects in one big cluster plus a 2-point micro-cluster:
+        // only the big one is "visible".
+        let mut ds = Dataset::new(1).unwrap();
+        let mut labels = Vec::new();
+        for i in 0..102 {
+            ds.push(&[i as f64]).unwrap();
+            labels.push(if i < 100 { 0 } else { 1 });
+        }
+        let data = LabeledDataset::new(ds, labels.clone());
+        let q = quality_from_labels(&labels, &data);
+        assert_eq!(q.clusters_found, 1);
+        assert_eq!(q.clusters_true, 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Figures 14 and 15: the **Data Bubble** pipelines — all three problems
+//! solved. DS1 at three compression factors (Fig. 14) and DS2 (Fig. 15).
+//! Quality is reported both against the ground truth and against the
+//! full-data reference run (the paper's notion of "quality preserving").
+
+use std::io;
+
+use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
+use db_birch::BirchParams;
+use db_datagen::LabeledDataset;
+use db_optics::extract_dbscan;
+
+use crate::config::RunConfig;
+use crate::experiments::common::{ds1_setup, ds2_setup, k_for, reference_run, Setup};
+use crate::experiments::fig9_10::{report_expanded, Row};
+use crate::report::Report;
+
+fn run_bubbles(
+    rep: &mut Report,
+    data: &LabeledDataset,
+    setup: &Setup,
+    factors: &[usize],
+    seed: u64,
+) -> io::Result<Vec<Row>> {
+    // One reference run for the quality-preservation comparison.
+    let (reference, ref_time) = reference_run(data, setup);
+    let ref_labels = extract_dbscan(&reference, setup.cut, data.len());
+    rep.line(format!(
+        "reference OPTICS: runtime = {:.3}s, cut = {:.3}",
+        ref_time.as_secs_f64(),
+        setup.cut
+    ));
+
+    let mut rows = Vec::new();
+    let n = data.len();
+    for &factor in factors {
+        let k = k_for(n, factor);
+        rep.section(&format!("compression factor {factor} (k = {k})"));
+        let sa = optics_sa_bubbles(&data.data, k, seed, &setup.bubble_optics())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        report_expanded(
+            rep,
+            &mut rows,
+            "OPTICS-SA-Bubbles",
+            &sa,
+            data,
+            setup,
+            factor,
+            Some(setup.cut),
+            Some(&ref_labels),
+        );
+        let cf = optics_cf_bubbles(&data.data, k, &BirchParams::default(), &setup.bubble_optics())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        report_expanded(
+            rep,
+            &mut rows,
+            "OPTICS-CF-Bubbles",
+            &cf,
+            data,
+            setup,
+            factor,
+            Some(setup.cut),
+            Some(&ref_labels),
+        );
+    }
+    Ok(rows)
+}
+
+/// Figure 14: bubble variants on DS1.
+pub fn run_fig14(cfg: &RunConfig) -> io::Result<()> {
+    let mut rep = Report::new("fig14", &cfg.out_dir)?;
+    rep.line("Figure 14: OPTICS-SA/CF-Bubbles on DS1 (all three problems solved)");
+    rep.line(format!("scale = {:?}", cfg.scale));
+    let data = cfg.make_ds1();
+    let setup = ds1_setup(data.len());
+    let rows =
+        run_bubbles(&mut rep, &data, &setup, &crate::experiments::fig6_7::FIG6_FACTORS, cfg.seed)?;
+    rep.section("expectation (paper)");
+    rep.line("very good quality for large and medium k; at the smallest k the CF variant");
+    rep.line("degrades because BIRCH's threshold heuristic overshoots (fewer CFs than asked).");
+    rep.finish(Some(&rows))
+}
+
+/// Figure 15: bubble variants on DS2 at factor 1,000.
+pub fn run_fig15(cfg: &RunConfig) -> io::Result<()> {
+    let mut rep = Report::new("fig15", &cfg.out_dir)?;
+    rep.line("Figure 15: bubble variants on DS2 (excellent quality)");
+    rep.line(format!("scale = {:?}", cfg.scale));
+    let data = cfg.make_ds2();
+    let setup = ds2_setup(data.len());
+    let rows = run_bubbles(&mut rep, &data, &setup, &[1_000], cfg.seed)?;
+    rep.section("expectation (paper)");
+    rep.line("both algorithms produce excellent results: 5 clusters, correct sizes.");
+    rep.finish(Some(&rows))
+}

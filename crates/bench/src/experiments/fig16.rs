@@ -1,0 +1,75 @@
+//! Figure 16: runtime and speed-up factors vs. compression factor on DS1
+//! (paper: factors 100, 200, 1,000, 5,000; speed-ups up to 1,510 for SA
+//! and 205 for CF, SA 5–7.4× faster than CF).
+
+use std::io;
+
+use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
+use db_birch::BirchParams;
+use serde::Serialize;
+
+use crate::config::RunConfig;
+use crate::experiments::common::{ds1_setup, reference_run};
+use crate::report::{secs, Report};
+
+/// Compression factors of the figure.
+pub const FACTORS: [usize; 4] = [100, 200, 1_000, 5_000];
+
+#[derive(Serialize)]
+struct Row {
+    factor: usize,
+    k: usize,
+    sa_runtime_s: f64,
+    sa_speedup: f64,
+    cf_runtime_s: f64,
+    cf_speedup: f64,
+    cf_k_actual: usize,
+}
+
+/// Runs the figure.
+pub fn run(cfg: &RunConfig) -> io::Result<()> {
+    let mut rep = Report::new("fig16", &cfg.out_dir)?;
+    rep.line("Figure 16: runtime and speed-up vs. compression factor (DS1, Bubbles pipelines)");
+    rep.line(format!("scale = {:?}", cfg.scale));
+    let data = cfg.make_ds1();
+    let setup = ds1_setup(data.len());
+
+    rep.section("reference: original OPTICS");
+    let (_, ref_time) = reference_run(&data, &setup);
+    rep.line(format!("n = {}, runtime = {}", data.len(), secs(ref_time)));
+
+    rep.section("bubble pipelines");
+    rep.line(format!(
+        "{:>8} {:>8} {:>12} {:>10} {:>12} {:>10} {:>10}",
+        "factor", "k", "SA time", "SA speedup", "CF time", "CF speedup", "CF k-actual"
+    ));
+    let mut rows = Vec::new();
+    for factor in FACTORS {
+        let k = (data.len() / factor).max(2);
+        let sa = optics_sa_bubbles(&data.data, k, cfg.seed, &setup.bubble_optics())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let cf = optics_cf_bubbles(&data.data, k, &BirchParams::default(), &setup.bubble_optics())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let sa_t = sa.timings.total().as_secs_f64();
+        let cf_t = cf.timings.total().as_secs_f64();
+        let row = Row {
+            factor,
+            k,
+            sa_runtime_s: sa_t,
+            sa_speedup: ref_time.as_secs_f64() / sa_t,
+            cf_runtime_s: cf_t,
+            cf_speedup: ref_time.as_secs_f64() / cf_t,
+            cf_k_actual: cf.n_representatives,
+        };
+        rep.line(format!(
+            "{:>8} {:>8} {:>11.3}s {:>10.1} {:>11.3}s {:>10.1} {:>10}",
+            row.factor, row.k, row.sa_runtime_s, row.sa_speedup, row.cf_runtime_s,
+            row.cf_speedup, row.cf_k_actual
+        ));
+        rows.push(row);
+    }
+    rep.section("expectation (paper)");
+    rep.line("speed-up grows with the compression factor; OPTICS-SA-Bubbles is faster than");
+    rep.line("OPTICS-CF-Bubbles by a roughly constant factor.");
+    rep.finish(Some(&rows))
+}

@@ -1,0 +1,91 @@
+//! Figure 18: runtime and speed-up vs. dimensionality (15 random Gaussian
+//! clusters; the lower-dimensional data sets are projections of the
+//! higher-dimensional one, as in the paper). The paper could not run the
+//! original algorithm at 20 dimensions; we likewise skip the reference run
+//! beyond [`crate::config::Scale::max_reference_dim`] and report bubbles
+//! only. BIRCH generates fewer CFs as the dimension grows (threshold
+//! heuristic) — reported in the `CF k-actual` column.
+
+use std::io;
+
+use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
+use db_birch::BirchParams;
+use serde::Serialize;
+
+use crate::config::RunConfig;
+use crate::experiments::common::{family_setup, reference_run};
+use crate::report::Report;
+
+/// The dimensions of the figure.
+pub const DIMS: [usize; 4] = [2, 5, 10, 20];
+
+#[derive(Serialize)]
+struct Row {
+    dim: usize,
+    reference_s: Option<f64>,
+    sa_runtime_s: f64,
+    sa_speedup: Option<f64>,
+    cf_runtime_s: f64,
+    cf_speedup: Option<f64>,
+    cf_k_actual: usize,
+}
+
+/// Runs the figure.
+pub fn run(cfg: &RunConfig) -> io::Result<()> {
+    let mut rep = Report::new("fig18", &cfg.out_dir)?;
+    rep.line("Figure 18: runtime and speed-up vs. dimension (15 Gaussian clusters)");
+    rep.line(format!("scale = {:?}", cfg.scale));
+    let max_dim = *DIMS.last().expect("non-empty");
+    let family = cfg.make_family(max_dim);
+    let k = (family.len() / 100).max(10);
+    rep.line(format!("n = {}, k = {k}", family.len()));
+    rep.line(format!(
+        "{:>5} {:>12} {:>12} {:>10} {:>12} {:>10} {:>11}",
+        "dim", "reference", "SA time", "SA speedup", "CF time", "CF speedup", "CF k-actual"
+    ));
+
+    let mut rows = Vec::new();
+    for dim in DIMS {
+        let data = family.project(dim);
+        let setup = family_setup(data.len(), dim);
+        let reference = if dim <= cfg.scale.max_reference_dim() {
+            let (_, t) = reference_run(&data, &setup);
+            Some(t.as_secs_f64())
+        } else {
+            None
+        };
+        let sa = optics_sa_bubbles(&data.data, k, cfg.seed, &setup.bubble_optics())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let cf = optics_cf_bubbles(&data.data, k, &BirchParams::default(), &setup.bubble_optics())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let sa_t = sa.timings.total().as_secs_f64();
+        let cf_t = cf.timings.total().as_secs_f64();
+        let row = Row {
+            dim,
+            reference_s: reference,
+            sa_runtime_s: sa_t,
+            sa_speedup: reference.map(|r| r / sa_t),
+            cf_runtime_s: cf_t,
+            cf_speedup: reference.map(|r| r / cf_t),
+            cf_k_actual: cf.n_representatives,
+        };
+        let fmt_opt = |o: Option<f64>| o.map_or("n/a".to_string(), |v| format!("{v:.1}"));
+        rep.line(format!(
+            "{:>5} {:>12} {:>11.3}s {:>10} {:>11.3}s {:>10} {:>11}",
+            row.dim,
+            row.reference_s.map_or("skipped".to_string(), |v| format!("{v:.3}s")),
+            row.sa_runtime_s,
+            fmt_opt(row.sa_speedup),
+            row.cf_runtime_s,
+            fmt_opt(row.cf_speedup),
+            row.cf_k_actual
+        ));
+        rows.push(row);
+    }
+    rep.section("expectation (paper)");
+    rep.line("SA scales linearly with the dimension; the CF pipeline's linear factor is");
+    rep.line("offset by the decreasing number of CFs BIRCH generates in higher dimensions");
+    rep.line("(429 → 160 from 2-d to 20-d in the paper). The reference run is skipped at");
+    rep.line("high dimension, as in the paper (out of memory there, out of time here).");
+    rep.finish(Some(&rows))
+}

@@ -1,0 +1,104 @@
+//! Figure 20: quality w.r.t. the dimension of the database — reachability
+//! plots of the original algorithm (where feasible) and of both bubble
+//! variants for d ∈ {2, 5, 10, 20}; all 15 clusters must be found with the
+//! correct sizes.
+
+use std::io;
+
+use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
+use db_birch::BirchParams;
+use serde::Serialize;
+
+use crate::ascii::render_plot;
+use crate::config::RunConfig;
+use crate::experiments::common::{
+    dents, expanded_quality, family_setup, reference_quality, reference_run,
+};
+use crate::experiments::fig18::DIMS;
+use crate::report::Report;
+
+#[derive(Serialize)]
+struct Row {
+    dim: usize,
+    method: &'static str,
+    ari: f64,
+    clusters_found: usize,
+    dents: usize,
+}
+
+/// Runs the figure.
+pub fn run(cfg: &RunConfig) -> io::Result<()> {
+    let mut rep = Report::new("fig20", &cfg.out_dir)?;
+    rep.line("Figure 20: quality vs. dimension (15 Gaussian clusters; plots + ARI)");
+    rep.line(format!("scale = {:?}", cfg.scale));
+    let max_dim = *DIMS.last().expect("non-empty");
+    let family = cfg.make_family(max_dim);
+    let k = (family.len() / 100).max(10);
+    let mut rows = Vec::new();
+
+    for dim in DIMS {
+        let data = family.project(dim);
+        let setup = family_setup(data.len(), dim);
+        rep.section(&format!("dimension {dim} (cut = {:.2})", setup.cut));
+
+        if dim <= cfg.scale.max_reference_dim() {
+            let (reference, _) = reference_run(&data, &setup);
+            let values = reference.reachabilities();
+            let q = reference_quality(&reference, &data, setup.cut);
+            rep.line(format!(
+                "original: ARI = {:.3}, clusters = {}/{}",
+                q.ari, q.clusters_found, q.clusters_true
+            ));
+            rep.block(render_plot(&values, 100, 8));
+            rows.push(Row {
+                dim,
+                method: "original",
+                ari: q.ari,
+                clusters_found: q.clusters_found,
+                dents: dents(&values, &setup),
+            });
+        } else {
+            rep.line("original: skipped (as in the paper at high dimension)");
+        }
+
+        let sa = optics_sa_bubbles(&data.data, k, cfg.seed, &setup.bubble_optics())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let sa_x = sa.expanded.as_ref().unwrap();
+        let q = expanded_quality(sa_x, &data, setup.cut);
+        let values = sa_x.reachabilities();
+        rep.line(format!(
+            "SA-Bubbles: ARI = {:.3}, clusters = {}/{}",
+            q.ari, q.clusters_found, q.clusters_true
+        ));
+        rep.block(render_plot(&values, 100, 8));
+        rows.push(Row {
+            dim,
+            method: "SA-Bubbles",
+            ari: q.ari,
+            clusters_found: q.clusters_found,
+            dents: dents(&values, &setup),
+        });
+
+        let cf = optics_cf_bubbles(&data.data, k, &BirchParams::default(), &setup.bubble_optics())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let cf_x = cf.expanded.as_ref().unwrap();
+        let q = expanded_quality(cf_x, &data, setup.cut);
+        let values = cf_x.reachabilities();
+        rep.line(format!(
+            "CF-Bubbles: ARI = {:.3}, clusters = {}/{} (k actual = {})",
+            q.ari, q.clusters_found, q.clusters_true, cf.n_representatives
+        ));
+        rep.block(render_plot(&values, 100, 8));
+        rows.push(Row {
+            dim,
+            method: "CF-Bubbles",
+            ari: q.ari,
+            clusters_found: q.clusters_found,
+            dents: dents(&values, &setup),
+        });
+    }
+    rep.section("expectation (paper)");
+    rep.line("both variants find all 15 clusters with correct sizes at every dimension;");
+    rep.line("SA additionally reproduces the Gaussian within-cluster shape, CF less so.");
+    rep.finish(Some(&rows))
+}

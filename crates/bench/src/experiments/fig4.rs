@@ -1,0 +1,65 @@
+//! Figure 4: DS1 and DS2 with their original-OPTICS reachability plots and
+//! runtimes (the reference every other figure compares against).
+
+use std::io;
+
+use serde::Serialize;
+
+use crate::ascii::render_plot;
+use crate::config::RunConfig;
+use crate::experiments::common::{
+    dents, ds1_setup, ds2_setup, reference_quality, reference_run,
+};
+use crate::report::{secs, Report};
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    n: usize,
+    runtime_s: f64,
+    dents: usize,
+    clusters_true: usize,
+    ari: f64,
+}
+
+/// Runs the figure.
+pub fn run(cfg: &RunConfig) -> io::Result<()> {
+    let mut rep = Report::new("fig4", &cfg.out_dir)?;
+    rep.line("Figure 4: original OPTICS on DS1 and DS2 (reference plots + runtimes)");
+    rep.line(format!("scale = {:?}", cfg.scale));
+    let mut rows = Vec::new();
+
+    for (name, data, setup) in [
+        ("DS1", cfg.make_ds1(), ds1_setup(cfg.scale.ds1_n())),
+        ("DS2", cfg.make_ds2(), ds2_setup(cfg.scale.ds2_n())),
+    ] {
+        rep.section(&format!(
+            "{name}: n = {}, eps = {:.3}, MinPts = {}, cut = {:.3}",
+            data.len(),
+            setup.eps,
+            setup.min_pts,
+            setup.cut
+        ));
+        let (ordering, runtime) = reference_run(&data, &setup);
+        let values = ordering.reachabilities();
+        rep.block(render_plot(&values, 100, 12));
+        let q = reference_quality(&ordering, &data, setup.cut);
+        let d = dents(&values, &setup);
+        rep.line(format!(
+            "runtime = {}  dents = {d}  clusters(extracted/true) = {}/{}  ARI = {:.3}",
+            secs(runtime),
+            q.clusters_found,
+            q.clusters_true,
+            q.ari
+        ));
+        rows.push(Row {
+            dataset: name,
+            n: data.len(),
+            runtime_s: runtime.as_secs_f64(),
+            dents: d,
+            clusters_true: q.clusters_true,
+            ari: q.ari,
+        });
+    }
+    rep.finish(Some(&rows))
+}

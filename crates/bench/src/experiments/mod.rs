@@ -1,0 +1,15 @@
+//! One module per figure of the paper's evaluation, plus ablations.
+
+pub mod ablations;
+pub mod common;
+pub mod extensions;
+pub mod fig14_15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21_22;
+pub mod fig4;
+pub mod fig6_7;
+pub mod fig9_10;

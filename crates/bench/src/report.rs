@@ -1,0 +1,103 @@
+//! Report files: each figure writes a plain-text report (tables + ASCII
+//! plots) plus an optional machine-readable JSON series under the output
+//! directory.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A report under construction for one figure.
+#[derive(Debug)]
+pub struct Report {
+    id: String,
+    out_dir: PathBuf,
+    text: String,
+}
+
+impl Report {
+    /// Starts a report for figure `id`, creating the output directory.
+    pub fn new(id: &str, out_dir: &std::path::Path) -> io::Result<Self> {
+        fs::create_dir_all(out_dir)?;
+        Ok(Self { id: id.to_string(), out_dir: out_dir.to_path_buf(), text: String::new() })
+    }
+
+    /// Appends a line (also echoed to stdout so runs are observable).
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        let s = s.as_ref();
+        println!("{s}");
+        self.text.push_str(s);
+        self.text.push('\n');
+    }
+
+    /// Appends a preformatted block (echoed to stdout).
+    pub fn block(&mut self, s: impl AsRef<str>) {
+        let s = s.as_ref();
+        print!("{s}");
+        if !s.ends_with('\n') {
+            println!();
+        }
+        self.text.push_str(s);
+        if !s.ends_with('\n') {
+            self.text.push('\n');
+        }
+    }
+
+    /// Appends a section header.
+    pub fn section(&mut self, title: &str) {
+        self.line(String::new());
+        self.line(format!("== {title} =="));
+    }
+
+    /// Writes `<id>.txt` and, when `series` is given, `<id>.json`.
+    pub fn finish<S: Serialize>(self, series: Option<&S>) -> io::Result<()> {
+        let txt_path = self.out_dir.join(format!("{}.txt", self.id));
+        let mut f = fs::File::create(&txt_path)?;
+        f.write_all(self.text.as_bytes())?;
+        if let Some(series) = series {
+            let json_path = self.out_dir.join(format!("{}.json", self.id));
+            let json = serde_json::to_string_pretty(series)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            fs::write(json_path, json)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a `Duration` as fractional seconds.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        x: u32,
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let dir = std::env::temp_dir().join(format!("db-bench-test-{}", std::process::id()));
+        let mut r = Report::new("figtest", &dir).unwrap();
+        r.section("hello");
+        r.line("value = 1");
+        r.block("###\n   \n");
+        r.finish(Some(&vec![Row { x: 1 }])).unwrap();
+        let txt = std::fs::read_to_string(dir.join("figtest.txt")).unwrap();
+        assert!(txt.contains("== hello =="));
+        assert!(txt.contains("value = 1"));
+        assert!(txt.contains("###"));
+        let json = std::fs::read_to_string(dir.join("figtest.json")).unwrap();
+        assert!(json.contains("\"x\": 1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500s");
+    }
+}

@@ -1,0 +1,325 @@
+//! Clustering Features (sufficient statistics) — Definition 1 of the Data
+//! Bubbles paper, originally from BIRCH.
+
+use std::ops::{Add, AddAssign};
+
+/// A Clustering Feature `CF = (n, LS, ss)` summarizing a set of
+/// `d`-dimensional points: the count, the component-wise linear sum and the
+/// scalar square sum `ss = Σ‖Xᵢ‖²`.
+///
+/// CFs satisfy the additivity condition: `CF(S₁ ∪ S₂) = CF(S₁) + CF(S₂)`
+/// for disjoint sets, implemented via [`Add`]/[`AddAssign`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cf {
+    n: u64,
+    ls: Vec<f64>,
+    ss: f64,
+}
+
+impl Cf {
+    /// The CF of the empty set in `dim` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn empty(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self { n: 0, ls: vec![0.0; dim], ss: 0.0 }
+    }
+
+    /// The CF of a single point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is empty.
+    pub fn from_point(point: &[f64]) -> Self {
+        let mut cf = Self::empty(point.len());
+        cf.add_point(point);
+        cf
+    }
+
+    /// Reconstructs a CF from raw components (e.g. deserialized state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ls` is empty.
+    pub fn from_parts(n: u64, ls: Vec<f64>, ss: f64) -> Self {
+        assert!(!ls.is_empty(), "dimensionality must be positive");
+        Self { n, ls, ss }
+    }
+
+    /// Adds one point (the incremental update of BIRCH's insertion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point dimensionality differs.
+    pub fn add_point(&mut self, point: &[f64]) {
+        assert_eq!(point.len(), self.ls.len(), "dimensionality mismatch");
+        self.n += 1;
+        for (l, &x) in self.ls.iter_mut().zip(point) {
+            *l += x;
+            self.ss += x * x;
+        }
+    }
+
+    /// Number of points summarized.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The linear sum `LS`.
+    #[inline]
+    pub fn ls(&self) -> &[f64] {
+        &self.ls
+    }
+
+    /// The square sum `ss`.
+    #[inline]
+    pub fn ss(&self) -> f64 {
+        self.ss
+    }
+
+    /// Dimensionality of the summarized points.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.ls.len()
+    }
+
+    /// Whether the CF summarizes no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The centroid `LS / n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CF is empty.
+    pub fn centroid(&self) -> Vec<f64> {
+        assert!(self.n > 0, "centroid of empty CF");
+        let inv = 1.0 / self.n as f64;
+        self.ls.iter().map(|&l| l * inv).collect()
+    }
+
+    /// Writes the centroid into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CF is empty.
+    pub fn centroid_into(&self, out: &mut Vec<f64>) {
+        assert!(self.n > 0, "centroid of empty CF");
+        out.clear();
+        let inv = 1.0 / self.n as f64;
+        out.extend(self.ls.iter().map(|&l| l * inv));
+    }
+
+    /// BIRCH's radius: root-mean-squared distance of the points to the
+    /// centroid, `R = sqrt(ss/n − ‖LS/n‖²)`. Zero for singletons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CF is empty.
+    pub fn radius(&self) -> f64 {
+        assert!(self.n > 0, "radius of empty CF");
+        let n = self.n as f64;
+        let centroid_norm_sq: f64 = self.ls.iter().map(|&l| (l / n) * (l / n)).sum();
+        // Clamp: floating point cancellation can dip slightly below zero.
+        (self.ss / n - centroid_norm_sq).max(0.0).sqrt()
+    }
+
+    /// BIRCH's diameter: average pairwise distance
+    /// `D = sqrt((2n·ss − 2‖LS‖²) / (n(n−1)))`. Zero for `n ≤ 1`.
+    ///
+    /// This is the same closed form as the Data Bubble `extent`
+    /// (Corollary 1 of the Data Bubbles paper).
+    pub fn diameter(&self) -> f64 {
+        if self.n <= 1 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let ls_norm_sq: f64 = self.ls.iter().map(|&l| l * l).sum();
+        let num = 2.0 * n * self.ss - 2.0 * ls_norm_sq;
+        (num / (n * (n - 1.0))).max(0.0).sqrt()
+    }
+
+    /// Euclidean distance between the centroids of two CFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either CF is empty or dimensionalities differ.
+    pub fn centroid_distance(&self, other: &Cf) -> f64 {
+        assert!(self.n > 0 && other.n > 0, "centroid distance of empty CF");
+        assert_eq!(self.dim(), other.dim(), "dimensionality mismatch");
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let mut acc = 0.0;
+        for (&a, &b) in self.ls.iter().zip(&other.ls) {
+            let d = a / na - b / nb;
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// The diameter the merged CF `self + other` would have, without
+    /// building the merge. Used by the absorption test of the CF-tree.
+    pub fn merged_diameter(&self, other: &Cf) -> f64 {
+        let n = self.n + other.n;
+        if n <= 1 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let ss = self.ss + other.ss;
+        let ls_norm_sq: f64 =
+            self.ls.iter().zip(&other.ls).map(|(&a, &b)| (a + b) * (a + b)).sum();
+        let num = 2.0 * nf * ss - 2.0 * ls_norm_sq;
+        (num / (nf * (nf - 1.0))).max(0.0).sqrt()
+    }
+}
+
+impl Add for Cf {
+    type Output = Cf;
+
+    fn add(mut self, rhs: Cf) -> Cf {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Cf {
+    fn add_assign(&mut self, rhs: Cf) {
+        *self += &rhs;
+    }
+}
+
+impl AddAssign<&Cf> for Cf {
+    fn add_assign(&mut self, rhs: &Cf) {
+        assert_eq!(self.dim(), rhs.dim(), "dimensionality mismatch");
+        self.n += rhs.n;
+        for (l, &r) in self.ls.iter_mut().zip(&rhs.ls) {
+            *l += r;
+        }
+        self.ss += rhs.ss;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_from_point() {
+        let e = Cf::empty(3);
+        assert!(e.is_empty());
+        assert_eq!(e.dim(), 3);
+        let p = Cf::from_point(&[1.0, 2.0, 2.0]);
+        assert_eq!(p.n(), 1);
+        assert_eq!(p.ls(), &[1.0, 2.0, 2.0]);
+        assert!((p.ss() - 9.0).abs() < 1e-12);
+        assert_eq!(p.radius(), 0.0);
+        assert_eq!(p.diameter(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality must be positive")]
+    fn empty_zero_dim_panics() {
+        Cf::empty(0);
+    }
+
+    #[test]
+    fn additivity_matches_incremental() {
+        let pts: [&[f64]; 4] = [&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[4.0, 4.0]];
+        let mut whole = Cf::empty(2);
+        for p in pts {
+            whole.add_point(p);
+        }
+        let left = Cf::from_point(pts[0]) + Cf::from_point(pts[1]);
+        let right = Cf::from_point(pts[2]) + Cf::from_point(pts[3]);
+        let merged = left + right;
+        assert_eq!(merged.n(), whole.n());
+        assert_eq!(merged.ls(), whole.ls());
+        assert!((merged.ss() - whole.ss()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_and_radius_hand_checked() {
+        // Two points at (0,0) and (2,0): centroid (1,0), radius 1 (RMS
+        // distance to centroid), diameter 2 (the single pairwise distance).
+        let cf = Cf::from_point(&[0.0, 0.0]) + Cf::from_point(&[2.0, 0.0]);
+        assert_eq!(cf.centroid(), vec![1.0, 0.0]);
+        assert!((cf.radius() - 1.0).abs() < 1e-12);
+        assert!((cf.diameter() - 2.0).abs() < 1e-12);
+        let mut buf = Vec::new();
+        cf.centroid_into(&mut buf);
+        assert_eq!(buf, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn diameter_equals_average_pairwise_distance_rms() {
+        // Three points: diameter² = mean over ordered pairs of squared dist.
+        let pts: [&[f64]; 3] = [&[0.0], &[1.0], &[3.0]];
+        let mut cf = Cf::empty(1);
+        for p in pts {
+            cf.add_point(p);
+        }
+        let mut acc = 0.0;
+        let mut cnt = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    let d = pts[i][0] - pts[j][0];
+                    acc += d * d;
+                    cnt += 1.0;
+                }
+            }
+        }
+        assert!((cf.diameter() - (acc / cnt).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_diameter_matches_actual_merge() {
+        let a = Cf::from_point(&[0.0, 0.0]) + Cf::from_point(&[1.0, 1.0]);
+        let b = Cf::from_point(&[5.0, 5.0]);
+        let predicted = a.merged_diameter(&b);
+        let merged = a + b;
+        assert!((predicted - merged.diameter()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_distance_hand_checked() {
+        let a = Cf::from_point(&[0.0, 0.0]);
+        let b = Cf::from_point(&[3.0, 4.0]);
+        assert!((a.centroid_distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_never_negative_under_cancellation() {
+        // Large coordinates provoke catastrophic cancellation in ss − ‖c‖².
+        let mut cf = Cf::empty(1);
+        for _ in 0..1000 {
+            cf.add_point(&[1e8]);
+        }
+        assert!(cf.radius() >= 0.0);
+        assert!(cf.diameter() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "centroid of empty CF")]
+    fn centroid_of_empty_panics() {
+        Cf::empty(2).centroid();
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn add_dim_mismatch_panics() {
+        let mut a = Cf::empty(2);
+        a += &Cf::empty(3);
+    }
+
+    #[test]
+    fn from_parts_round_trip() {
+        let cf = Cf::from_parts(2, vec![2.0, 2.0], 4.0);
+        assert_eq!(cf.n(), 2);
+        assert_eq!(cf.centroid(), vec![1.0, 1.0]);
+    }
+}

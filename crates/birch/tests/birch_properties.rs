@@ -1,0 +1,135 @@
+//! Property tests of CF arithmetic and CF-tree invariants on arbitrary
+//! inputs.
+
+use db_birch::{birch, BirchParams, Cf, CfTree};
+use db_spatial::Dataset;
+use proptest::prelude::*;
+
+fn points_strategy(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-1000.0f64..1000.0, dim), 1..max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CF additivity: building one CF incrementally equals summing the CFs
+    /// of any split of the points.
+    #[test]
+    fn additivity_holds_for_any_split(
+        points in points_strategy(60, 3),
+        split in 0usize..60,
+    ) {
+        let split = split.min(points.len());
+        let mut whole = Cf::empty(3);
+        for p in &points {
+            whole.add_point(p);
+        }
+        let mut left = Cf::empty(3);
+        let mut right = Cf::empty(3);
+        for (i, p) in points.iter().enumerate() {
+            if i < split {
+                left.add_point(p);
+            } else {
+                right.add_point(p);
+            }
+        }
+        let merged = left + right;
+        prop_assert_eq!(merged.n(), whole.n());
+        for (a, b) in merged.ls().iter().zip(whole.ls()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        prop_assert!((merged.ss() - whole.ss()).abs() / whole.ss().max(1.0) < 1e-9);
+    }
+
+    /// Radius and diameter are non-negative, and diameter ≤ 2·radius·√2
+    /// does not hold in general — but the predicted merged diameter always
+    /// equals the actual merged diameter.
+    #[test]
+    fn merged_diameter_prediction_is_exact(
+        a in points_strategy(20, 2),
+        b in points_strategy(20, 2),
+    ) {
+        let mut cfa = Cf::empty(2);
+        for p in &a {
+            cfa.add_point(p);
+        }
+        let mut cfb = Cf::empty(2);
+        for p in &b {
+            cfb.add_point(p);
+        }
+        let predicted = cfa.merged_diameter(&cfb);
+        let merged = cfa + cfb;
+        prop_assert!((predicted - merged.diameter()).abs() < 1e-6);
+        prop_assert!(predicted >= 0.0);
+    }
+
+    /// The CF-tree preserves point counts and the centroid of the whole
+    /// data set, for any insertion order and parameters.
+    #[test]
+    fn tree_preserves_mass_and_mean(
+        points in points_strategy(120, 2),
+        leaf_capacity in 1usize..6,
+        branching in 2usize..6,
+        threshold in 0.0f64..100.0,
+    ) {
+        let mut tree = CfTree::new(2, BirchParams {
+            branching,
+            leaf_capacity,
+            initial_threshold: threshold,
+            max_nodes: 1 << 20,
+            threshold_growth: 1.3,
+        });
+        let mut whole = Cf::empty(2);
+        for p in &points {
+            tree.insert_point(p);
+            whole.add_point(p);
+        }
+        let total: u64 = tree.leaf_entries().iter().map(Cf::n).sum();
+        prop_assert_eq!(total, points.len() as u64);
+        // Sum of leaf CFs equals the whole CF.
+        let mut sum = Cf::empty(2);
+        for cf in tree.leaf_entries() {
+            sum += &cf;
+        }
+        for (a, b) in sum.ls().iter().zip(whole.ls()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Condensation always reaches the target and never loses points.
+    #[test]
+    fn condense_reaches_any_target(
+        points in points_strategy(150, 2),
+        k in 1usize..40,
+    ) {
+        let mut ds = Dataset::new(2).unwrap();
+        for p in &points {
+            ds.push(p).unwrap();
+        }
+        let cfs = birch(&ds, k, &BirchParams::default());
+        prop_assert!(!cfs.is_empty());
+        prop_assert!(cfs.len() <= k);
+        prop_assert_eq!(cfs.iter().map(Cf::n).sum::<u64>(), points.len() as u64);
+    }
+
+    /// Leaf entries respect the final threshold: every multi-point entry's
+    /// diameter is at most T (entries created as singletons trivially
+    /// comply).
+    #[test]
+    fn leaf_entries_respect_threshold(
+        points in points_strategy(100, 2),
+        threshold in 0.1f64..50.0,
+    ) {
+        let mut tree = CfTree::new(2, BirchParams {
+            initial_threshold: threshold,
+            max_nodes: 1 << 20,
+            ..BirchParams::default()
+        });
+        for p in &points {
+            tree.insert_point(p);
+        }
+        for cf in tree.leaf_entries() {
+            prop_assert!(cf.diameter() <= threshold + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The Data Bubble itself: Definition 5 (generic) specialized to Euclidean
+//! vector data per Definition 10, with the expected k-NN distance of
+//! Lemma 1 and the sufficient-statistics construction of Corollary 1.
+
+use db_birch::Cf;
+use db_spatial::Dataset;
+
+/// A Data Bubble `B = (rep, n, extent, nndist)` over Euclidean vector data:
+///
+/// * `rep` — the representative (the mean of the summarized points),
+/// * `n` — the number of summarized points,
+/// * `extent` — a radius around `rep` containing most of the points (the
+///   average pairwise distance, Definition 10),
+/// * `nndist(k)` — the expected k-nearest-neighbor distance under the
+///   uniform-sphere assumption, `(k/n)^(1/d) · extent` (Lemma 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataBubble {
+    rep: Vec<f64>,
+    n: u64,
+    extent: f64,
+}
+
+impl DataBubble {
+    /// Builds a bubble from raw components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rep` is empty, `n == 0`, or `extent` is negative/NaN.
+    pub fn new(rep: Vec<f64>, n: u64, extent: f64) -> Self {
+        assert!(!rep.is_empty(), "representative must have positive dimension");
+        assert!(n > 0, "a Data Bubble must summarize at least one point");
+        assert!(extent >= 0.0, "extent must be non-negative");
+        Self { rep, n, extent }
+    }
+
+    /// Corollary 1: builds a bubble from sufficient statistics `(n, LS, ss)`
+    /// with `rep = LS/n` and
+    /// `extent = sqrt((2·n·ss − 2·|LS|²)/(n·(n−1)))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CF is empty.
+    pub fn from_cf(cf: &Cf) -> Self {
+        assert!(!cf.is_empty(), "cannot build a Data Bubble from an empty CF");
+        Self { rep: cf.centroid(), n: cf.n(), extent: cf.diameter() }
+    }
+
+    /// Builds a bubble directly from a set of points (the "straight
+    /// forward" computation mentioned after Definition 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty.
+    pub fn from_points(ds: &Dataset, ids: &[usize]) -> Self {
+        assert!(!ids.is_empty(), "cannot build a Data Bubble from no points");
+        let mut cf = Cf::empty(ds.dim());
+        for &i in ids {
+            cf.add_point(ds.point(i));
+        }
+        Self::from_cf(&cf)
+    }
+
+    /// The representative object (the mean vector).
+    #[inline]
+    pub fn rep(&self) -> &[f64] {
+        &self.rep
+    }
+
+    /// Number of points summarized.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The extent (radius estimate).
+    #[inline]
+    pub fn extent(&self) -> f64 {
+        self.extent
+    }
+
+    /// Dimensionality of the summarized points.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Lemma 1: the expected k-NN distance inside the bubble,
+    /// `(k/n)^(1/d) · extent`, clamped at `extent` for `k ≥ n`.
+    ///
+    /// ```
+    /// use data_bubbles::DataBubble;
+    /// // 100 points, 2-d, extent 10: nndist(k) = sqrt(k/100) * 10.
+    /// let b = DataBubble::new(vec![0.0, 0.0], 100, 10.0);
+    /// assert!((b.nndist(25) - 5.0).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn nndist(&self, k: u64) -> f64 {
+        assert!(k >= 1, "k-NN distance needs k >= 1");
+        if self.n <= 1 {
+            return 0.0;
+        }
+        let ratio = (k.min(self.n) as f64) / (self.n as f64);
+        ratio.powf(1.0 / self.dim() as f64) * self.extent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_cf_matches_corollary_1() {
+        // Points 0 and 2 on a line: rep = 1, extent = pairwise distance 2.
+        let cf = Cf::from_point(&[0.0]) + Cf::from_point(&[2.0]);
+        let b = DataBubble::from_cf(&cf);
+        assert_eq!(b.rep(), &[1.0]);
+        assert_eq!(b.n(), 2);
+        assert!((b.extent() - 2.0).abs() < 1e-12);
+        assert_eq!(b.dim(), 1);
+    }
+
+    #[test]
+    fn from_points_equals_from_cf() {
+        let ds =
+            Dataset::from_rows(2, &[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[9.0, 9.0]]).unwrap();
+        let b = DataBubble::from_points(&ds, &[0, 1, 2]);
+        let mut cf = Cf::empty(2);
+        for i in 0..3 {
+            cf.add_point(ds.point(i));
+        }
+        assert_eq!(b, DataBubble::from_cf(&cf));
+    }
+
+    #[test]
+    fn nndist_closed_form() {
+        // n=100 points in a 2-d bubble with extent 10:
+        // nndist(k) = (k/100)^(1/2) * 10.
+        let b = DataBubble::new(vec![0.0, 0.0], 100, 10.0);
+        assert!((b.nndist(1) - 1.0).abs() < 1e-12);
+        assert!((b.nndist(4) - 2.0).abs() < 1e-12);
+        assert!((b.nndist(25) - 5.0).abs() < 1e-12);
+        assert!((b.nndist(100) - 10.0).abs() < 1e-12);
+        // k beyond n clamps at the extent.
+        assert!((b.nndist(1000) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nndist_monotone_in_k() {
+        let b = DataBubble::new(vec![0.0; 3], 50, 7.0);
+        let mut prev = 0.0;
+        for k in 1..=60 {
+            let d = b.nndist(k);
+            assert!(d >= prev, "nndist not monotone at k={k}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn nndist_scales_with_dimension() {
+        // For fixed k/n < 1, (k/n)^(1/d) grows with d: sparser
+        // neighbourhoods in high dimensions.
+        let b2 = DataBubble::new(vec![0.0; 2], 100, 1.0);
+        let b10 = DataBubble::new(vec![0.0; 10], 100, 1.0);
+        assert!(b10.nndist(5) > b2.nndist(5));
+    }
+
+    #[test]
+    fn singleton_bubble_is_degenerate() {
+        let b = DataBubble::new(vec![3.0, 4.0], 1, 0.0);
+        assert_eq!(b.nndist(1), 0.0);
+        assert_eq!(b.nndist(5), 0.0);
+        assert_eq!(b.extent(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn zero_n_panics() {
+        DataBubble::new(vec![0.0], 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k-NN distance needs")]
+    fn zero_k_panics() {
+        DataBubble::new(vec![0.0], 10, 1.0).nndist(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CF")]
+    fn empty_cf_panics() {
+        DataBubble::from_cf(&Cf::empty(2));
+    }
+}

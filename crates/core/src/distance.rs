@@ -1,0 +1,150 @@
+//! Definition 6 (distance between Data Bubbles) and Definition 9 (virtual
+//! reachability).
+
+use crate::bubble::DataBubble;
+
+/// Definition 6: the distance between two Data Bubbles, designed to
+/// "approximate the distance of the two closest points in the Data
+/// Bubbles":
+///
+/// * `0` when both are the same bubble (`same_object` must then be true —
+///   distinct bubbles at identical positions are *not* the same object);
+/// * non-overlapping (`dist(rep_B, rep_C) − (e_B + e_C) ≥ 0`):
+///   `dist(rep_B, rep_C) − (e_B + e_C) + nndist(1,B) + nndist(1,C)`;
+/// * overlapping: `max(nndist(1,B), nndist(1,C))`.
+///
+/// ```
+/// use data_bubbles::{bubble_distance, DataBubble};
+/// let b = DataBubble::new(vec![0.0, 0.0], 100, 2.0);
+/// let c = DataBubble::new(vec![10.0, 0.0], 25, 3.0);
+/// // Non-overlapping: 10 - (2+3) + nndist terms.
+/// assert!((bubble_distance(&b, &c, false) - 5.8).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the bubbles have different dimensionality.
+pub fn bubble_distance(b: &DataBubble, c: &DataBubble, same_object: bool) -> f64 {
+    if same_object {
+        return 0.0;
+    }
+    assert_eq!(b.dim(), c.dim(), "dimensionality mismatch");
+    let center_dist = db_spatial::euclidean(b.rep(), c.rep());
+    let gap = center_dist - (b.extent() + c.extent());
+    if gap >= 0.0 {
+        gap + b.nndist(1) + c.nndist(1)
+    } else {
+        b.nndist(1).max(c.nndist(1))
+    }
+}
+
+/// Definition 9: the virtual reachability of the `n` points described by a
+/// bubble — the reachability value plotted for the 2nd..n-th member when a
+/// bubble is expanded:
+///
+/// * `nndist(MinPts, B)` when the bubble holds at least MinPts points
+///   (inside the bubble, most points' true reachability is close to their
+///   MinPts-NN distance);
+/// * otherwise the bubble's core-distance (computed by the caller from the
+///   whole bubble set, Definition 7) — pass it as `core_distance`.
+///
+/// # Panics
+///
+/// Panics if `min_pts == 0`.
+pub fn virtual_reachability(b: &DataBubble, min_pts: usize, core_distance: f64) -> f64 {
+    assert!(min_pts >= 1, "MinPts must be positive");
+    if b.n() >= min_pts as u64 {
+        b.nndist(min_pts as u64)
+    } else {
+        core_distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bubble(x: f64, n: u64, extent: f64) -> DataBubble {
+        DataBubble::new(vec![x, 0.0], n, extent)
+    }
+
+    #[test]
+    fn same_object_distance_is_zero() {
+        let b = bubble(0.0, 10, 1.0);
+        assert_eq!(bubble_distance(&b, &b, true), 0.0);
+    }
+
+    #[test]
+    fn identical_position_but_distinct_objects_is_not_zero() {
+        let b = bubble(0.0, 100, 1.0);
+        let c = bubble(0.0, 100, 1.0);
+        let d = bubble_distance(&b, &c, false);
+        // Overlapping case: max of the expected 1-NN distances.
+        assert!((d - b.nndist(1)).abs() < 1e-12);
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn non_overlapping_case_hand_checked() {
+        // Centers 10 apart, extents 2 and 3 -> gap 5; nndist(1) terms:
+        // (1/100)^(1/2)*2 = 0.2 and (1/25)^(1/2)*3 = 0.6.
+        let b = bubble(0.0, 100, 2.0);
+        let c = bubble(10.0, 25, 3.0);
+        let d = bubble_distance(&b, &c, false);
+        assert!((d - (5.0 + 0.2 + 0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_case_takes_max_nndist() {
+        let b = bubble(0.0, 100, 4.0);
+        let c = bubble(1.0, 25, 3.0); // centers 1 apart < 4+3
+        let d = bubble_distance(&b, &c, false);
+        let expected = (0.01f64).sqrt() * 4.0_f64;
+        let expected = expected.max((0.04f64).sqrt() * 3.0);
+        assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let b = bubble(0.0, 50, 2.0);
+        let c = bubble(7.0, 10, 1.0);
+        assert_eq!(bubble_distance(&b, &c, false), bubble_distance(&c, &b, false));
+    }
+
+    #[test]
+    fn singleton_bubbles_reduce_to_point_distance() {
+        // n=1 bubbles: extent 0, nndist(1) = 0 -> Def. 6 gives the plain
+        // Euclidean distance between the representatives.
+        let b = DataBubble::new(vec![0.0, 0.0], 1, 0.0);
+        let c = DataBubble::new(vec![3.0, 4.0], 1, 0.0);
+        assert!((bubble_distance(&b, &c, false) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn touching_boundary_is_non_overlapping() {
+        // gap exactly 0: non-overlap branch applies (>= 0).
+        let b = bubble(0.0, 4, 1.0);
+        let c = bubble(2.0, 4, 1.0);
+        let d = bubble_distance(&b, &c, false);
+        assert!((d - (b.nndist(1) + c.nndist(1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_reachability_large_bubble_uses_nndist() {
+        let b = bubble(0.0, 100, 2.0);
+        let v = virtual_reachability(&b, 5, 99.0);
+        assert!((v - b.nndist(5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_reachability_small_bubble_uses_core_distance() {
+        let b = bubble(0.0, 3, 1.0);
+        assert_eq!(virtual_reachability(&b, 5, 42.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MinPts must be positive")]
+    fn virtual_reachability_rejects_zero_minpts() {
+        virtual_reachability(&bubble(0.0, 3, 1.0), 0, 1.0);
+    }
+}

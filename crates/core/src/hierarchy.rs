@@ -1,0 +1,98 @@
+//! Classical hierarchical clustering on Data Bubbles (paper §6: "When
+//! applying a classical hierarchical clustering algorithm such as the
+//! single link method to Data Bubbles, we do not need more information
+//! than defined above") — the bubble distance of Definition 6 drives an
+//! ordinary agglomerative algorithm, and the resulting dendrogram is
+//! expanded back to the original objects via the classification.
+
+use db_hierarchical::{agglomerative_from_fn, Dendrogram, Linkage};
+
+use crate::distance::bubble_distance;
+use crate::space::BubbleSpace;
+
+/// Builds the hierarchical clustering of a bubble set under the given
+/// linkage, using the Definition 6 distance.
+///
+/// # Panics
+///
+/// Panics if the space is empty.
+pub fn bubble_dendrogram(space: &BubbleSpace, linkage: Linkage) -> Dendrogram {
+    let bubbles = space.bubbles();
+    assert!(!bubbles.is_empty(), "cannot cluster an empty bubble set");
+    agglomerative_from_fn(bubbles.len(), linkage, |a, b| {
+        bubble_distance(&bubbles[a], &bubbles[b], a == b)
+    })
+}
+
+/// Cuts a bubble dendrogram into `k` clusters and assigns every original
+/// object the label of its bubble — the dendrogram analogue of the §5
+/// expansion ("we can apply an analogous technique to expand a dendrogram").
+///
+/// `members[j]` lists the original object ids classified to bubble `j`;
+/// labels are returned per original object id.
+///
+/// # Panics
+///
+/// Panics if `members.len()` differs from the number of dendrogram leaves.
+pub fn expand_bubble_cut(
+    dendrogram: &Dendrogram,
+    members: &[Vec<usize>],
+    k: usize,
+) -> Vec<i32> {
+    let leaf_labels = dendrogram.cut(k);
+    dendrogram.expand_cut(&leaf_labels, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bubble::DataBubble;
+
+    fn two_group_space() -> BubbleSpace {
+        BubbleSpace::new(vec![
+            DataBubble::new(vec![0.0, 0.0], 30, 1.0),
+            DataBubble::new(vec![2.0, 0.0], 30, 1.0),
+            DataBubble::new(vec![100.0, 0.0], 30, 1.0),
+            DataBubble::new(vec![102.0, 0.0], 30, 1.0),
+        ])
+    }
+
+    #[test]
+    fn single_link_merges_groups_last() {
+        let d = bubble_dendrogram(&two_group_space(), Linkage::Single);
+        let heights: Vec<f64> = d.merges().iter().map(|m| m.dist).collect();
+        // Two small within-group merges, one large between-group merge.
+        assert!(heights[0] < 5.0 && heights[1] < 5.0);
+        assert!(heights[2] > 90.0);
+        let cut = d.cut(2);
+        assert_eq!(cut[0], cut[1]);
+        assert_eq!(cut[2], cut[3]);
+        assert_ne!(cut[0], cut[2]);
+    }
+
+    #[test]
+    fn complete_linkage_also_works() {
+        let d = bubble_dendrogram(&two_group_space(), Linkage::Complete);
+        assert_eq!(d.n_leaves(), 4);
+        let cut = d.cut(2);
+        assert_eq!(cut[0], cut[1]);
+        assert_ne!(cut[0], cut[2]);
+    }
+
+    #[test]
+    fn expansion_assigns_bubble_labels_to_members() {
+        let d = bubble_dendrogram(&two_group_space(), Linkage::Single);
+        let members = vec![vec![0, 1], vec![2], vec![3, 4], vec![5]];
+        let labels = expand_bubble_cut(&d, &members, 2);
+        assert_eq!(labels.len(), 6);
+        assert_eq!(labels[0], labels[2]); // bubbles 0 and 1 share a cluster
+        assert_ne!(labels[0], labels[3]); // bubble 2 is in the other group
+        assert_eq!(labels[3], labels[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bubble set")]
+    fn empty_space_panics() {
+        bubble_dendrogram(&BubbleSpace::new(vec![]), Linkage::Single);
+    }
+}

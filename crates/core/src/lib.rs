@@ -1,0 +1,66 @@
+//! **Data Bubbles** — quality preserving performance boosting for
+//! hierarchical clustering (Breunig, Kriegel, Kröger, Sander; SIGMOD 2001).
+//!
+//! The paper scales OPTICS to very large databases by a three-step
+//! procedure: (1) compress the data into `k` representative objects (via
+//! BIRCH clustering features or random sampling + NN classification),
+//! (2) cluster only the representatives, (3) recover the clustering
+//! structure of the whole data set. The naive version of this plan suffers
+//! from three problems — *size distortion*, *lost objects* and *structural
+//! distortion* — and this crate implements both the problems' demonstration
+//! pipelines and their solution:
+//!
+//! * [`DataBubble`] — the compressed item `(rep, n, extent, nndist)`
+//!   (Definitions 5 and 10, Lemma 1, Corollary 1);
+//! * [`bubble_distance`] — the distance between two Data Bubbles that
+//!   approximates the distance of their closest member points
+//!   (Definition 6);
+//! * [`BubbleSpace`] — an [`db_optics::OpticsSpace`] whose core- and
+//!   reachability-distances follow Definitions 7–8, so the unmodified
+//!   OPTICS walk runs directly on bubbles;
+//! * [`virtual_reachability`] — the estimated in-bubble reachability used
+//!   when expanding bubbles back into their member objects (Definition 9);
+//! * the six pipelines of the paper's evaluation
+//!   ([`pipeline::run_pipeline`] and the named wrappers
+//!   [`pipeline::optics_sa_bubbles`] etc.): `OPTICS-SA/CF` ×
+//!   `naive/weighted/Bubbles`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use data_bubbles::pipeline::{optics_sa_bubbles, PipelineConfig};
+//! use db_optics::OpticsParams;
+//! use db_spatial::Dataset;
+//!
+//! // 2,000 points in two far-apart groups.
+//! let mut ds = Dataset::new(2).unwrap();
+//! for i in 0..1000 {
+//!     let (x, y) = ((i % 100) as f64 * 0.1, (i / 100) as f64 * 0.1);
+//!     ds.push(&[x, y]).unwrap();
+//!     ds.push(&[x + 100.0, y]).unwrap();
+//! }
+//! let out = optics_sa_bubbles(&ds, 50, 42, &OpticsParams { eps: f64::INFINITY, min_pts: 10 })
+//!     .unwrap();
+//! // Every original object reappears in the expanded cluster ordering.
+//! let expanded = out.expanded.as_ref().unwrap();
+//! assert_eq!(expanded.len(), ds.len());
+//! // Cutting the expanded plot recovers the two groups.
+//! let labels = expanded.extract_dbscan(1.0);
+//! let k = labels.iter().copied().filter(|&l| l >= 0).collect::<std::collections::HashSet<_>>();
+//! assert_eq!(k.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bubble;
+mod distance;
+pub mod hierarchy;
+pub mod metric_bubble;
+pub mod pipeline;
+mod space;
+
+pub use bubble::DataBubble;
+pub use distance::{bubble_distance, virtual_reachability};
+pub use hierarchy::{bubble_dendrogram, expand_bubble_cut};
+pub use metric_bubble::{compress_metric, MetricBubbleSpace, MetricCompression, MetricDataBubble};
+pub use space::BubbleSpace;

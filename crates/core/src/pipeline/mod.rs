@@ -1,0 +1,586 @@
+//! The six evaluation pipelines of the paper:
+//! `OPTICS-{SA,CF}-{naive,weighted,Bubbles}` (Figures 5, 8 and 13).
+//!
+//! All six share the same three phases —
+//!
+//! 1. **compress** the database into ≤ `k` representative objects, either
+//!    by random sampling + NN classification (`SA`) or by BIRCH (`CF`);
+//! 2. **cluster** the representatives with OPTICS — as plain points
+//!    (naive/weighted) or as Data Bubbles (Bubbles);
+//! 3. **recover** — nothing (naive), or replace each representative by its
+//!    classified member objects in the cluster ordering (weighted: §5;
+//!    Bubbles: §8 step 5 with virtual reachabilities).
+//!
+//! Phase wall-clock timings are recorded for the runtime experiments
+//! (Figures 16–18).
+
+mod expand;
+pub mod external;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use db_birch::{birch, BirchParams, Cf};
+use db_optics::{optics, optics_points, ClusterOrdering, OpticsParams};
+use db_sampling::{
+    bfr_compress, compress_by_sampling, nn_classify, squash_compress, BfrParams, SamplingError,
+};
+use db_spatial::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+
+pub use expand::{expand_bubbles, expand_weighted, ExpandedEntry, ExpandedOrdering};
+pub use external::{run_external, ExternalConfig, ExternalError, ExternalOutput};
+
+use crate::bubble::DataBubble;
+use crate::space::BubbleSpace;
+
+/// How the database is compressed into representative objects (step 1).
+#[derive(Debug, Clone)]
+pub enum Compressor {
+    /// Random sample of exactly `k` objects + one-pass NN classification.
+    Sample {
+        /// RNG seed for the sample.
+        seed: u64,
+    },
+    /// BIRCH CF-tree condensed to at most `k` leaf entries (may produce
+    /// fewer — the threshold-heuristic overshoot the paper reports).
+    Birch(BirchParams),
+    /// Bradley–Fayyad–Reina compression (paper §2, reference \[2\]): DS/CS/RS
+    /// sufficient statistics. The number of representatives is governed by
+    /// the BFR parameters, not by `k`.
+    Bfr(BfrParams),
+    /// Grid squashing (paper §2, reference \[4\]): per-region moments over an
+    /// equal-width grid with `bins_per_dim` bins in every dimension. The
+    /// number of representatives is the number of occupied regions, not
+    /// `k`.
+    GridSquash {
+        /// Bins per dimension.
+        bins_per_dim: usize,
+    },
+}
+
+/// How the clustering structure of the full database is recovered (steps
+/// 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// OPTICS on representative points; no recovery (suffers from all
+    /// three problems: size distortion, lost objects, structural
+    /// distortion).
+    Naive,
+    /// OPTICS on representative points + §5 post-processing (solves size
+    /// distortion and lost objects, not structural distortion).
+    Weighted,
+    /// OPTICS on Data Bubbles + virtual-reachability expansion (solves all
+    /// three problems).
+    Bubbles,
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Target number of representative objects.
+    pub k: usize,
+    /// Compression method (`SA` or `CF`).
+    pub compressor: Compressor,
+    /// Recovery method (naive / weighted / Bubbles).
+    pub recovery: Recovery,
+    /// OPTICS parameters used on the representatives. `min_pts` counts
+    /// *original* objects for the bubble variants (Def. 7).
+    pub optics: OpticsParams,
+}
+
+/// Wall-clock timings of the three phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineTimings {
+    /// Step 1: sampling/BIRCH + classification + sufficient statistics.
+    pub compression: Duration,
+    /// Step 2: OPTICS on the representatives.
+    pub clustering: Duration,
+    /// Step 3: classification reuse + expansion.
+    pub recovery: Duration,
+}
+
+impl PipelineTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.compression + self.clustering + self.recovery
+    }
+}
+
+/// The output of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// Cluster ordering over the representatives (what a user of the naive
+    /// variants would look at).
+    pub rep_ordering: ClusterOrdering,
+    /// Cluster ordering expanded to all original objects (`None` for the
+    /// naive variants, which lose the objects).
+    pub expanded: Option<ExpandedOrdering>,
+    /// Actual number of representatives (≤ `k`; BIRCH may undershoot).
+    pub n_representatives: usize,
+    /// Phase timings.
+    pub timings: PipelineTimings,
+}
+
+/// Pipeline failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The dataset was empty.
+    EmptyDataset,
+    /// `k` was zero.
+    ZeroK,
+    /// The sampling compressor failed.
+    Sampling(SamplingError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::EmptyDataset => write!(f, "cannot cluster an empty dataset"),
+            PipelineError::ZeroK => write!(f, "number of representatives must be positive"),
+            PipelineError::Sampling(e) => write!(f, "sampling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<SamplingError> for PipelineError {
+    fn from(e: SamplingError) -> Self {
+        PipelineError::Sampling(e)
+    }
+}
+
+/// Runs one of the six pipelines.
+///
+/// # Errors
+///
+/// Returns an error when the dataset is empty, `k == 0`, or sampling is
+/// impossible (`k` larger than the dataset).
+pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
+    if ds.is_empty() {
+        return Err(PipelineError::EmptyDataset);
+    }
+    if cfg.k == 0 {
+        return Err(PipelineError::ZeroK);
+    }
+
+    // ------------------------------------------------------ step 1
+    let t0 = Instant::now();
+    let needs_members = cfg.recovery != Recovery::Naive;
+    let (stats, reps, assignment): (Vec<Cf>, Dataset, Option<Vec<u32>>) = match &cfg.compressor {
+        Compressor::Sample { seed } => {
+            if needs_members || cfg.recovery == Recovery::Bubbles {
+                let c = compress_by_sampling(ds, cfg.k, *seed)?;
+                (c.stats, c.reps, Some(c.assignment))
+            } else {
+                // Naive SA: just the sample, no classification pass.
+                if cfg.k > ds.len() {
+                    return Err(SamplingError::SampleLargerThanData { k: cfg.k, n: ds.len() }
+                        .into());
+                }
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut ids: Vec<usize> = index_sample(&mut rng, ds.len(), cfg.k).into_vec();
+                ids.sort_unstable();
+                let reps = ds.subset(&ids);
+                let stats = reps.iter().map(Cf::from_point).collect();
+                (stats, reps, None)
+            }
+        }
+        Compressor::Birch(params) => {
+            let cfs = birch(ds, cfg.k, params);
+            let reps = centroids_of(ds.dim(), &cfs);
+            // Step 4 of Fig. 13 / step 4 of Fig. 8: the CF variants must
+            // classify the original objects to recover them. The bubbles
+            // themselves always come from the CFs (Fig. 13 step 2), not
+            // from the re-classification.
+            let assignment = needs_members.then(|| nn_classify(ds, &reps));
+            (cfs, reps, assignment)
+        }
+        Compressor::Bfr(params) => {
+            let cfs = bfr_compress(ds, params).all_cfs();
+            let reps = centroids_of(ds.dim(), &cfs);
+            let assignment = needs_members.then(|| nn_classify(ds, &reps));
+            (cfs, reps, assignment)
+        }
+        Compressor::GridSquash { bins_per_dim } => {
+            // Squashing knows the exact region membership of every point;
+            // no re-classification pass is needed.
+            let r = squash_compress(ds, *bins_per_dim);
+            let reps = centroids_of(ds.dim(), &r.regions);
+            (r.regions, reps, needs_members.then_some(r.assignment))
+        }
+    };
+    let compression = t0.elapsed();
+
+    // ------------------------------------------------------ step 2
+    let t1 = Instant::now();
+    let (rep_ordering, bubble_space) = match cfg.recovery {
+        Recovery::Naive | Recovery::Weighted => (optics_points(&reps, &cfg.optics), None),
+        Recovery::Bubbles => {
+            let bubbles: Vec<DataBubble> = stats.iter().map(DataBubble::from_cf).collect();
+            let space = BubbleSpace::new(bubbles);
+            let ordering = optics(&space, &cfg.optics);
+            (ordering, Some(space))
+        }
+    };
+    let clustering = t1.elapsed();
+
+    // ------------------------------------------------------ step 3
+    let t2 = Instant::now();
+    let expanded = match cfg.recovery {
+        Recovery::Naive => None,
+        Recovery::Weighted | Recovery::Bubbles => {
+            let assignment = assignment.as_ref().expect("classification ran for recovery");
+            let mut members = vec![Vec::new(); reps.len()];
+            for (i, &a) in assignment.iter().enumerate() {
+                members[a as usize].push(i);
+            }
+            Some(match cfg.recovery {
+                Recovery::Weighted => expand_weighted(&rep_ordering, &members),
+                Recovery::Bubbles => expand_bubbles(
+                    &rep_ordering,
+                    &members,
+                    bubble_space.as_ref().expect("bubble space built"),
+                    cfg.optics.min_pts,
+                ),
+                Recovery::Naive => unreachable!(),
+            })
+        }
+    };
+    let recovery = t2.elapsed();
+
+    Ok(PipelineOutput {
+        rep_ordering,
+        expanded,
+        n_representatives: reps.len(),
+        timings: PipelineTimings { compression, clustering, recovery },
+    })
+}
+
+/// Centroid dataset of a CF collection.
+fn centroids_of(dim: usize, cfs: &[Cf]) -> Dataset {
+    let mut reps = Dataset::with_capacity(dim, cfs.len()).expect("dim > 0");
+    let mut buf = Vec::with_capacity(dim);
+    for cf in cfs {
+        cf.centroid_into(&mut buf);
+        reps.push(&buf).expect("dim matches");
+    }
+    reps
+}
+
+/// `OPTICS-SA naive` (Fig. 5): OPTICS on a plain random sample.
+pub fn optics_sa_naive(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    optics: &OpticsParams,
+) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline(
+        ds,
+        &PipelineConfig {
+            k,
+            compressor: Compressor::Sample { seed },
+            recovery: Recovery::Naive,
+            optics: *optics,
+        },
+    )
+}
+
+/// `OPTICS-CF naive` (Fig. 5): OPTICS on BIRCH CF centers.
+pub fn optics_cf_naive(
+    ds: &Dataset,
+    k: usize,
+    birch_params: &BirchParams,
+    optics: &OpticsParams,
+) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline(
+        ds,
+        &PipelineConfig {
+            k,
+            compressor: Compressor::Birch(birch_params.clone()),
+            recovery: Recovery::Naive,
+            optics: *optics,
+        },
+    )
+}
+
+/// `OPTICS-SA weighted` (Fig. 8): sample + §5 post-processing.
+pub fn optics_sa_weighted(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    optics: &OpticsParams,
+) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline(
+        ds,
+        &PipelineConfig {
+            k,
+            compressor: Compressor::Sample { seed },
+            recovery: Recovery::Weighted,
+            optics: *optics,
+        },
+    )
+}
+
+/// `OPTICS-CF weighted` (Fig. 8): CF centers + §5 post-processing.
+pub fn optics_cf_weighted(
+    ds: &Dataset,
+    k: usize,
+    birch_params: &BirchParams,
+    optics: &OpticsParams,
+) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline(
+        ds,
+        &PipelineConfig {
+            k,
+            compressor: Compressor::Birch(birch_params.clone()),
+            recovery: Recovery::Weighted,
+            optics: *optics,
+        },
+    )
+}
+
+/// `OPTICS-SA Bubbles` (Fig. 13): Data Bubbles from sampled sufficient
+/// statistics.
+pub fn optics_sa_bubbles(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    optics: &OpticsParams,
+) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline(
+        ds,
+        &PipelineConfig {
+            k,
+            compressor: Compressor::Sample { seed },
+            recovery: Recovery::Bubbles,
+            optics: *optics,
+        },
+    )
+}
+
+/// `OPTICS-CF Bubbles` (Fig. 13): Data Bubbles from BIRCH CFs.
+pub fn optics_cf_bubbles(
+    ds: &Dataset,
+    k: usize,
+    birch_params: &BirchParams,
+    optics: &OpticsParams,
+) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline(
+        ds,
+        &PipelineConfig {
+            k,
+            compressor: Compressor::Birch(birch_params.clone()),
+            recovery: Recovery::Bubbles,
+            optics: *optics,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two dense squares far apart, 800 points each.
+    fn two_squares() -> Dataset {
+        let mut ds = Dataset::new(2).unwrap();
+        for i in 0..800 {
+            let (x, y) = ((i % 40) as f64 * 0.25, (i / 40) as f64 * 0.25);
+            ds.push(&[x, y]).unwrap();
+            ds.push(&[x + 200.0, y]).unwrap();
+        }
+        ds
+    }
+
+    fn params() -> OpticsParams {
+        OpticsParams { eps: f64::INFINITY, min_pts: 20 }
+    }
+
+    fn two_cluster_check(labels: &[i32], ds: &Dataset) {
+        // Points with even index belong to square A, odd to square B.
+        let mut a_labels: Vec<i32> = Vec::new();
+        let mut b_labels: Vec<i32> = Vec::new();
+        for (i, &l) in labels.iter().enumerate() {
+            if i % 2 == 0 {
+                a_labels.push(l);
+            } else {
+                b_labels.push(l);
+            }
+        }
+        let a_major = majority(&a_labels);
+        let b_major = majority(&b_labels);
+        assert_ne!(a_major, b_major, "squares merged");
+        assert!(a_major >= 0 && b_major >= 0);
+        let agree = labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| l == if i % 2 == 0 { a_major } else { b_major })
+            .count();
+        assert!(
+            agree as f64 / ds.len() as f64 > 0.95,
+            "only {agree}/{} correctly clustered",
+            ds.len()
+        );
+    }
+
+    fn majority(labels: &[i32]) -> i32 {
+        let mut counts = std::collections::HashMap::new();
+        for &l in labels {
+            *counts.entry(l).or_insert(0usize) += 1;
+        }
+        counts.into_iter().max_by_key(|&(_, c)| c).map(|(l, _)| l).unwrap()
+    }
+
+    #[test]
+    fn sa_bubbles_recovers_structure() {
+        let ds = two_squares();
+        let out = optics_sa_bubbles(&ds, 40, 7, &params()).unwrap();
+        assert_eq!(out.n_representatives, 40);
+        let expanded = out.expanded.as_ref().unwrap();
+        assert_eq!(expanded.len(), ds.len());
+        two_cluster_check(&expanded.extract_dbscan(5.0), &ds);
+    }
+
+    #[test]
+    fn cf_bubbles_recovers_structure() {
+        let ds = two_squares();
+        let out = optics_cf_bubbles(&ds, 40, &BirchParams::default(), &params()).unwrap();
+        assert!(out.n_representatives <= 40);
+        assert!(out.n_representatives >= 2);
+        let expanded = out.expanded.as_ref().unwrap();
+        assert_eq!(expanded.len(), ds.len());
+        two_cluster_check(&expanded.extract_dbscan(5.0), &ds);
+    }
+
+    #[test]
+    fn weighted_variants_recover_all_objects() {
+        let ds = two_squares();
+        for out in [
+            optics_sa_weighted(&ds, 40, 7, &params()).unwrap(),
+            optics_cf_weighted(&ds, 40, &BirchParams::default(), &params()).unwrap(),
+        ] {
+            let expanded = out.expanded.as_ref().unwrap();
+            assert_eq!(expanded.len(), ds.len());
+            let mut order = expanded.order();
+            order.sort_unstable();
+            assert_eq!(order, (0..ds.len() as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn naive_variants_lose_objects() {
+        let ds = two_squares();
+        let sa = optics_sa_naive(&ds, 40, 7, &params()).unwrap();
+        assert!(sa.expanded.is_none());
+        assert_eq!(sa.rep_ordering.len(), 40);
+        let cf = optics_cf_naive(&ds, 40, &BirchParams::default(), &params()).unwrap();
+        assert!(cf.expanded.is_none());
+        assert!(cf.rep_ordering.len() <= 40);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let ds = two_squares();
+        let out = optics_sa_bubbles(&ds, 30, 1, &params()).unwrap();
+        assert!(out.timings.total() >= out.timings.clustering);
+        assert!(out.timings.compression > Duration::ZERO);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let empty = Dataset::new(2).unwrap();
+        assert_eq!(
+            run_pipeline(
+                &empty,
+                &PipelineConfig {
+                    k: 5,
+                    compressor: Compressor::Sample { seed: 0 },
+                    recovery: Recovery::Naive,
+                    optics: params(),
+                }
+            )
+            .unwrap_err(),
+            PipelineError::EmptyDataset
+        );
+        let ds = two_squares();
+        assert_eq!(
+            optics_sa_naive(&ds, 0, 0, &params()).unwrap_err(),
+            PipelineError::ZeroK
+        );
+        assert!(matches!(
+            optics_sa_naive(&ds, ds.len() + 1, 0, &params()).unwrap_err(),
+            PipelineError::Sampling(_)
+        ));
+        // Display impls.
+        assert!(PipelineError::EmptyDataset.to_string().contains("empty"));
+        assert!(PipelineError::ZeroK.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn bfr_compressor_pipeline_recovers_structure() {
+        let ds = two_squares();
+        let out = run_pipeline(
+            &ds,
+            &PipelineConfig {
+                k: 40, // advisory only for BFR
+                compressor: Compressor::Bfr(db_sampling::BfrParams {
+                    primary_clusters: 16,
+                    ..db_sampling::BfrParams::default()
+                }),
+                recovery: Recovery::Bubbles,
+                optics: params(),
+            },
+        )
+        .unwrap();
+        let expanded = out.expanded.as_ref().unwrap();
+        assert_eq!(expanded.len(), ds.len());
+        two_cluster_check(&expanded.extract_dbscan(5.0), &ds);
+    }
+
+    #[test]
+    fn squash_compressor_pipeline_recovers_structure() {
+        let ds = two_squares();
+        let out = run_pipeline(
+            &ds,
+            &PipelineConfig {
+                k: 1, // ignored by GridSquash
+                compressor: Compressor::GridSquash { bins_per_dim: 24 },
+                recovery: Recovery::Bubbles,
+                optics: params(),
+            },
+        )
+        .unwrap();
+        let expanded = out.expanded.as_ref().unwrap();
+        assert_eq!(expanded.len(), ds.len());
+        two_cluster_check(&expanded.extract_dbscan(5.0), &ds);
+        // Squash keeps exact membership: the representative count equals
+        // the number of occupied regions.
+        assert!(out.n_representatives > 2);
+    }
+
+    #[test]
+    fn naive_sa_sample_matches_weighted_sample() {
+        // The naive and weighted SA variants draw the same sample for the
+        // same seed (step 1 is shared), so their rep orderings coincide.
+        let ds = two_squares();
+        let naive = optics_sa_naive(&ds, 25, 3, &params()).unwrap();
+        let weighted = optics_sa_weighted(&ds, 25, 3, &params()).unwrap();
+        let ids_n: Vec<usize> = naive.rep_ordering.entries.iter().map(|e| e.id).collect();
+        let ids_w: Vec<usize> = weighted.rep_ordering.entries.iter().map(|e| e.id).collect();
+        assert_eq!(ids_n, ids_w);
+    }
+
+    #[test]
+    fn bubble_jump_is_preserved_in_expansion() {
+        let ds = two_squares();
+        let out = optics_sa_bubbles(&ds, 40, 11, &params()).unwrap();
+        let expanded = out.expanded.unwrap();
+        let reach = expanded.reachabilities();
+        // Exactly one inter-cluster jump of ~200 among the finite values.
+        let big = reach.iter().filter(|r| r.is_finite() && **r > 100.0).count();
+        assert_eq!(big, 1, "expected exactly one big jump");
+    }
+}

@@ -1,0 +1,248 @@
+//! [`BubbleSpace`]: the [`OpticsSpace`] implementation over Data Bubbles
+//! (Definitions 6–8), letting the unmodified OPTICS walk cluster bubbles.
+
+use db_optics::OpticsSpace;
+use db_spatial::Neighbor;
+
+use crate::bubble::DataBubble;
+use crate::distance::bubble_distance;
+
+/// A set of Data Bubbles viewed as an OPTICS object space.
+///
+/// Neighbourhood queries are exhaustive O(k): "Because of the rather
+/// complex distance measure between Data Bubbles, we cannot use an index…
+/// it runs in O(k·k). However, the purpose of our approach is to make k
+/// very small so that this is acceptable" (paper §8).
+#[derive(Debug, Clone)]
+pub struct BubbleSpace {
+    bubbles: Vec<DataBubble>,
+}
+
+impl BubbleSpace {
+    /// Creates the space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bubbles have inconsistent dimensionality.
+    pub fn new(bubbles: Vec<DataBubble>) -> Self {
+        if let Some(first) = bubbles.first() {
+            let dim = first.dim();
+            assert!(
+                bubbles.iter().all(|b| b.dim() == dim),
+                "all bubbles must share one dimensionality"
+            );
+        }
+        Self { bubbles }
+    }
+
+    /// The bubbles, in id order.
+    pub fn bubbles(&self) -> &[DataBubble] {
+        &self.bubbles
+    }
+
+    /// The bubble with id `i`.
+    pub fn bubble(&self, i: usize) -> &DataBubble {
+        &self.bubbles[i]
+    }
+
+    /// Definition 7 applied outside a walk: the core-distance of bubble `i`
+    /// with an unbounded ε (used for the virtual reachability of
+    /// sub-MinPts bubbles during expansion).
+    pub fn core_distance_unbounded(&self, i: usize, min_pts: usize) -> Option<f64> {
+        let mut nb = Vec::with_capacity(self.bubbles.len());
+        self.neighborhood(i, f64::INFINITY, &mut nb);
+        self.core_distance(i, min_pts, &nb)
+    }
+}
+
+impl OpticsSpace for BubbleSpace {
+    fn len(&self) -> usize {
+        self.bubbles.len()
+    }
+
+    fn neighborhood(&self, i: usize, eps: f64, out: &mut Vec<Neighbor>) {
+        out.clear();
+        let b = &self.bubbles[i];
+        for (j, c) in self.bubbles.iter().enumerate() {
+            let d = bubble_distance(b, c, i == j);
+            if d <= eps {
+                out.push(Neighbor::new(j, d));
+            }
+        }
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    }
+
+    fn weight(&self, i: usize) -> u64 {
+        self.bubbles[i].n()
+    }
+
+    /// Definition 7. With the neighbourhood sorted ascending by distance:
+    ///
+    /// * ∞ (None) when the bubbles within ε together hold < MinPts points;
+    /// * `nndist(MinPts, B)` when the bubble itself holds ≥ MinPts points
+    ///   (the common case);
+    /// * otherwise `dist(B, C) + nndist(k, C)` where `C` is the closest
+    ///   bubble at which the cumulative point count reaches MinPts and
+    ///   `k = MinPts −` (points of all bubbles strictly closer than `C`).
+    fn core_distance(&self, i: usize, min_pts: usize, neighborhood: &[Neighbor]) -> Option<f64> {
+        let min_pts = min_pts as u64;
+        let total: u64 = neighborhood.iter().map(|nb| self.bubbles[nb.id].n()).sum();
+        if total < min_pts {
+            return None;
+        }
+        let b = &self.bubbles[i];
+        if b.n() >= min_pts {
+            return Some(b.nndist(min_pts));
+        }
+        // Rare case: accumulate neighbours (the bubble itself is the first
+        // entry at distance 0) until MinPts points are covered.
+        let mut cumulative = 0u64;
+        for nb in neighborhood {
+            let c = &self.bubbles[nb.id];
+            if cumulative + c.n() >= min_pts {
+                let k = min_pts - cumulative;
+                return Some(nb.dist + c.nndist(k));
+            }
+            cumulative += c.n();
+        }
+        unreachable!("total >= min_pts guarantees the loop terminates");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn singleton(x: f64) -> DataBubble {
+        DataBubble::new(vec![x, 0.0], 1, 0.0)
+    }
+
+    fn space_three_groups() -> BubbleSpace {
+        BubbleSpace::new(vec![
+            DataBubble::new(vec![0.0, 0.0], 100, 1.0),
+            DataBubble::new(vec![5.0, 0.0], 50, 1.0),
+            DataBubble::new(vec![100.0, 0.0], 80, 2.0),
+        ])
+    }
+
+    #[test]
+    fn neighborhood_sorted_includes_self_first() {
+        let s = space_three_groups();
+        let mut out = Vec::new();
+        s.neighborhood(1, 10.0, &mut out);
+        assert_eq!(out[0].id, 1);
+        assert_eq!(out[0].dist, 0.0);
+        assert_eq!(out.len(), 2); // self and bubble 0; bubble 2 is too far
+        assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn weights_are_bubble_counts() {
+        let s = space_three_groups();
+        assert_eq!(s.weight(0), 100);
+        assert_eq!(s.weight(2), 80);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn core_distance_common_case_is_nndist() {
+        let s = space_three_groups();
+        let mut nb = Vec::new();
+        s.neighborhood(0, 10.0, &mut nb);
+        // Bubble 0 holds 100 >= MinPts=10 points.
+        let core = s.core_distance(0, 10, &nb).unwrap();
+        assert!((core - s.bubble(0).nndist(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_distance_undefined_when_sparse() {
+        // Three singleton bubbles far apart; eps small -> only self in the
+        // neighbourhood -> 1 point < MinPts=2.
+        let s = BubbleSpace::new(vec![singleton(0.0), singleton(50.0), singleton(100.0)]);
+        let mut nb = Vec::new();
+        s.neighborhood(0, 1.0, &mut nb);
+        assert_eq!(nb.len(), 1);
+        assert!(s.core_distance(0, 2, &nb).is_none());
+    }
+
+    #[test]
+    fn core_distance_rare_case_accumulates_neighbours() {
+        // Bubble 0 is a singleton; MinPts=5 must borrow 4 points from the
+        // closest bubble holding >= 4.
+        let b0 = singleton(0.0);
+        let b1 = DataBubble::new(vec![10.0, 0.0], 100, 2.0);
+        let s = BubbleSpace::new(vec![b0, b1.clone()]);
+        let mut nb = Vec::new();
+        s.neighborhood(0, 100.0, &mut nb);
+        let core = s.core_distance(0, 5, &nb).unwrap();
+        let d01 = bubble_distance(s.bubble(0), &b1, false);
+        assert!((core - (d01 + b1.nndist(4))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_distance_rare_case_multiple_hops() {
+        // Singletons at 0, 1, 2, 3 and MinPts=3: the third-closest bubble
+        // (distance 2) supplies the last point, k = 1, nndist(1)=0.
+        let s = BubbleSpace::new(vec![
+            singleton(0.0),
+            singleton(1.0),
+            singleton(2.0),
+            singleton(3.0),
+        ]);
+        let mut nb = Vec::new();
+        s.neighborhood(0, 100.0, &mut nb);
+        let core = s.core_distance(0, 3, &nb).unwrap();
+        assert!((core - 2.0).abs() < 1e-12, "core {core}");
+    }
+
+    #[test]
+    fn core_distance_unbounded_matches_manual() {
+        let s = space_three_groups();
+        let mut nb = Vec::new();
+        s.neighborhood(2, f64::INFINITY, &mut nb);
+        assert_eq!(s.core_distance_unbounded(2, 10), s.core_distance(2, 10, &nb));
+    }
+
+    #[test]
+    fn optics_over_bubbles_groups_nearby_bubbles() {
+        use db_optics::{optics, OpticsParams};
+        // Two groups of bubbles: around x=0 and x=100.
+        let s = BubbleSpace::new(vec![
+            DataBubble::new(vec![0.0, 0.0], 40, 1.0),
+            DataBubble::new(vec![2.0, 0.0], 40, 1.0),
+            DataBubble::new(vec![4.0, 0.0], 40, 1.0),
+            DataBubble::new(vec![100.0, 0.0], 40, 1.0),
+            DataBubble::new(vec![102.0, 0.0], 40, 1.0),
+        ]);
+        let o = optics(&s, &OpticsParams { eps: f64::INFINITY, min_pts: 20 });
+        assert_eq!(o.len(), 5);
+        // Walk order keeps each group contiguous.
+        let walk: Vec<usize> = o.entries.iter().map(|e| e.id).collect();
+        let group: Vec<bool> = walk.iter().map(|&id| id < 3).collect();
+        assert!(group.windows(2).filter(|w| w[0] != w[1]).count() <= 1);
+        // There is one big reachability jump (between the groups).
+        let jumps = o
+            .entries
+            .iter()
+            .filter(|e| e.has_reachability() && e.reachability > 50.0)
+            .count();
+        assert_eq!(jumps, 1);
+        // Weights carried through.
+        assert_eq!(o.total_weight(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimensionality")]
+    fn mixed_dims_panic() {
+        BubbleSpace::new(vec![
+            DataBubble::new(vec![0.0], 1, 0.0),
+            DataBubble::new(vec![0.0, 0.0], 1, 0.0),
+        ]);
+    }
+
+    #[test]
+    fn empty_space_is_fine() {
+        let s = BubbleSpace::new(vec![]);
+        assert!(s.is_empty());
+    }
+}

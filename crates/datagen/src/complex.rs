@@ -1,0 +1,192 @@
+//! Arbitrarily shaped 2-d clusters (rings, moons, spirals) — the cluster
+//! shapes density-based methods handle and centroid methods cannot (the
+//! contrast the OPTICS line of work is motivated by). Used by examples and
+//! tests that check Data Bubbles preserve *non-convex* structure.
+
+use crate::ds1::shuffle_in_unison;
+use crate::labeled::{LabeledDataset, NOISE_LABEL};
+use crate::rng::Rng;
+use crate::shapes;
+use db_spatial::Dataset;
+
+/// Parameters for [`nested_rings`].
+#[derive(Debug, Clone)]
+pub struct RingsParams {
+    /// Total number of points.
+    pub n: usize,
+    /// Radii of the concentric rings (each gets an equal share).
+    pub radii: Vec<f64>,
+    /// Gaussian thickness of each ring.
+    pub thickness: f64,
+    /// Fraction of uniform background noise.
+    pub noise_fraction: f64,
+}
+
+impl Default for RingsParams {
+    fn default() -> Self {
+        Self { n: 10_000, radii: vec![5.0, 15.0, 30.0], thickness: 0.5, noise_fraction: 0.02 }
+    }
+}
+
+/// Concentric rings around the origin: cluster `i` lies on
+/// `radii[i] ± thickness`. A centroid-based method merges them (all share
+/// the same mean); a density-based method separates them.
+///
+/// # Panics
+///
+/// Panics if `radii` is empty or `noise_fraction ∉ [0, 1)`.
+pub fn nested_rings(params: &RingsParams, seed: u64) -> LabeledDataset {
+    assert!(!params.radii.is_empty(), "need at least one ring");
+    assert!((0.0..1.0).contains(&params.noise_fraction), "noise_fraction must be in [0,1)");
+    let mut rng = Rng::new(seed);
+    let n_noise = (params.n as f64 * params.noise_fraction).round() as usize;
+    let counts =
+        shapes::partition_counts(params.n - n_noise, &vec![1.0; params.radii.len()]);
+    let mut data = Dataset::with_capacity(2, params.n).expect("dim > 0");
+    let mut labels = Vec::with_capacity(params.n);
+    for (label, (&count, &radius)) in counts.iter().zip(&params.radii).enumerate() {
+        for _ in 0..count {
+            let theta = rng.uniform_in(0.0, std::f64::consts::TAU);
+            let r = radius + rng.gaussian_with(0.0, params.thickness);
+            data.push(&[r * theta.cos(), r * theta.sin()]).expect("dim matches");
+            labels.push(label as i32);
+        }
+    }
+    let extent = params.radii.iter().copied().fold(0.0f64, f64::max) * 1.3;
+    let mut p = Vec::with_capacity(2);
+    for _ in 0..n_noise {
+        shapes::uniform_box(&mut rng, &[-extent, -extent], &[extent, extent], &mut p);
+        data.push(&p).expect("dim matches");
+        labels.push(NOISE_LABEL);
+    }
+    shuffle_in_unison(&mut rng, data, labels)
+}
+
+/// The classic "two moons": two interleaved half-circles that no single
+/// linear/centroidal split separates.
+pub fn two_moons(n: usize, noise_std: f64, seed: u64) -> LabeledDataset {
+    let mut rng = Rng::new(seed);
+    let counts = shapes::partition_counts(n, &[1.0, 1.0]);
+    let mut data = Dataset::with_capacity(2, n).expect("dim > 0");
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..counts[0] {
+        let t = rng.uniform_in(0.0, std::f64::consts::PI);
+        data.push(&[
+            t.cos() + rng.gaussian_with(0.0, noise_std),
+            t.sin() + rng.gaussian_with(0.0, noise_std),
+        ])
+        .expect("dim matches");
+        labels.push(0);
+    }
+    for _ in 0..counts[1] {
+        let t = rng.uniform_in(0.0, std::f64::consts::PI);
+        data.push(&[
+            1.0 - t.cos() + rng.gaussian_with(0.0, noise_std),
+            0.5 - t.sin() + rng.gaussian_with(0.0, noise_std),
+        ])
+        .expect("dim matches");
+        labels.push(1);
+    }
+    shuffle_in_unison(&mut rng, data, labels)
+}
+
+/// Two interleaved Archimedean spirals.
+pub fn two_spirals(n: usize, turns: f64, noise_std: f64, seed: u64) -> LabeledDataset {
+    let mut rng = Rng::new(seed);
+    let counts = shapes::partition_counts(n, &[1.0, 1.0]);
+    let mut data = Dataset::with_capacity(2, n).expect("dim > 0");
+    let mut labels = Vec::with_capacity(n);
+    for (label, &count) in counts.iter().enumerate() {
+        let phase = label as f64 * std::f64::consts::PI;
+        for _ in 0..count {
+            let t = rng.uniform_in(0.25, 1.0);
+            let angle = t * turns * std::f64::consts::TAU + phase;
+            let r = t * 10.0;
+            data.push(&[
+                r * angle.cos() + rng.gaussian_with(0.0, noise_std),
+                r * angle.sin() + rng.gaussian_with(0.0, noise_std),
+            ])
+            .expect("dim matches");
+            labels.push(label as i32);
+        }
+    }
+    shuffle_in_unison(&mut rng, data, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rings_lie_on_their_radii() {
+        let params = RingsParams {
+            n: 3_000,
+            radii: vec![5.0, 20.0],
+            thickness: 0.3,
+            noise_fraction: 0.0,
+        };
+        let l = nested_rings(&params, 1);
+        assert_eq!(l.n_clusters(), 2);
+        for (i, &lab) in l.labels.iter().enumerate() {
+            let p = l.data.point(i);
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            let expected = params.radii[lab as usize];
+            assert!(
+                (r - expected).abs() < 5.0 * params.thickness,
+                "point at radius {r}, expected ring {expected}"
+            );
+        }
+        // All rings share the same centroid (the death of k-means).
+        let c = l.data.centroid().unwrap();
+        assert!(c[0].abs() < 1.0 && c[1].abs() < 1.0);
+    }
+
+    #[test]
+    fn rings_include_noise() {
+        let l = nested_rings(
+            &RingsParams { n: 1_000, noise_fraction: 0.1, ..RingsParams::default() },
+            2,
+        );
+        assert!((80..=120).contains(&l.n_noise()), "noise {}", l.n_noise());
+    }
+
+    #[test]
+    fn moons_interleave() {
+        let l = two_moons(2_000, 0.05, 3);
+        assert_eq!(l.n_clusters(), 2);
+        assert_eq!(l.len(), 2_000);
+        // The bounding boxes of the two moons overlap horizontally.
+        let xs0: Vec<f64> = (0..l.len())
+            .filter(|&i| l.labels[i] == 0)
+            .map(|i| l.data.point(i)[0])
+            .collect();
+        let xs1: Vec<f64> = (0..l.len())
+            .filter(|&i| l.labels[i] == 1)
+            .map(|i| l.data.point(i)[0])
+            .collect();
+        let max0 = xs0.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min1 = xs1.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(min1 < max0, "moons do not interleave");
+    }
+
+    #[test]
+    fn spirals_have_two_arms() {
+        let l = two_spirals(2_000, 1.5, 0.05, 4);
+        assert_eq!(l.n_clusters(), 2);
+        assert_eq!(l.cluster_sizes(), vec![1_000, 1_000]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = RingsParams::default();
+        assert_eq!(nested_rings(&p, 9), nested_rings(&p, 9));
+        assert_eq!(two_moons(500, 0.1, 9), two_moons(500, 0.1, 9));
+        assert_eq!(two_spirals(500, 2.0, 0.1, 9), two_spirals(500, 2.0, 0.1, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ring")]
+    fn empty_radii_panics() {
+        nested_rings(&RingsParams { radii: vec![], ..RingsParams::default() }, 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! DS1: the paper's 2-d benchmark with *nested* clusters of different
+//! densities and distributions (uniform and Gaussian) plus noise
+//! (1,000,000 points in the paper).
+//!
+//! The exact generator of the paper is unpublished; this reconstruction
+//! follows its description (§3, Fig. 4a): several top-level clusters, some
+//! containing denser sub-clusters, drawn from uniform (disk/box) and
+//! Gaussian distributions, embedded in uniform background noise. The
+//! component table is fixed so the hierarchical structure — and therefore
+//! the qualitative reachability plot — is stable across sizes and seeds.
+
+use crate::labeled::{LabeledDataset, NOISE_LABEL};
+use crate::rng::Rng;
+use crate::shapes;
+use db_spatial::Dataset;
+
+/// Parameters for [`ds1`].
+#[derive(Debug, Clone)]
+pub struct Ds1Params {
+    /// Total number of points (paper: 1,000,000).
+    pub n: usize,
+    /// Fraction of points that are uniform background noise (paper shows a
+    /// visible noise floor; we default to 9%).
+    pub noise_fraction: f64,
+}
+
+impl Default for Ds1Params {
+    fn default() -> Self {
+        Self { n: 1_000_000, noise_fraction: 0.09 }
+    }
+}
+
+/// The shape of one DS1 component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ds1Shape {
+    /// Uniform density disk: center, radius.
+    UniformDisk { cx: f64, cy: f64, r: f64 },
+    /// Uniform density axis-aligned box.
+    UniformBox { x0: f64, y0: f64, x1: f64, y1: f64 },
+    /// Isotropic Gaussian: center, standard deviation.
+    Gaussian { cx: f64, cy: f64, sigma: f64 },
+}
+
+/// One DS1 cluster component with its mixture weight, ground-truth label and
+/// (for nested sub-clusters) the label of the enclosing top-level cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ds1Component {
+    /// Shape and placement.
+    pub shape: Ds1Shape,
+    /// Fraction of non-noise points drawn from this component.
+    pub weight: f64,
+    /// Ground-truth label (index into [`DS1_COMPONENTS`]).
+    pub label: i32,
+    /// Label of the top-level parent, or `None` for top-level components.
+    pub parent: Option<i32>,
+}
+
+/// The fixed component table of DS1 (domain `[0, 100]^2`).
+///
+/// Hierarchy: A (disk, labels 1–2 nested), B (Gaussian, labels 4–5 nested),
+/// C (box, labels 7–8 nested), D (free-standing Gaussian).
+pub const DS1_COMPONENTS: &[Ds1Component] = &[
+    // A: large sparse uniform disk with two dense children.
+    Ds1Component {
+        shape: Ds1Shape::UniformDisk { cx: 25.0, cy: 70.0, r: 12.0 },
+        weight: 0.20,
+        label: 0,
+        parent: None,
+    },
+    Ds1Component {
+        shape: Ds1Shape::Gaussian { cx: 20.0, cy: 66.0, sigma: 1.2 },
+        weight: 0.065,
+        label: 1,
+        parent: Some(0),
+    },
+    Ds1Component {
+        shape: Ds1Shape::UniformDisk { cx: 30.0, cy: 74.0, r: 2.5 },
+        weight: 0.055,
+        label: 2,
+        parent: Some(0),
+    },
+    // B: broad Gaussian with two tight Gaussian children.
+    Ds1Component {
+        shape: Ds1Shape::Gaussian { cx: 70.0, cy: 70.0, sigma: 6.0 },
+        weight: 0.165,
+        label: 3,
+        parent: None,
+    },
+    Ds1Component {
+        shape: Ds1Shape::Gaussian { cx: 66.0, cy: 68.0, sigma: 0.8 },
+        weight: 0.055,
+        label: 4,
+        parent: Some(3),
+    },
+    Ds1Component {
+        shape: Ds1Shape::Gaussian { cx: 75.0, cy: 73.0, sigma: 1.0 },
+        weight: 0.055,
+        label: 5,
+        parent: Some(3),
+    },
+    // C: uniform box with two dense Gaussian children.
+    Ds1Component {
+        shape: Ds1Shape::UniformBox { x0: 55.0, y0: 15.0, x1: 90.0, y1: 35.0 },
+        weight: 0.13,
+        label: 6,
+        parent: None,
+    },
+    Ds1Component {
+        shape: Ds1Shape::Gaussian { cx: 62.0, cy: 25.0, sigma: 1.5 },
+        weight: 0.065,
+        label: 7,
+        parent: Some(6),
+    },
+    Ds1Component {
+        shape: Ds1Shape::Gaussian { cx: 80.0, cy: 28.0, sigma: 1.2 },
+        weight: 0.055,
+        label: 8,
+        parent: Some(6),
+    },
+    // D: a free-standing medium Gaussian.
+    Ds1Component {
+        shape: Ds1Shape::Gaussian { cx: 20.0, cy: 25.0, sigma: 3.0 },
+        weight: 0.155,
+        label: 9,
+        parent: None,
+    },
+];
+
+/// Generates DS1. Points are shuffled, so any prefix is an unbiased
+/// subsample (used by the size-scaling experiment of Fig. 17).
+///
+/// # Panics
+///
+/// Panics if `noise_fraction` is outside `[0, 1)`.
+pub fn ds1(params: &Ds1Params, seed: u64) -> LabeledDataset {
+    assert!(
+        (0.0..1.0).contains(&params.noise_fraction),
+        "noise_fraction must be in [0,1), got {}",
+        params.noise_fraction
+    );
+    let mut rng = Rng::new(seed);
+    let n_noise = (params.n as f64 * params.noise_fraction).round() as usize;
+    let n_clustered = params.n - n_noise;
+
+    let weights: Vec<f64> = DS1_COMPONENTS.iter().map(|c| c.weight).collect();
+    let counts = shapes::partition_counts(n_clustered, &weights);
+
+    let mut data = Dataset::with_capacity(2, params.n).expect("dim > 0");
+    let mut labels: Vec<i32> = Vec::with_capacity(params.n);
+    let mut p = Vec::with_capacity(2);
+
+    for (comp, &count) in DS1_COMPONENTS.iter().zip(&counts) {
+        for _ in 0..count {
+            match comp.shape {
+                Ds1Shape::UniformDisk { cx, cy, r } => {
+                    shapes::uniform_ball(&mut rng, &[cx, cy], r, &mut p)
+                }
+                Ds1Shape::UniformBox { x0, y0, x1, y1 } => {
+                    shapes::uniform_box(&mut rng, &[x0, y0], &[x1, y1], &mut p)
+                }
+                Ds1Shape::Gaussian { cx, cy, sigma } => {
+                    shapes::gaussian_blob(&mut rng, &[cx, cy], sigma, &mut p)
+                }
+            }
+            data.push(&p).expect("dim matches");
+            labels.push(comp.label);
+        }
+    }
+    for _ in 0..n_noise {
+        shapes::uniform_box(&mut rng, &[0.0, 0.0], &[100.0, 100.0], &mut p);
+        data.push(&p).expect("dim matches");
+    }
+    labels.extend(std::iter::repeat_n(NOISE_LABEL, n_noise));
+
+    shuffle_in_unison(&mut rng, data, labels)
+}
+
+/// Shuffles points and labels with the same permutation.
+pub(crate) fn shuffle_in_unison(
+    rng: &mut Rng,
+    data: Dataset,
+    labels: Vec<i32>,
+) -> LabeledDataset {
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    rng.shuffle(&mut order);
+    let shuffled = data.subset(&order);
+    let shuffled_labels: Vec<i32> = order.iter().map(|&i| labels[i]).collect();
+    LabeledDataset::new(shuffled, shuffled_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = DS1_COMPONENTS.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12, "weights sum to {total}");
+    }
+
+    #[test]
+    fn parents_are_top_level() {
+        for c in DS1_COMPONENTS {
+            if let Some(p) = c.parent {
+                let parent = &DS1_COMPONENTS[p as usize];
+                assert_eq!(parent.label, p);
+                assert!(parent.parent.is_none(), "nesting is only one level deep");
+            }
+        }
+    }
+
+    #[test]
+    fn generates_requested_size_with_labels() {
+        let l = ds1(&Ds1Params { n: 5_000, noise_fraction: 0.1 }, 42);
+        assert_eq!(l.len(), 5_000);
+        assert_eq!(l.data.dim(), 2);
+        assert_eq!(l.n_clusters(), DS1_COMPONENTS.len());
+        let noise = l.n_noise();
+        assert!((450..=550).contains(&noise), "noise {noise}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ds1(&Ds1Params { n: 1_000, noise_fraction: 0.05 }, 7);
+        let b = ds1(&Ds1Params { n: 1_000, noise_fraction: 0.05 }, 7);
+        assert_eq!(a, b);
+        let c = ds1(&Ds1Params { n: 1_000, noise_fraction: 0.05 }, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nested_components_lie_inside_parents() {
+        // The dense disk child of A (label 2) must lie within A's disk.
+        let l = ds1(&Ds1Params { n: 20_000, noise_fraction: 0.0 }, 3);
+        for (i, &lab) in l.labels.iter().enumerate() {
+            if lab == 2 {
+                let p = l.data.point(i);
+                let d = db_spatial::euclidean(p, &[25.0, 70.0]);
+                assert!(d <= 12.0 + 1e-9, "child point escapes parent disk: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_subsample_keeps_structure() {
+        let l = ds1(&Ds1Params { n: 10_000, noise_fraction: 0.05 }, 5);
+        let half = l.prefix(5_000);
+        // The shuffle means a prefix still contains every component.
+        assert_eq!(half.n_clusters(), DS1_COMPONENTS.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "noise_fraction")]
+    fn rejects_bad_noise_fraction() {
+        ds1(&Ds1Params { n: 100, noise_fraction: 1.5 }, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! DS2: five well-separated Gaussian clusters of equal size (the paper uses
+//! 100,000 points, 20,000 per cluster; §3, Fig. 4b).
+
+use crate::ds1::shuffle_in_unison;
+use crate::labeled::LabeledDataset;
+use crate::rng::Rng;
+use crate::shapes;
+use db_spatial::Dataset;
+
+/// Parameters for [`ds2`].
+#[derive(Debug, Clone)]
+pub struct Ds2Params {
+    /// Total number of points (paper: 100,000).
+    pub n: usize,
+    /// Standard deviation of each Gaussian cluster.
+    pub sigma: f64,
+}
+
+impl Default for Ds2Params {
+    fn default() -> Self {
+        Self { n: 100_000, sigma: 2.0 }
+    }
+}
+
+/// Cluster centers of DS2 (domain `[0, 100]^2`), chosen well separated as in
+/// the paper ("the clusters in this data set are well separated").
+pub(crate) const DS2_CENTERS: [[f64; 2]; 5] =
+    [[15.0, 15.0], [80.0, 20.0], [50.0, 50.0], [20.0, 85.0], [85.0, 80.0]];
+
+/// Generates DS2: 5 equal-sized Gaussian clusters, shuffled.
+pub fn ds2(params: &Ds2Params, seed: u64) -> LabeledDataset {
+    let mut rng = Rng::new(seed);
+    let counts = shapes::partition_counts(params.n, &[1.0; 5]);
+    let mut data = Dataset::with_capacity(2, params.n).expect("dim > 0");
+    let mut labels = Vec::with_capacity(params.n);
+    let mut p = Vec::with_capacity(2);
+    for (label, (&count, center)) in counts.iter().zip(DS2_CENTERS.iter()).enumerate() {
+        for _ in 0..count {
+            shapes::gaussian_blob(&mut rng, center, params.sigma, &mut p);
+            data.push(&p).expect("dim matches");
+            labels.push(label as i32);
+        }
+    }
+    shuffle_in_unison(&mut rng, data, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_equal_clusters_no_noise() {
+        let l = ds2(&Ds2Params { n: 10_000, sigma: 2.0 }, 1);
+        assert_eq!(l.len(), 10_000);
+        assert_eq!(l.n_clusters(), 5);
+        assert_eq!(l.n_noise(), 0);
+        assert_eq!(l.cluster_sizes(), vec![2_000; 5]);
+    }
+
+    #[test]
+    fn uneven_n_still_sums() {
+        let l = ds2(&Ds2Params { n: 10_003, sigma: 1.0 }, 2);
+        assert_eq!(l.cluster_sizes().iter().sum::<usize>(), 10_003);
+    }
+
+    #[test]
+    fn clusters_are_around_their_centers() {
+        let l = ds2(&Ds2Params { n: 5_000, sigma: 2.0 }, 3);
+        let mut sums = [[0.0f64; 2]; 5];
+        let mut counts = [0usize; 5];
+        for (i, &lab) in l.labels.iter().enumerate() {
+            let p = l.data.point(i);
+            sums[lab as usize][0] += p[0];
+            sums[lab as usize][1] += p[1];
+            counts[lab as usize] += 1;
+        }
+        for c in 0..5 {
+            let mx = sums[c][0] / counts[c] as f64;
+            let my = sums[c][1] / counts[c] as f64;
+            assert!((mx - DS2_CENTERS[c][0]).abs() < 0.5, "cluster {c} mean x {mx}");
+            assert!((my - DS2_CENTERS[c][1]).abs() < 0.5, "cluster {c} mean y {my}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            ds2(&Ds2Params { n: 500, sigma: 2.0 }, 9),
+            ds2(&Ds2Params { n: 500, sigma: 2.0 }, 9)
+        );
+    }
+}

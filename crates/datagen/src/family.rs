@@ -1,0 +1,191 @@
+//! The dimension-scaling workload of §9.1/§9.2: `k` Gaussian clusters of
+//! random location and random size in `d` dimensions.
+//!
+//! The paper generates these so that "the 10-dim data set is equal to the
+//! 20-dim data set projected onto the first 10 dimensions". We reproduce
+//! that: generate once at `max_dim` and obtain lower-dimensional variants
+//! with [`crate::LabeledDataset::project`].
+
+use crate::ds1::shuffle_in_unison;
+use crate::labeled::LabeledDataset;
+use crate::rng::Rng;
+use crate::shapes;
+use db_spatial::Dataset;
+
+/// Parameters for [`gaussian_family`].
+#[derive(Debug, Clone)]
+pub struct GaussianFamilyParams {
+    /// Total number of points (paper: 1,000,000).
+    pub n: usize,
+    /// Dimensionality to generate at (paper: up to 20). Project down for
+    /// the lower-dimensional variants.
+    pub dim: usize,
+    /// Number of Gaussian clusters (paper: 15).
+    pub clusters: usize,
+    /// Range of cluster standard deviations (drawn uniformly per cluster).
+    pub sigma_range: (f64, f64),
+    /// Side length of the cube cluster centers are drawn from.
+    pub domain: f64,
+    /// Minimum pairwise center distance, as a multiple of the larger of the
+    /// two clusters' σ. Ensures clusters are separable, as the paper's
+    /// plots (15 clean dents) imply.
+    pub min_separation_sigmas: f64,
+}
+
+impl Default for GaussianFamilyParams {
+    fn default() -> Self {
+        Self {
+            n: 1_000_000,
+            dim: 20,
+            clusters: 15,
+            sigma_range: (1.0, 3.0),
+            domain: 100.0,
+            min_separation_sigmas: 8.0,
+        }
+    }
+}
+
+/// Generates the Gaussian-cluster family: `clusters` isotropic Gaussians
+/// with random centers (rejection-sampled for separation) and random sizes
+/// (mixture weights drawn uniformly from `[0.5, 1.5]` and normalized, so
+/// clusters differ in size by up to 3×, "randomly sized").
+///
+/// # Panics
+///
+/// Panics if `dim == 0`, `clusters == 0`, or the separation constraint
+/// cannot be satisfied within the domain after many attempts.
+pub fn gaussian_family(params: &GaussianFamilyParams, seed: u64) -> LabeledDataset {
+    assert!(params.dim > 0, "dim must be positive");
+    assert!(params.clusters > 0, "clusters must be positive");
+    let mut rng = Rng::new(seed);
+
+    // Cluster σ values.
+    let sigmas: Vec<f64> = (0..params.clusters)
+        .map(|_| rng.uniform_in(params.sigma_range.0, params.sigma_range.1))
+        .collect();
+
+    // Rejection-sample separated centers. Separation is checked in the
+    // *lowest projected* dimensionality callers care about; to stay simple
+    // and conservative we check the first 2 coordinates as well as the full
+    // vector, so projections remain separated too.
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(params.clusters);
+    let mut attempts = 0usize;
+    while centers.len() < params.clusters {
+        attempts += 1;
+        assert!(attempts < 100_000, "could not place separated cluster centers; shrink sigma or clusters");
+        let cand: Vec<f64> = (0..params.dim).map(|_| rng.uniform_in(0.0, params.domain)).collect();
+        let s_new = sigmas[centers.len()];
+        let ok = centers.iter().enumerate().all(|(j, c)| {
+            let req = params.min_separation_sigmas * s_new.max(sigmas[j]);
+            // Full-dimensional separation…
+            let d_full = db_spatial::euclidean(&cand, c);
+            // …and separation in the 2-d projection (the smallest variant
+            // the experiments use).
+            let d2 = db_spatial::euclidean(&cand[..2.min(cand.len())], &c[..2.min(c.len())]);
+            d_full >= req && d2 >= req
+        });
+        if ok {
+            centers.push(cand);
+        }
+    }
+
+    // Random sizes.
+    let weights: Vec<f64> = (0..params.clusters).map(|_| rng.uniform_in(0.5, 1.5)).collect();
+    let counts = shapes::partition_counts(params.n, &weights);
+
+    let mut data = Dataset::with_capacity(params.dim, params.n).expect("dim > 0");
+    let mut labels = Vec::with_capacity(params.n);
+    let mut p = Vec::with_capacity(params.dim);
+    for (label, (&count, center)) in counts.iter().zip(&centers).enumerate() {
+        for _ in 0..count {
+            shapes::gaussian_blob(&mut rng, center, sigmas[label], &mut p);
+            data.push(&p).expect("dim matches");
+            labels.push(label as i32);
+        }
+    }
+    shuffle_in_unison(&mut rng, data, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> GaussianFamilyParams {
+        GaussianFamilyParams {
+            n: 6_000,
+            dim: 10,
+            clusters: 15,
+            domain: 200.0,
+            ..GaussianFamilyParams::default()
+        }
+    }
+
+    #[test]
+    fn generates_all_clusters() {
+        let l = gaussian_family(&small_params(), 42);
+        assert_eq!(l.len(), 6_000);
+        assert_eq!(l.data.dim(), 10);
+        assert_eq!(l.n_clusters(), 15);
+        assert_eq!(l.n_noise(), 0);
+        // Random sizes: not all equal.
+        let sizes = l.cluster_sizes();
+        assert!(sizes.iter().any(|&s| s != sizes[0]));
+    }
+
+    #[test]
+    fn projections_share_labels_and_prefix_coords() {
+        let l = gaussian_family(&small_params(), 1);
+        let p5 = l.project(5);
+        let p2 = l.project(2);
+        assert_eq!(p5.labels, l.labels);
+        assert_eq!(p2.data.point(17), &l.data.point(17)[..2]);
+    }
+
+    #[test]
+    fn clusters_are_separated_in_projection() {
+        let l = gaussian_family(&small_params(), 7);
+        let p2 = l.project(2);
+        // Compute per-cluster centroid distances in 2-d; all pairs must be
+        // farther apart than a few sigma.
+        let k = 15;
+        let mut sums = vec![[0.0f64; 2]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &lab) in p2.labels.iter().enumerate() {
+            let pt = p2.data.point(i);
+            sums[lab as usize][0] += pt[0];
+            sums[lab as usize][1] += pt[1];
+            counts[lab as usize] += 1;
+        }
+        let cents: Vec<[f64; 2]> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| [s[0] / c as f64, s[1] / c as f64])
+            .collect();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let d = db_spatial::euclidean(&cents[i], &cents[j]);
+                assert!(d > 8.0, "clusters {i},{j} too close in projection: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = small_params();
+        assert_eq!(gaussian_family(&p, 3), gaussian_family(&p, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "could not place separated cluster centers")]
+    fn impossible_separation_panics() {
+        let p = GaussianFamilyParams {
+            n: 10,
+            dim: 2,
+            clusters: 50,
+            domain: 1.0,
+            sigma_range: (5.0, 5.0),
+            min_separation_sigmas: 100.0,
+        };
+        gaussian_family(&p, 1);
+    }
+}

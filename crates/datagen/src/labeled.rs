@@ -1,0 +1,135 @@
+use db_spatial::Dataset;
+
+/// Ground-truth label used for noise points.
+pub const NOISE_LABEL: i32 = -1;
+
+/// A dataset together with its generating ground truth: one label per point,
+/// where `label >= 0` identifies the generating cluster component and
+/// [`NOISE_LABEL`] marks noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledDataset {
+    /// The points.
+    pub data: Dataset,
+    /// One ground-truth label per point (`-1` = noise).
+    pub labels: Vec<i32>,
+}
+
+impl LabeledDataset {
+    /// Creates a labeled dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of labels differs from the number of points.
+    pub fn new(data: Dataset, labels: Vec<i32>) -> Self {
+        assert_eq!(data.len(), labels.len(), "labels/points mismatch");
+        Self { data, labels }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of distinct non-noise cluster labels.
+    pub fn n_clusters(&self) -> usize {
+        let mut seen: Vec<i32> = self.labels.iter().copied().filter(|&l| l >= 0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Number of noise points.
+    pub fn n_noise(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == NOISE_LABEL).count()
+    }
+
+    /// Sizes of the clusters, indexed by label (labels are assumed to be
+    /// contiguous `0..n_clusters`).
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let k = self.labels.iter().copied().max().map_or(0, |m| (m.max(-1) + 1) as usize);
+        let mut sizes = vec![0usize; k];
+        for &l in &self.labels {
+            if l >= 0 {
+                sizes[l as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Keeps only the first `d` coordinates of every point (exact
+    /// projection; labels unchanged). See [`db_spatial::Dataset::project`].
+    pub fn project(&self, d: usize) -> LabeledDataset {
+        LabeledDataset { data: self.data.project(d), labels: self.labels.clone() }
+    }
+
+    /// A new labeled dataset with the first `n` points (generators shuffle
+    /// points, so a prefix is an unbiased subsample — used by the
+    /// database-size scaling experiment, Fig. 17).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn prefix(&self, n: usize) -> LabeledDataset {
+        assert!(n <= self.len(), "prefix {n} larger than dataset {}", self.len());
+        let ids: Vec<usize> = (0..n).collect();
+        LabeledDataset { data: self.data.subset(&ids), labels: self.labels[..n].to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LabeledDataset {
+        let data =
+            Dataset::from_rows(2, &[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        LabeledDataset::new(data, vec![0, 1, 1, NOISE_LABEL])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let l = sample();
+        assert_eq!(l.len(), 4);
+        assert!(!l.is_empty());
+        assert_eq!(l.n_clusters(), 2);
+        assert_eq!(l.n_noise(), 1);
+        assert_eq!(l.cluster_sizes(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels/points mismatch")]
+    fn mismatched_lengths_panic() {
+        let data = Dataset::from_rows(1, &[&[0.0]]).unwrap();
+        LabeledDataset::new(data, vec![0, 1]);
+    }
+
+    #[test]
+    fn prefix_takes_leading_points() {
+        let l = sample();
+        let p = l.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.labels, vec![0, 1]);
+        assert_eq!(p.data.point(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn project_keeps_labels() {
+        let l = sample();
+        let p = l.project(1);
+        assert_eq!(p.data.dim(), 1);
+        assert_eq!(p.labels, l.labels);
+    }
+
+    #[test]
+    fn all_noise_has_zero_clusters() {
+        let data = Dataset::from_rows(1, &[&[0.0], &[1.0]]).unwrap();
+        let l = LabeledDataset::new(data, vec![NOISE_LABEL, NOISE_LABEL]);
+        assert_eq!(l.n_clusters(), 0);
+        assert_eq!(l.cluster_sizes(), Vec::<usize>::new());
+    }
+}

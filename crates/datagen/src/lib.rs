@@ -1,0 +1,47 @@
+//! Seeded synthetic workloads reproducing the data sets of the Data Bubbles
+//! paper (SIGMOD 2001, §3 and §9).
+//!
+//! * [`ds1`] — the paper's DS1: nested clusters of different densities and
+//!   distributions (uniform and Gaussian) plus noise, 2-dimensional
+//!   (1,000,000 points in the paper; the size is a parameter here).
+//! * [`ds2`] — DS2: five well-separated Gaussian clusters of equal size,
+//!   2-dimensional (5 × 20,000 in the paper).
+//! * [`gaussian_family`] — the dimension-scaling family of §9.1/§9.2:
+//!   15 Gaussian clusters of random location and random size, generated at
+//!   the maximum dimensionality so that lower-dimensional variants are exact
+//!   projections (as in the paper).
+//! * [`corel_like`] — a synthetic stand-in for the Corel Image Features
+//!   color moments (68,040 × 9-d): a large body of near-uniform density with
+//!   two tiny dense clusters embedded (see DESIGN.md §4 for the
+//!   substitution rationale).
+//!
+//! All generators take an explicit `u64` seed and are fully deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use db_datagen::{ds2, Ds2Params};
+//!
+//! let labeled = ds2(&Ds2Params { n: 1_000, ..Ds2Params::default() }, 42);
+//! assert_eq!(labeled.data.len(), 1_000);
+//! assert_eq!(labeled.n_clusters(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+mod corel;
+mod ds1;
+mod ds2;
+mod family;
+mod labeled;
+pub mod rng;
+pub mod shapes;
+
+pub use complex::{nested_rings, two_moons, two_spirals, RingsParams};
+pub use corel::{corel_like, CorelParams};
+pub use ds1::{ds1, Ds1Params, DS1_COMPONENTS};
+pub use ds2::{ds2, Ds2Params};
+pub use family::{gaussian_family, GaussianFamilyParams};
+pub use labeled::{LabeledDataset, NOISE_LABEL};
+pub use rng::Rng;

@@ -1,0 +1,177 @@
+//! Primitive shape samplers used to assemble the synthetic workloads.
+
+use crate::rng::Rng;
+
+/// Samples a point uniformly inside an axis-aligned box `[lo, hi]^d`.
+pub fn uniform_box(rng: &mut Rng, lo: &[f64], hi: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    for (&l, &h) in lo.iter().zip(hi) {
+        out.push(rng.uniform_in(l, h));
+    }
+}
+
+/// Samples a point uniformly inside a `d`-dimensional ball.
+///
+/// Uses the classic trick: a standard Gaussian direction scaled to a radius
+/// `r · u^(1/d)`, which is exact for every dimension.
+pub fn uniform_ball(rng: &mut Rng, center: &[f64], radius: f64, out: &mut Vec<f64>) {
+    out.clear();
+    let d = center.len();
+    let mut norm_sq = 0.0;
+    for _ in 0..d {
+        let g = rng.gaussian();
+        norm_sq += g * g;
+        out.push(g);
+    }
+    let norm = norm_sq.sqrt();
+    let r = radius * rng.uniform().powf(1.0 / d as f64);
+    let scale = if norm > 0.0 { r / norm } else { 0.0 };
+    for (x, &c) in out.iter_mut().zip(center) {
+        *x = c + *x * scale;
+    }
+}
+
+/// Samples a point from an isotropic Gaussian.
+pub fn gaussian_blob(rng: &mut Rng, center: &[f64], std_dev: f64, out: &mut Vec<f64>) {
+    out.clear();
+    for &c in center {
+        out.push(rng.gaussian_with(c, std_dev));
+    }
+}
+
+/// Samples a point from an axis-aligned anisotropic Gaussian.
+pub fn gaussian_blob_aniso(rng: &mut Rng, center: &[f64], std_devs: &[f64], out: &mut Vec<f64>) {
+    debug_assert_eq!(center.len(), std_devs.len());
+    out.clear();
+    for (&c, &s) in center.iter().zip(std_devs) {
+        out.push(rng.gaussian_with(c, s));
+    }
+}
+
+/// Splits `n` into `weights.len()` integer part sizes proportional to
+/// `weights`, summing exactly to `n` (largest-remainder method).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative/non-finite value, or
+/// sums to zero.
+pub fn partition_counts(n: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0 && total.is_finite(), "weights must sum to a positive finite value");
+    assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+
+    let mut counts: Vec<usize> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = n as f64 * w / total;
+        let floor = exact.floor() as usize;
+        counts.push(floor);
+        assigned += floor;
+        remainders.push((i, exact - floor as f64));
+    }
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    for &(i, _) in remainders.iter().take(n - assigned) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_box_stays_inside() {
+        let mut rng = Rng::new(1);
+        let (lo, hi) = ([0.0, -1.0], [2.0, 1.0]);
+        let mut p = Vec::new();
+        for _ in 0..1000 {
+            uniform_box(&mut rng, &lo, &hi, &mut p);
+            assert!(p[0] >= 0.0 && p[0] < 2.0);
+            assert!(p[1] >= -1.0 && p[1] < 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_ball_stays_inside_and_fills_volume() {
+        let mut rng = Rng::new(2);
+        let center = [5.0, 5.0];
+        let mut p = Vec::new();
+        let mut inside_half = 0;
+        let n = 4000;
+        for _ in 0..n {
+            uniform_ball(&mut rng, &center, 2.0, &mut p);
+            let d = db_spatial::euclidean(&p, &center);
+            assert!(d <= 2.0 + 1e-9);
+            if d <= 1.0 {
+                inside_half += 1;
+            }
+        }
+        // A ball of half the radius holds 1/4 of the area in 2-d.
+        let frac = inside_half as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn gaussian_blob_centered() {
+        let mut rng = Rng::new(3);
+        let center = [1.0, -2.0, 3.0];
+        let mut p = Vec::new();
+        let mut sums = [0.0; 3];
+        let n = 20_000;
+        for _ in 0..n {
+            gaussian_blob(&mut rng, &center, 0.5, &mut p);
+            for (s, &x) in sums.iter_mut().zip(&p) {
+                *s += x;
+            }
+        }
+        for (s, c) in sums.iter().zip(&center) {
+            assert!((s / n as f64 - c).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn gaussian_blob_aniso_variances() {
+        let mut rng = Rng::new(4);
+        let center = [0.0, 0.0];
+        let stds = [1.0, 3.0];
+        let mut p = Vec::new();
+        let mut sq = [0.0; 2];
+        let n = 30_000;
+        for _ in 0..n {
+            gaussian_blob_aniso(&mut rng, &center, &stds, &mut p);
+            sq[0] += p[0] * p[0];
+            sq[1] += p[1] * p[1];
+        }
+        assert!((sq[0] / n as f64 - 1.0).abs() < 0.1);
+        assert!((sq[1] / n as f64 - 9.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn partition_counts_sums_to_n() {
+        let counts = partition_counts(100, &[0.5, 0.3, 0.2]);
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        assert_eq!(counts, vec![50, 30, 20]);
+        // Awkward weights still sum exactly.
+        let counts = partition_counts(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        let counts = partition_counts(7, &[0.1, 0.1, 0.1, 0.1]);
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+        // Zero n.
+        assert_eq!(partition_counts(0, &[1.0, 2.0]), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn partition_counts_rejects_empty() {
+        partition_counts(10, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn partition_counts_rejects_zero_sum() {
+        partition_counts(10, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Confusion matrices between two clusterings, as used in §9.2 of the Data
+//! Bubbles paper ("The rows are reordered so that the largest numbers are
+//! on the diagonal").
+
+use std::fmt;
+
+/// A confusion matrix between a *reference* clustering (columns) and a
+/// clustering *under validation* (rows). Noise (`-1`) occupies the last
+/// row/column.
+///
+/// ```
+/// use db_eval::ConfusionMatrix;
+/// let reference = [0, 0, 1, 1];
+/// let validated = [1, 1, 0, 0]; // same partition, swapped ids
+/// let mut m = ConfusionMatrix::from_labels(&reference, &validated);
+/// m.reorder_rows_greedy();
+/// assert_eq!(m.diagonal_fraction(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// `counts[row][col]`.
+    counts: Vec<Vec<u64>>,
+    /// Original row labels after any reordering (last = noise).
+    row_labels: Vec<i32>,
+    /// Original column labels (last = noise).
+    col_labels: Vec<i32>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from two label slices of equal length.
+    /// Labels ≥ 0 are clusters; `-1` is noise. Cluster ids need not be
+    /// contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_labels(reference: &[i32], validated: &[i32]) -> Self {
+        assert_eq!(reference.len(), validated.len(), "label slices must have equal length");
+        let col_labels = distinct_labels(reference);
+        let row_labels = distinct_labels(validated);
+        let mut counts = vec![vec![0u64; col_labels.len()]; row_labels.len()];
+        {
+            let col_of = index_map(&col_labels);
+            let row_of = index_map(&row_labels);
+            for (&r, &v) in reference.iter().zip(validated) {
+                counts[row_of(v)][col_of(r)] += 1;
+            }
+        }
+        Self { counts, row_labels, col_labels }
+    }
+
+    /// Number of rows (validated clusters, incl. noise row if present).
+    pub fn n_rows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of columns (reference clusters, incl. noise column).
+    pub fn n_cols(&self) -> usize {
+        self.counts.first().map_or(0, Vec::len)
+    }
+
+    /// The count at `(row, col)`.
+    pub fn at(&self, row: usize, col: usize) -> u64 {
+        self.counts[row][col]
+    }
+
+    /// Labels of the rows in their current order.
+    pub fn row_labels(&self) -> &[i32] {
+        &self.row_labels
+    }
+
+    /// Labels of the columns.
+    pub fn col_labels(&self) -> &[i32] {
+        &self.col_labels
+    }
+
+    /// Reorders rows so the largest counts land on the diagonal (greedy
+    /// maximum matching, exactly the presentation used by the paper's
+    /// Fig. 19/22). Noise rows/columns stay last.
+    pub fn reorder_rows_greedy(&mut self) {
+        let n_cluster_rows =
+            self.row_labels.iter().filter(|&&l| l >= 0).count();
+        let n_cluster_cols = self.col_labels.iter().filter(|&&l| l >= 0).count();
+        let mut new_order: Vec<usize> = Vec::with_capacity(self.counts.len());
+        let mut used = vec![false; self.counts.len()];
+        for col in 0..n_cluster_cols.min(n_cluster_rows) {
+            // Best unused cluster row for this column.
+            let best = (0..n_cluster_rows)
+                .filter(|&r| !used[r])
+                .max_by_key(|&r| self.counts[r][col]);
+            if let Some(r) = best {
+                used[r] = true;
+                new_order.push(r);
+            }
+        }
+        for (r, &u) in used.iter().enumerate() {
+            if !u {
+                new_order.push(r);
+            }
+        }
+        self.counts = new_order.iter().map(|&r| self.counts[r].clone()).collect();
+        self.row_labels = new_order.iter().map(|&r| self.row_labels[r]).collect();
+    }
+
+    /// Fraction of objects on the diagonal among objects in cluster columns
+    /// (noise column excluded): the "accuracy" after row reordering.
+    pub fn diagonal_fraction(&self) -> f64 {
+        let mut diag = 0u64;
+        let mut total = 0u64;
+        for col in 0..self.n_cols() {
+            if self.col_labels[col] < 0 {
+                continue;
+            }
+            for row in 0..self.n_rows() {
+                total += self.counts[row][col];
+            }
+            if col < self.n_rows() && self.row_labels[col] >= 0 {
+                diag += self.counts[col][col];
+            }
+        }
+        if total == 0 {
+            return 1.0;
+        }
+        diag as f64 / total as f64
+    }
+
+    /// Total number of objects.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Row sums (sizes of the validated clusters).
+    pub fn row_sums(&self) -> Vec<u64> {
+        self.counts.iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Column sums (sizes of the reference clusters).
+    pub fn col_sums(&self) -> Vec<u64> {
+        let mut sums = vec![0u64; self.n_cols()];
+        for row in &self.counts {
+            for (s, &c) in sums.iter_mut().zip(row) {
+                *s += c;
+            }
+        }
+        sums
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>8}", "")?;
+        for l in &self.col_labels {
+            if *l < 0 {
+                write!(f, "{:>8}", "noise")?;
+            } else {
+                write!(f, "{l:>8}")?;
+            }
+        }
+        writeln!(f)?;
+        for (row, counts) in self.counts.iter().enumerate() {
+            let l = self.row_labels[row];
+            if l < 0 {
+                write!(f, "{:>8}", "noise")?;
+            } else {
+                write!(f, "{l:>8}")?;
+            }
+            for c in counts {
+                write!(f, "{c:>8}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Distinct cluster labels sorted ascending, noise (`-1`) last if present.
+fn distinct_labels(labels: &[i32]) -> Vec<i32> {
+    let mut v: Vec<i32> = labels.iter().copied().filter(|&l| l >= 0).collect();
+    v.sort_unstable();
+    v.dedup();
+    if labels.iter().any(|&l| l < 0) {
+        v.push(-1);
+    }
+    v
+}
+
+/// A lookup closure from label to dense index, mapping all negatives to the
+/// noise slot (the last index). Binary search runs over the sorted cluster
+/// prefix only, since the trailing noise label breaks the sort order.
+fn index_map(labels: &[i32]) -> impl Fn(i32) -> usize + '_ {
+    let clusters = labels.len() - usize::from(labels.last() == Some(&-1));
+    move |l: i32| {
+        if l < 0 {
+            labels.len() - 1
+        } else {
+            labels[..clusters].binary_search(&l).expect("label present")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_clusterings_are_diagonal() {
+        let labels = vec![0, 0, 1, 1, 2, 2, -1];
+        let mut m = ConfusionMatrix::from_labels(&labels, &labels);
+        m.reorder_rows_greedy();
+        assert_eq!(m.n_rows(), 4); // 3 clusters + noise
+        assert_eq!(m.n_cols(), 4);
+        assert_eq!(m.diagonal_fraction(), 1.0);
+        assert_eq!(m.total(), 7);
+        for i in 0..3 {
+            assert_eq!(m.at(i, i), 2);
+        }
+        assert_eq!(m.at(3, 3), 1); // noise vs noise
+    }
+
+    #[test]
+    fn permuted_labels_realign_after_reordering() {
+        let reference = vec![0, 0, 0, 1, 1, 1];
+        let validated = vec![1, 1, 1, 0, 0, 0]; // same partition, swapped ids
+        let mut m = ConfusionMatrix::from_labels(&reference, &validated);
+        assert_eq!(m.diagonal_fraction(), 0.0);
+        m.reorder_rows_greedy();
+        assert_eq!(m.diagonal_fraction(), 1.0);
+        assert_eq!(m.row_labels(), &[1, 0]);
+    }
+
+    #[test]
+    fn split_cluster_shows_off_diagonal_mass() {
+        let reference = vec![0, 0, 0, 0];
+        let validated = vec![0, 0, 1, 1];
+        let mut m = ConfusionMatrix::from_labels(&reference, &validated);
+        m.reorder_rows_greedy();
+        assert!((m.diagonal_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_are_cluster_sizes() {
+        let reference = vec![0, 0, 1, -1];
+        let validated = vec![0, 1, 1, 1];
+        let m = ConfusionMatrix::from_labels(&reference, &validated);
+        assert_eq!(m.row_sums().iter().sum::<u64>(), 4);
+        assert_eq!(m.col_sums(), vec![2, 1, 1]); // cluster 0, cluster 1, noise
+    }
+
+    #[test]
+    fn display_renders_noise_headers() {
+        let m = ConfusionMatrix::from_labels(&[0, -1], &[0, -1]);
+        let s = m.to_string();
+        assert!(s.contains("noise"));
+        assert!(s.contains('0'));
+    }
+
+    #[test]
+    fn non_contiguous_labels_are_supported() {
+        let reference = vec![10, 10, 42];
+        let validated = vec![7, 7, 99];
+        let mut m = ConfusionMatrix::from_labels(&reference, &validated);
+        m.reorder_rows_greedy();
+        assert_eq!(m.diagonal_fraction(), 1.0);
+        assert_eq!(m.col_labels(), &[10, 42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        ConfusionMatrix::from_labels(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn noise_row_is_not_a_diagonal_hit() {
+        // Regression: the noise row aligning with a cluster column used to
+        // count toward the diagonal, inflating accuracy.
+        let reference = vec![0, 1];
+        let validated = vec![0, -1];
+        let mut m = ConfusionMatrix::from_labels(&reference, &validated);
+        m.reorder_rows_greedy();
+        // Cluster 0 matched (1 of 2 clustered objects); cluster 1 became
+        // noise and must not count.
+        assert!((m.diagonal_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_labels() {
+        let m = ConfusionMatrix::from_labels(&[], &[]);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.diagonal_fraction(), 1.0);
+    }
+}

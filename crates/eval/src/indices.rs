@@ -1,0 +1,225 @@
+//! Pair-counting and information-theoretic agreement indices between two
+//! clusterings.
+//!
+//! Noise handling: a noise label (`-1`) is treated as a cluster of its own
+//! in all indices (the conservative choice — disagreeing on noise hurts the
+//! score). Callers who want to ignore noise can filter the slices first.
+
+use std::collections::HashMap;
+
+/// Builds the contingency table between two labelings.
+fn contingency(a: &[i32], b: &[i32]) -> (Vec<Vec<u64>>, Vec<u64>, Vec<u64>) {
+    assert_eq!(a.len(), b.len(), "label slices must have equal length");
+    let mut a_ids: HashMap<i32, usize> = HashMap::new();
+    let mut b_ids: HashMap<i32, usize> = HashMap::new();
+    for &l in a {
+        let next = a_ids.len();
+        a_ids.entry(l).or_insert(next);
+    }
+    for &l in b {
+        let next = b_ids.len();
+        b_ids.entry(l).or_insert(next);
+    }
+    let mut table = vec![vec![0u64; b_ids.len()]; a_ids.len()];
+    for (&x, &y) in a.iter().zip(b) {
+        table[a_ids[&x]][b_ids[&y]] += 1;
+    }
+    let a_sums: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
+    let mut b_sums = vec![0u64; b_ids.len()];
+    for row in &table {
+        for (s, &c) in b_sums.iter_mut().zip(row) {
+            *s += c;
+        }
+    }
+    (table, a_sums, b_sums)
+}
+
+#[inline]
+fn choose2(n: u64) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// The Rand index in `[0, 1]`: fraction of object pairs on which both
+/// clusterings agree (same-same or different-different).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rand_index(a: &[i32], b: &[i32]) -> f64 {
+    let n = a.len() as u64;
+    if n < 2 {
+        return 1.0;
+    }
+    let (table, a_sums, b_sums) = contingency(a, b);
+    let sum_nij: f64 = table.iter().flatten().map(|&c| choose2(c)).sum();
+    let sum_ai: f64 = a_sums.iter().map(|&c| choose2(c)).sum();
+    let sum_bj: f64 = b_sums.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(n);
+    // agreements = pairs together in both + pairs apart in both
+    let together_both = sum_nij;
+    let apart_both = total - sum_ai - sum_bj + sum_nij;
+    (together_both + apart_both) / total
+}
+
+/// The Hubert–Arabie adjusted Rand index: 1.0 for identical partitions,
+/// ~0.0 for independent ones (can be negative).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn adjusted_rand_index(a: &[i32], b: &[i32]) -> f64 {
+    let n = a.len() as u64;
+    if n < 2 {
+        return 1.0;
+    }
+    let (table, a_sums, b_sums) = contingency(a, b);
+    let sum_nij: f64 = table.iter().flatten().map(|&c| choose2(c)).sum();
+    let sum_ai: f64 = a_sums.iter().map(|&c| choose2(c)).sum();
+    let sum_bj: f64 = b_sums.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(n);
+    let expected = sum_ai * sum_bj / total;
+    let max_index = 0.5 * (sum_ai + sum_bj);
+    if (max_index - expected).abs() < 1e-12 {
+        // Both partitions are trivial (all-in-one or all-singletons).
+        return if (sum_nij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (sum_nij - expected) / (max_index - expected)
+}
+
+/// Normalized mutual information with arithmetic-mean normalization:
+/// `NMI = 2·I(A;B) / (H(A) + H(B))`, in `[0, 1]`.
+///
+/// Returns 1.0 when both partitions are identical *or both trivial*
+/// (zero entropy).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn normalized_mutual_information(a: &[i32], b: &[i32]) -> f64 {
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 1.0;
+    }
+    let (table, a_sums, b_sums) = contingency(a, b);
+    let h = |sums: &[u64]| -> f64 {
+        sums.iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&a_sums);
+    let hb = h(&b_sums);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0;
+    }
+    let mut mi = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let pij = c as f64 / n;
+            let pi = a_sums[i] as f64 / n;
+            let pj = b_sums[j] as f64 / n;
+            mi += pij * (pij / (pi * pj)).ln();
+        }
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_near_one(x: f64) {
+        assert!((x - 1.0).abs() < 1e-9, "expected ≈1.0, got {x}");
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let l = vec![0, 0, 1, 1, 2];
+        assert_near_one(rand_index(&l, &l));
+        assert_near_one(adjusted_rand_index(&l, &l));
+        assert_near_one(normalized_mutual_information(&l, &l));
+    }
+
+    #[test]
+    fn permuted_labels_score_one() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![5, 5, 2, 2];
+        assert_near_one(rand_index(&a, &b));
+        assert_near_one(adjusted_rand_index(&a, &b));
+        assert_near_one(normalized_mutual_information(&a, &b));
+    }
+
+    #[test]
+    fn rand_index_hand_computed() {
+        // a: {0,1},{2}; b: {0},{1,2}. Pairs: (0,1) together in a, apart in
+        // b -> disagree; (0,2) apart/apart -> agree; (1,2) apart in a,
+        // together in b -> disagree. RI = 1/3.
+        let a = vec![0, 0, 1];
+        let b = vec![0, 1, 1];
+        assert!((rand_index(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_is_near_zero_for_random_labels() {
+        // Deterministic pseudo-random labels.
+        let a: Vec<i32> = (0..2000).map(|i| ((i * 2654435761u64 as usize) >> 7) as i32 % 4).collect();
+        let b: Vec<i32> = (0..2000).map(|i| ((i * 40503 + 17) >> 3) % 4).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.05, "ARI {ari} not near zero");
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi < 0.05, "NMI {nmi} not near zero");
+    }
+
+    #[test]
+    fn ari_penalizes_splitting() {
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari > 0.0 && ari < 1.0, "ARI {ari}");
+    }
+
+    #[test]
+    fn noise_is_its_own_cluster() {
+        let a = vec![0, 0, -1, -1];
+        let b = vec![0, 0, -1, -1];
+        assert_near_one(adjusted_rand_index(&a, &b));
+        let c = vec![0, 0, 0, 0];
+        assert!(adjusted_rand_index(&a, &c) < 1.0);
+    }
+
+    #[test]
+    fn trivial_partitions() {
+        let one = vec![0, 0, 0];
+        assert_eq!(adjusted_rand_index(&one, &one), 1.0);
+        assert_eq!(normalized_mutual_information(&one, &one), 1.0);
+        let singletons = vec![0, 1, 2];
+        assert_eq!(adjusted_rand_index(&singletons, &singletons), 1.0);
+        // All-in-one vs all-singletons: no agreement beyond chance.
+        assert_eq!(adjusted_rand_index(&one, &singletons), 0.0);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(rand_index(&[], &[]), 1.0);
+        assert_eq!(rand_index(&[0], &[5]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0], &[5]), 1.0);
+        assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = vec![0, 0, 1, 1, 2, -1];
+        let b = vec![0, 1, 1, 2, 2, 2];
+        assert!((rand_index(&a, &b) - rand_index(&b, &a)).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+        let n1 = normalized_mutual_information(&a, &b);
+        let n2 = normalized_mutual_information(&b, &a);
+        assert!((n1 - n2).abs() < 1e-12);
+    }
+}

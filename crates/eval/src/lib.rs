@@ -1,0 +1,18 @@
+//! Clustering evaluation utilities: confusion matrices (§9.2 of the Data
+//! Bubbles paper), pair-counting indices (Rand / ARI), normalized mutual
+//! information, and reachability-plot summary statistics.
+//!
+//! All functions operate on plain label slices (`i32`, with `-1` = noise),
+//! so the crate has no dependencies and is usable with any clustering.
+
+#![warn(missing_docs)]
+
+mod confusion;
+mod indices;
+mod plotstats;
+mod silhouette;
+
+pub use confusion::ConfusionMatrix;
+pub use indices::{adjusted_rand_index, normalized_mutual_information, rand_index};
+pub use plotstats::{count_dents, plot_summary, PlotSummary};
+pub use silhouette::silhouette_score;

@@ -1,0 +1,106 @@
+//! Summary statistics of reachability plots, used by the figure harness to
+//! compare plot *shapes* numerically (the paper compares plots visually).
+
+/// Summary of one reachability plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlotSummary {
+    /// Number of positions.
+    pub n: usize,
+    /// Fraction of positions with a finite reachability.
+    pub finite_fraction: f64,
+    /// Mean of the finite values.
+    pub mean: f64,
+    /// Median of the finite values.
+    pub median: f64,
+    /// 90th percentile of the finite values.
+    pub p90: f64,
+    /// Maximum finite value.
+    pub max: f64,
+}
+
+/// Computes summary statistics over a reachability plot (∞ values are
+/// counted in `n` but excluded from the moments). Returns zeros for plots
+/// without finite values.
+pub fn plot_summary(values: &[f64]) -> PlotSummary {
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let n = values.len();
+    if finite.is_empty() {
+        return PlotSummary { n, finite_fraction: 0.0, mean: 0.0, median: 0.0, p90: 0.0, max: 0.0 };
+    }
+    finite.sort_by(f64::total_cmp);
+    let m = finite.len();
+    let mean = finite.iter().sum::<f64>() / m as f64;
+    let pct = |q: f64| finite[(((m - 1) as f64) * q).round() as usize];
+    PlotSummary {
+        n,
+        finite_fraction: m as f64 / n as f64,
+        mean,
+        median: pct(0.5),
+        p90: pct(0.9),
+        max: finite[m - 1],
+    }
+}
+
+/// Counts the "dents" of a reachability plot: maximal runs of at least
+/// `min_len` consecutive values strictly below `threshold`. This is the
+/// quantitative stand-in for counting clusters by eye in the paper's plots.
+pub fn count_dents(values: &[f64], threshold: f64, min_len: usize) -> usize {
+    let mut dents = 0usize;
+    let mut run = 0usize;
+    for &v in values {
+        if v < threshold {
+            run += 1;
+            if run == min_len.max(1) {
+                dents += 1;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    dents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_plot() {
+        let v = [f64::INFINITY, 1.0, 2.0, 3.0, 4.0];
+        let s = plot_summary(&v);
+        assert_eq!(s.n, 5);
+        assert!((s.finite_fraction - 0.8).abs() < 1e-12);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.max, 4.0);
+        assert!(s.median == 2.0 || s.median == 3.0);
+    }
+
+    #[test]
+    fn summary_of_all_infinite_plot() {
+        let v = [f64::INFINITY; 3];
+        let s = plot_summary(&v);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.finite_fraction, 0.0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn count_dents_finds_runs() {
+        let mut v = vec![5.0; 10];
+        v.extend(vec![0.5; 8]);
+        v.extend(vec![5.0; 5]);
+        v.extend(vec![0.4; 8]);
+        v.extend(vec![5.0; 5]);
+        assert_eq!(count_dents(&v, 1.0, 5), 2);
+        assert_eq!(count_dents(&v, 1.0, 9), 0); // runs too short
+        assert_eq!(count_dents(&v, 0.45, 5), 1); // only the deeper dent
+        assert_eq!(count_dents(&v, 10.0, 1), 1); // everything below: one run
+    }
+
+    #[test]
+    fn count_dents_empty_and_min_len_zero() {
+        assert_eq!(count_dents(&[], 1.0, 3), 0);
+        // min_len 0 is clamped to 1.
+        assert_eq!(count_dents(&[0.1], 1.0, 0), 1);
+    }
+}

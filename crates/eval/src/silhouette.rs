@@ -1,0 +1,140 @@
+//! The silhouette coefficient: a label-free internal quality measure, used
+//! by the harness to sanity-check clusterings without ground truth (the
+//! Corel-style setting, where no generator labels exist for real data).
+
+/// Mean silhouette over all clustered objects (noise excluded), given the
+/// labels and a distance closure. O(n²) distance evaluations — intended
+/// for representative-sized sets.
+///
+/// * `s(i) = (b(i) − a(i)) / max(a(i), b(i))` with `a` the mean
+///   intra-cluster distance and `b` the smallest mean distance to another
+///   cluster;
+/// * objects in singleton clusters score 0 (the usual convention);
+/// * returns `None` when fewer than 2 clusters contain objects.
+///
+/// ```
+/// use db_eval::silhouette_score;
+/// let xs: [f64; 4] = [0.0, 0.2, 10.0, 10.2];
+/// let labels = [0, 0, 1, 1];
+/// let s = silhouette_score(4, &labels, |a, b| (xs[a] - xs[b]).abs()).unwrap();
+/// assert!(s > 0.9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `labels.len() != n`.
+pub fn silhouette_score(
+    n: usize,
+    labels: &[i32],
+    dist: impl Fn(usize, usize) -> f64,
+) -> Option<f64> {
+    assert_eq!(labels.len(), n, "one label per object required");
+    let mut clusters: Vec<i32> = labels.iter().copied().filter(|&l| l >= 0).collect();
+    clusters.sort_unstable();
+    clusters.dedup();
+    if clusters.len() < 2 {
+        return None;
+    }
+    let cluster_index =
+        |l: i32| clusters.binary_search(&l).expect("label present");
+    let mut sizes = vec![0usize; clusters.len()];
+    for &l in labels {
+        if l >= 0 {
+            sizes[cluster_index(l)] += 1;
+        }
+    }
+
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    let mut sums = vec![0.0f64; clusters.len()];
+    for i in 0..n {
+        if labels[i] < 0 {
+            continue;
+        }
+        let own = cluster_index(labels[i]);
+        if sizes[own] <= 1 {
+            counted += 1; // s(i) = 0 for singletons
+            continue;
+        }
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        for j in 0..n {
+            if i == j || labels[j] < 0 {
+                continue;
+            }
+            sums[cluster_index(labels[j])] += dist(i, j);
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = sums
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| c != own && sizes[c] > 0)
+            .map(|(c, &s)| s / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        total += s;
+        counted += 1;
+    }
+    (counted > 0).then(|| total / counted as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_dist(xs: &'_ [f64]) -> impl Fn(usize, usize) -> f64 + '_ {
+        move |a, b| (xs[a] - xs[b]).abs()
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let xs = [0.0, 0.1, 0.2, 100.0, 100.1, 100.2];
+        let labels = [0, 0, 0, 1, 1, 1];
+        let s = silhouette_score(6, &labels, line_dist(&xs)).unwrap();
+        assert!(s > 0.99, "score {s}");
+    }
+
+    #[test]
+    fn random_split_scores_low() {
+        let xs = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+        let labels = [0, 1, 0, 1, 0, 1];
+        let s = silhouette_score(6, &labels, line_dist(&xs)).unwrap();
+        assert!(s < 0.2, "score {s}");
+    }
+
+    #[test]
+    fn wrong_assignment_scores_negative() {
+        // One point of the right blob labelled into the left cluster.
+        let xs = [0.0, 0.1, 100.0, 100.1, 100.2];
+        let labels = [0, 0, 1, 1, 0];
+        let s = silhouette_score(5, &labels, line_dist(&xs)).unwrap();
+        assert!(s < 0.7, "misassignment should depress the score, got {s}");
+    }
+
+    #[test]
+    fn noise_is_excluded() {
+        let xs = [0.0, 0.1, 100.0, 100.1, 50.0];
+        let with_noise = silhouette_score(5, &[0, 0, 1, 1, -1], line_dist(&xs)).unwrap();
+        let without = silhouette_score(4, &[0, 0, 1, 1], line_dist(&xs[..4])).unwrap();
+        assert!((with_noise - without).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_is_none() {
+        let xs = [0.0, 1.0, 2.0];
+        assert!(silhouette_score(3, &[0, 0, 0], line_dist(&xs)).is_none());
+        assert!(silhouette_score(3, &[-1, -1, -1], line_dist(&xs)).is_none());
+    }
+
+    #[test]
+    fn singletons_score_zero() {
+        let xs = [0.0, 100.0];
+        let s = silhouette_score(2, &[0, 1], line_dist(&xs)).unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per object")]
+    fn length_mismatch_panics() {
+        silhouette_score(3, &[0, 1], |_, _| 0.0);
+    }
+}

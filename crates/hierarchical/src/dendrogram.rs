@@ -1,0 +1,225 @@
+//! The merge tree produced by agglomerative clustering.
+
+/// One agglomeration step: clusters `a` and `b` merge at height `dist`.
+///
+/// Node numbering is scipy-style: leaves are `0..n`, the cluster created by
+/// `merges[i]` is node `n + i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged node.
+    pub a: usize,
+    /// Second merged node.
+    pub b: usize,
+    /// Merge height (linkage distance).
+    pub dist: f64,
+}
+
+/// A dendrogram over `n` leaves: `n − 1` merges sorted by non-decreasing
+/// height.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Creates a dendrogram, validating the merge sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of merges is not `n − 1` (for `n ≥ 1`), if a
+    /// merge references an unborn or already-consumed node, or if heights
+    /// decrease.
+    pub fn new(n: usize, merges: Vec<Merge>) -> Self {
+        assert!(n >= 1, "dendrogram needs at least one leaf");
+        assert_eq!(merges.len(), n - 1, "a dendrogram over {n} leaves has {} merges", n - 1);
+        let mut consumed = vec![false; 2 * n - 1];
+        for (i, m) in merges.iter().enumerate() {
+            let born = n + i;
+            assert!(m.a < born && m.b < born, "merge {i} references unborn node");
+            assert!(m.a != m.b, "merge {i} merges a node with itself");
+            assert!(!consumed[m.a] && !consumed[m.b], "merge {i} reuses a consumed node");
+            consumed[m.a] = true;
+            consumed[m.b] = true;
+            if i > 0 {
+                assert!(
+                    m.dist >= merges[i - 1].dist - 1e-9,
+                    "merge heights must be non-decreasing"
+                );
+            }
+        }
+        Self { n, merges }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.n
+    }
+
+    /// The merges in height order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram into exactly `k` clusters (undoing the last
+    /// `k − 1` merges). Returns one label in `0..k` per leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn cut(&self, k: usize) -> Vec<i32> {
+        assert!(k >= 1 && k <= self.n, "cannot cut {} leaves into {k} clusters", self.n);
+        self.cut_after(self.n - k)
+    }
+
+    /// Cuts at a height: clusters are the components after applying all
+    /// merges with `dist <= height`.
+    pub fn cut_at_distance(&self, height: f64) -> Vec<i32> {
+        let applied = self.merges.iter().take_while(|m| m.dist <= height).count();
+        self.cut_after(applied)
+    }
+
+    /// Labels after applying the first `applied` merges.
+    fn cut_after(&self, applied: usize) -> Vec<i32> {
+        // Union-find over nodes 0..n+applied.
+        let mut parent: Vec<usize> = (0..self.n + applied).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (i, m) in self.merges.iter().take(applied).enumerate() {
+            let node = self.n + i;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = node;
+            parent[rb] = node;
+        }
+        // Assign dense labels by root, in leaf order.
+        let mut labels = vec![-1i32; self.n];
+        let mut next = 0i32;
+        let mut root_label = std::collections::HashMap::new();
+        for (leaf, label) in labels.iter_mut().enumerate() {
+            let r = find(&mut parent, leaf);
+            let l = *root_label.entry(r).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            *label = l;
+        }
+        labels
+    }
+
+    /// Expands the dendrogram to weighted leaves: leaf `i` of the original
+    /// dendrogram represents `weights[i]` original objects; the result maps
+    /// any cut of `self` onto the expanded object space, where
+    /// `members[i]` lists the original object ids of leaf `i`.
+    ///
+    /// This is the paper's §5 remark applied to dendrograms: like repeating
+    /// a reachability value `n` times, each representative's label is
+    /// shared by all objects classified to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members.len() != n_leaves()`.
+    pub fn expand_cut(&self, leaf_labels: &[i32], members: &[Vec<usize>]) -> Vec<i32> {
+        assert_eq!(leaf_labels.len(), self.n, "one label per leaf required");
+        assert_eq!(members.len(), self.n, "one member list per leaf required");
+        let total: usize = members.iter().map(Vec::len).sum();
+        let mut out = vec![-1i32; total];
+        for (leaf, ids) in members.iter().enumerate() {
+            for &id in ids {
+                assert!(id < total, "member id {id} out of range");
+                out[id] = leaf_labels[leaf];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Leaves 0,1 merge at 1.0; leaves 2,3 at 1.5; the two pairs at 5.0.
+    fn two_pair_dendrogram() -> Dendrogram {
+        Dendrogram::new(
+            4,
+            vec![
+                Merge { a: 0, b: 1, dist: 1.0 },
+                Merge { a: 2, b: 3, dist: 1.5 },
+                Merge { a: 4, b: 5, dist: 5.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn cut_into_k_clusters() {
+        let d = two_pair_dendrogram();
+        assert_eq!(d.cut(1), vec![0, 0, 0, 0]);
+        let two = d.cut(2);
+        assert_eq!(two[0], two[1]);
+        assert_eq!(two[2], two[3]);
+        assert_ne!(two[0], two[2]);
+        assert_eq!(d.cut(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cut_at_distance_matches_heights() {
+        let d = two_pair_dendrogram();
+        assert_eq!(d.cut_at_distance(0.5), vec![0, 1, 2, 3]);
+        let at2 = d.cut_at_distance(2.0);
+        assert_eq!(at2[0], at2[1]);
+        assert_ne!(at2[0], at2[2]);
+        assert_eq!(d.cut_at_distance(10.0), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn singleton_dendrogram() {
+        let d = Dendrogram::new(1, vec![]);
+        assert_eq!(d.cut(1), vec![0]);
+        assert_eq!(d.n_leaves(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "has 3 merges")]
+    fn wrong_merge_count_panics() {
+        Dendrogram::new(4, vec![Merge { a: 0, b: 1, dist: 1.0 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unborn node")]
+    fn unborn_node_panics() {
+        Dendrogram::new(2, vec![Merge { a: 0, b: 5, dist: 1.0 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reuses a consumed node")]
+    fn reused_node_panics() {
+        Dendrogram::new(
+            3,
+            vec![Merge { a: 0, b: 1, dist: 1.0 }, Merge { a: 0, b: 2, dist: 2.0 }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_heights_panic() {
+        Dendrogram::new(
+            3,
+            vec![Merge { a: 0, b: 1, dist: 2.0 }, Merge { a: 2, b: 3, dist: 1.0 }],
+        );
+    }
+
+    #[test]
+    fn expand_cut_maps_members() {
+        let d = two_pair_dendrogram();
+        let labels = d.cut(2); // [0,0,1,1]
+        let members = vec![vec![0, 4], vec![1], vec![2, 5], vec![3]];
+        let expanded = d.expand_cut(&labels, &members);
+        assert_eq!(expanded, vec![0, 0, 1, 1, 0, 1]);
+    }
+}

@@ -1,0 +1,315 @@
+//! k-means (MacQueen 1967, Lloyd iterations) — the partitioning baseline
+//! (reference [8] of the Data Bubbles paper), including the
+//! sufficient-statistics variant of §2: a compressed item `(n, LS, ss)` is
+//! treated as the point `LS/n` with weight `n`.
+
+use db_birch::Cf;
+use db_spatial::Dataset;
+
+/// Parameters for [`kmeans`] / [`weighted_kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Seed for the k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        Self { k: 8, max_iters: 100, seed: 0 }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final cluster centers (`k` rows).
+    pub centers: Dataset,
+    /// Cluster index per input row.
+    pub assignment: Vec<u32>,
+    /// Weighted sum of squared distances to the assigned centers.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Standard k-means over a dataset (all weights 1).
+///
+/// ```
+/// use db_hierarchical::{kmeans, KMeansParams};
+/// use db_spatial::Dataset;
+/// let ds = Dataset::from_rows(1, &[&[0.0], &[0.1], &[9.0], &[9.1]]).unwrap();
+/// let r = kmeans(&ds, &KMeansParams { k: 2, max_iters: 20, seed: 1 });
+/// assert_eq!(r.assignment[0], r.assignment[1]);
+/// assert_ne!(r.assignment[0], r.assignment[2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > ds.len()`.
+pub fn kmeans(ds: &Dataset, params: &KMeansParams) -> KMeansResult {
+    let weights = vec![1.0; ds.len()];
+    weighted_kmeans(ds, &weights, params)
+}
+
+/// Weighted k-means: row `i` counts as `weights[i]` identical points.
+/// With rows `LS/n` and weights `n` this is exactly the paper's §2 recipe
+/// for clustering compressed data items.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > ds.len()`, lengths differ, or any weight is
+/// not positive and finite.
+pub fn weighted_kmeans(ds: &Dataset, weights: &[f64], params: &KMeansParams) -> KMeansResult {
+    assert!(params.k >= 1, "k must be positive");
+    assert!(params.k <= ds.len(), "k={} exceeds number of rows {}", params.k, ds.len());
+    assert_eq!(ds.len(), weights.len(), "one weight per row required");
+    assert!(
+        weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+        "weights must be positive and finite"
+    );
+    let k = params.k;
+    let dim = ds.dim();
+
+    let mut centers = kmeanspp_init(ds, weights, k, params.seed);
+    let mut assignment = vec![0u32; ds.len()];
+    let mut iterations = 0usize;
+
+    for _ in 0..params.max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in ds.iter().enumerate() {
+            let mut best = (0u32, f64::INFINITY);
+            for (c, center) in centers.chunks_exact(dim).enumerate() {
+                let d = db_spatial::euclidean_sq(p, center);
+                if d < best.1 {
+                    best = (c as u32, d);
+                }
+            }
+            if assignment[i] != best.0 {
+                assignment[i] = best.0;
+                changed = true;
+            }
+        }
+        // Update step: weighted means.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut mass = vec![0.0f64; k];
+        for (i, p) in ds.iter().enumerate() {
+            let c = assignment[i] as usize;
+            mass[c] += weights[i];
+            for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(p) {
+                *s += weights[i] * x;
+            }
+        }
+        for c in 0..k {
+            if mass[c] > 0.0 {
+                for (ctr, s) in
+                    centers[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..(c + 1) * dim])
+                {
+                    *ctr = s / mass[c];
+                }
+            }
+            // Empty clusters keep their previous center (rare with ++ init).
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut inertia = 0.0;
+    for (i, p) in ds.iter().enumerate() {
+        let c = assignment[i] as usize;
+        inertia += weights[i] * db_spatial::euclidean_sq(p, &centers[c * dim..(c + 1) * dim]);
+    }
+    KMeansResult {
+        centers: Dataset::from_flat(dim, centers).expect("centers well-formed"),
+        assignment,
+        inertia,
+        iterations,
+    }
+}
+
+/// Runs weighted k-means over clustering features, treating each CF as its
+/// centroid with weight `n` (paper §2).
+///
+/// # Panics
+///
+/// Panics if `cfs` is empty or contains an empty CF.
+pub fn weighted_kmeans_cfs(cfs: &[Cf], params: &KMeansParams) -> KMeansResult {
+    assert!(!cfs.is_empty(), "need at least one CF");
+    let dim = cfs[0].dim();
+    let mut ds = Dataset::with_capacity(dim, cfs.len()).expect("dim > 0");
+    let mut weights = Vec::with_capacity(cfs.len());
+    for cf in cfs {
+        ds.push(&cf.centroid()).expect("dim matches");
+        weights.push(cf.n() as f64);
+    }
+    weighted_kmeans(&ds, &weights, params)
+}
+
+/// Deterministic k-means++ initialization (weighted D² sampling).
+fn kmeanspp_init(ds: &Dataset, weights: &[f64], k: usize, seed: u64) -> Vec<f64> {
+    let dim = ds.dim();
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next_u64 = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut uniform = move || (next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+
+    let mut centers = Vec::with_capacity(k * dim);
+    // First center: weighted-uniform choice.
+    let total_w: f64 = weights.iter().sum();
+    let mut target = uniform() * total_w;
+    let mut first = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            first = i;
+            break;
+        }
+    }
+    centers.extend_from_slice(ds.point(first));
+
+    let mut d2: Vec<f64> = ds
+        .iter()
+        .zip(weights)
+        .map(|(p, &w)| w * db_spatial::euclidean_sq(p, ds.point(first)))
+        .collect();
+    for _ in 1..k {
+        let sum: f64 = d2.iter().sum();
+        let chosen = if sum > 0.0 {
+            let mut target = uniform() * sum;
+            let mut idx = 0;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        } else {
+            // All mass at existing centers: pick any remaining row.
+            (0..ds.len()).find(|&i| d2[i] > 0.0).unwrap_or(0)
+        };
+        let new_center = ds.point(chosen).to_vec();
+        for ((d, p), &w) in d2.iter_mut().zip(ds.iter()).zip(weights) {
+            *d = (*d).min(w * db_spatial::euclidean_sq(p, &new_center));
+        }
+        centers.extend_from_slice(&new_center);
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Dataset {
+        let mut ds = Dataset::new(2).unwrap();
+        for c in [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]] {
+            for i in 0..20 {
+                ds.push(&[c[0] + (i % 5) as f64 * 0.1, c[1] + (i / 5) as f64 * 0.1]).unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let ds = three_blobs();
+        let r = kmeans(&ds, &KMeansParams { k: 3, max_iters: 50, seed: 1 });
+        // Each ground-truth blob maps to a single k-means cluster.
+        for blob in 0..3 {
+            let first = r.assignment[blob * 20];
+            assert!(
+                r.assignment[blob * 20..(blob + 1) * 20].iter().all(|&a| a == first),
+                "blob {blob} split"
+            );
+        }
+        // And the three clusters are distinct.
+        let mut labels: Vec<u32> = (0..3).map(|b| r.assignment[b * 20]).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+        assert!(r.inertia < 20.0);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn k_equals_n_zero_inertia() {
+        let ds = Dataset::from_rows(1, &[&[0.0], &[5.0], &[9.0]]).unwrap();
+        let r = kmeans(&ds, &KMeansParams { k: 3, max_iters: 20, seed: 3 });
+        assert!(r.inertia < 1e-18);
+    }
+
+    #[test]
+    fn weighted_kmeans_respects_mass() {
+        // One heavy row and two light rows far away: with k=1 the center
+        // must sit close to the heavy row.
+        let ds = Dataset::from_rows(1, &[&[0.0], &[10.0], &[12.0]]).unwrap();
+        let r = weighted_kmeans(&ds, &[100.0, 1.0, 1.0], &KMeansParams { k: 1, max_iters: 10, seed: 0 });
+        let c = r.centers.point(0)[0];
+        assert!(c < 0.5, "center {c} pulled away from heavy mass");
+    }
+
+    #[test]
+    fn cfs_variant_approximates_full_kmeans() {
+        let ds = three_blobs();
+        // Compress each blob into one CF.
+        let mut cfs = Vec::new();
+        for blob in 0..3 {
+            let mut cf = Cf::empty(2);
+            for i in 0..20 {
+                cf.add_point(ds.point(blob * 20 + i));
+            }
+            cfs.push(cf);
+        }
+        let r = weighted_kmeans_cfs(&cfs, &KMeansParams { k: 3, max_iters: 20, seed: 5 });
+        // Every CF gets its own cluster and centers sit at blob centroids.
+        let mut assigned: Vec<u32> = r.assignment.clone();
+        assigned.sort_unstable();
+        assigned.dedup();
+        assert_eq!(assigned.len(), 3);
+        let full = kmeans(&ds, &KMeansParams { k: 3, max_iters: 50, seed: 5 });
+        // Compare center sets (order-free) coarsely.
+        for c in 0..3 {
+            let cc = r.centers.point(c);
+            let best = (0..3)
+                .map(|f| db_spatial::euclidean(cc, full.centers.point(f)))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 0.5, "center {c} off by {best}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = three_blobs();
+        let p = KMeansParams { k: 3, max_iters: 50, seed: 9 };
+        let a = kmeans(&ds, &p);
+        let b = kmeans(&ds, &p);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds number of rows")]
+    fn k_too_large_panics() {
+        let ds = Dataset::from_rows(1, &[&[0.0]]).unwrap();
+        kmeans(&ds, &KMeansParams { k: 2, max_iters: 5, seed: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_weights_panic() {
+        let ds = Dataset::from_rows(1, &[&[0.0], &[1.0]]).unwrap();
+        weighted_kmeans(&ds, &[1.0, 0.0], &KMeansParams { k: 1, max_iters: 5, seed: 0 });
+    }
+}

@@ -1,0 +1,288 @@
+//! The cluster ordering (reachability plot data) produced by OPTICS, and
+//! flat cluster extraction from it.
+
+/// Sentinel for an undefined (∞) reachability or core-distance.
+pub const UNDEFINED: f64 = f64::INFINITY;
+
+/// One position of the cluster ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderingEntry {
+    /// Object id (index into the space OPTICS ran on).
+    pub id: usize,
+    /// Reachability-distance w.r.t. the preceding walk
+    /// ([`UNDEFINED`] for walk starts).
+    pub reachability: f64,
+    /// Core-distance ([`UNDEFINED`] when not a core object).
+    pub core_distance: f64,
+    /// Number of original objects this entry represents (1 for plain
+    /// points; the summary weight for compressed objects).
+    pub weight: u64,
+}
+
+impl OrderingEntry {
+    /// Whether the reachability is defined (finite).
+    pub fn has_reachability(&self) -> bool {
+        self.reachability.is_finite()
+    }
+
+    /// Whether the entry is a core object (finite core-distance).
+    pub fn is_core(&self) -> bool {
+        self.core_distance.is_finite()
+    }
+}
+
+/// The augmented cluster ordering of an OPTICS run. `entries[0]` is the
+/// first object of the walk. Plotting `reachability` over the position
+/// yields the reachability plot; "dents" are clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOrdering {
+    /// Walk positions in order.
+    pub entries: Vec<OrderingEntry>,
+    /// The ε the ordering was computed with.
+    pub eps: f64,
+    /// The MinPts the ordering was computed with.
+    pub min_pts: usize,
+}
+
+impl ClusterOrdering {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ordering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The reachability values in walk order (∞ for undefined).
+    pub fn reachabilities(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.reachability).collect()
+    }
+
+    /// Position of each object id in the walk: `position()[id] = index into
+    /// entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are not the dense range `0..len` (they always are for
+    /// orderings produced by [`crate::optics`]).
+    pub fn positions(&self) -> Vec<usize> {
+        let mut pos = vec![usize::MAX; self.entries.len()];
+        for (walk_idx, e) in self.entries.iter().enumerate() {
+            assert!(e.id < pos.len(), "non-dense object ids");
+            pos[e.id] = walk_idx;
+        }
+        assert!(pos.iter().all(|&p| p != usize::MAX), "non-dense object ids");
+        pos
+    }
+
+    /// The weighted total number of original objects represented.
+    pub fn total_weight(&self) -> u64 {
+        self.entries.iter().map(|e| e.weight).sum()
+    }
+
+    /// Expands the ordering into a per-position plot where each entry is
+    /// repeated `weight` times (the paper's size-distortion fix of §5, in
+    /// its plot-only form: the first copy keeps the entry's reachability,
+    /// the remaining copies use `filler(entry, next_entry)`).
+    pub fn expand_plot(
+        &self,
+        mut filler: impl FnMut(&OrderingEntry, Option<&OrderingEntry>) -> f64,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.total_weight() as usize);
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push(e.reachability);
+            if e.weight > 1 {
+                let fill = filler(e, self.entries.get(i + 1));
+                out.extend(std::iter::repeat_n(fill, e.weight as usize - 1));
+            }
+        }
+        out
+    }
+}
+
+/// Median-smooths a reachability plot with a centered window of
+/// `2·half + 1` positions (∞ values participate and survive where they
+/// dominate the window). Point-level reachability plots are noisy; ξ-style
+/// steep-area extraction works much better on the smoothed signal, while
+/// dents and jumps are preserved (median filters are edge preserving).
+pub fn median_smooth(values: &[f64], half: usize) -> Vec<f64> {
+    if half == 0 || values.len() < 3 {
+        return values.to_vec();
+    }
+    let mut out = Vec::with_capacity(values.len());
+    let mut window: Vec<f64> = Vec::with_capacity(2 * half + 1);
+    for i in 0..values.len() {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(values.len());
+        window.clear();
+        window.extend_from_slice(&values[lo..hi]);
+        window.sort_by(f64::total_cmp);
+        out.push(window[window.len() / 2]);
+    }
+    out
+}
+
+/// Extracts a flat, DBSCAN-equivalent clustering from a cluster ordering
+/// with cut level `eps_cut` ≤ the ε of the run (§3.2.2 of the OPTICS
+/// paper). Returns one label per *object id* (not per walk position):
+/// `labels[id] = cluster id ≥ 0` or `-1` for noise.
+///
+/// `n_objects` must equal the number of ordering entries (the ids are
+/// dense).
+///
+/// # Panics
+///
+/// Panics if `n_objects != ordering.len()` or an id is out of range.
+pub fn extract_dbscan(ordering: &ClusterOrdering, eps_cut: f64, n_objects: usize) -> Vec<i32> {
+    assert_eq!(n_objects, ordering.len(), "id space must match ordering length");
+    let mut labels = vec![-1i32; n_objects];
+    let mut cluster = -1i32;
+    for e in &ordering.entries {
+        assert!(e.id < n_objects, "object id out of range");
+        if e.reachability > eps_cut {
+            // Jump: either a new cluster starts here (if the object itself
+            // is dense enough at eps_cut) or the object is noise.
+            if e.core_distance <= eps_cut {
+                cluster += 1;
+                labels[e.id] = cluster;
+            } else {
+                labels[e.id] = -1;
+            }
+        } else if cluster >= 0 {
+            labels[e.id] = cluster;
+        } else {
+            // Defined reachability before any cluster started can only
+            // happen with eps_cut ≥ eps on degenerate inputs; treat as a
+            // fresh cluster for robustness.
+            cluster += 1;
+            labels[e.id] = cluster;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: usize, reach: f64, core: f64, weight: u64) -> OrderingEntry {
+        OrderingEntry { id, reachability: reach, core_distance: core, weight }
+    }
+
+    fn two_cluster_ordering() -> ClusterOrdering {
+        // Cluster 0: positions 0-2, cluster 1: positions 3-5.
+        ClusterOrdering {
+            entries: vec![
+                entry(0, UNDEFINED, 0.5, 1),
+                entry(1, 0.4, 0.4, 1),
+                entry(2, 0.5, 0.6, 1),
+                entry(3, 9.0, 0.3, 1),
+                entry(4, 0.2, 0.2, 1),
+                entry(5, 0.3, 0.4, 1),
+            ],
+            eps: 10.0,
+            min_pts: 2,
+        }
+    }
+
+    #[test]
+    fn entry_flags() {
+        let e = entry(0, UNDEFINED, 1.0, 1);
+        assert!(!e.has_reachability());
+        assert!(e.is_core());
+        let e = entry(0, 0.5, UNDEFINED, 1);
+        assert!(e.has_reachability());
+        assert!(!e.is_core());
+    }
+
+    #[test]
+    fn positions_invert_the_walk() {
+        let o = two_cluster_ordering();
+        let pos = o.positions();
+        for (walk_idx, e) in o.entries.iter().enumerate() {
+            assert_eq!(pos[e.id], walk_idx);
+        }
+    }
+
+    #[test]
+    fn extract_dbscan_finds_two_clusters() {
+        let o = two_cluster_ordering();
+        let labels = extract_dbscan(&o, 1.0, 6);
+        assert_eq!(labels, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn extract_dbscan_marks_sparse_jumps_as_noise() {
+        let mut o = two_cluster_ordering();
+        // Make the jump object not dense at the cut level.
+        o.entries[3].core_distance = 5.0;
+        let labels = extract_dbscan(&o, 1.0, 6);
+        assert_eq!(labels[3], -1);
+        // Followers still open cluster 1? No — they attach to the previous
+        // cluster because their reachability is small. This mirrors the
+        // OPTICS-paper pseudocode, which only starts clusters at jumps.
+        assert_eq!(labels[4], 0);
+    }
+
+    #[test]
+    fn expand_plot_repeats_by_weight() {
+        let o = ClusterOrdering {
+            entries: vec![entry(0, UNDEFINED, 0.1, 3), entry(1, 0.5, 0.2, 2)],
+            eps: 1.0,
+            min_pts: 2,
+        };
+        assert_eq!(o.total_weight(), 5);
+        let plot = o.expand_plot(|e, next| {
+            // weighted-style filler: min(own, next) reachability
+            let own = e.reachability;
+            next.map_or(own, |n| own.min(n.reachability))
+        });
+        assert_eq!(plot.len(), 5);
+        assert!(plot[0].is_infinite());
+        assert_eq!(plot[1], 0.5); // filler for entry 0: min(inf, 0.5)
+        assert_eq!(plot[2], 0.5);
+        assert_eq!(plot[3], 0.5); // entry 1 itself
+        assert_eq!(plot[4], 0.5); // filler for entry 1 (no next)
+    }
+
+    #[test]
+    #[should_panic(expected = "id space must match")]
+    fn extract_dbscan_checks_length() {
+        extract_dbscan(&two_cluster_ordering(), 1.0, 5);
+    }
+
+    #[test]
+    fn median_smooth_removes_spikes_keeps_edges() {
+        // A step edge with one spike.
+        let mut v = vec![1.0; 10];
+        v[4] = 100.0; // spike
+        v.extend(vec![10.0; 10]);
+        let s = median_smooth(&v, 2);
+        assert_eq!(s.len(), v.len());
+        assert!((s[4] - 1.0).abs() < 1e-12, "spike not removed: {}", s[4]);
+        // The edge survives within the window width.
+        assert!((s[2] - 1.0).abs() < 1e-12);
+        assert!((s[15] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_smooth_degenerate_inputs() {
+        assert_eq!(median_smooth(&[1.0, 2.0], 3), vec![1.0, 2.0]);
+        assert_eq!(median_smooth(&[1.0, 5.0, 9.0], 0), vec![1.0, 5.0, 9.0]);
+        let inf = vec![f64::INFINITY; 5];
+        assert!(median_smooth(&inf, 1).iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn reachabilities_accessor() {
+        let o = two_cluster_ordering();
+        let r = o.reachabilities();
+        assert_eq!(r.len(), 6);
+        assert!(r[0].is_infinite());
+        assert_eq!(r[3], 9.0);
+        assert!(!o.is_empty());
+        assert_eq!(o.len(), 6);
+    }
+}

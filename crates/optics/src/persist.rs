@@ -1,0 +1,219 @@
+//! Persistence for cluster orderings: a plain-text format so orderings can
+//! be written once and re-analyzed later (the paper's pipelines likewise
+//! write the final cluster ordering back to disk).
+//!
+//! Format: a header line `# optics-ordering eps=<e> min_pts=<m>` followed
+//! by one CSV row `id,reachability,core_distance,weight` per walk
+//! position. Infinite distances serialize as `inf`.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::ordering::{ClusterOrdering, OrderingEntry};
+
+/// Errors of the ordering reader.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Format { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn fmt_dist(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+fn parse_dist(s: &str, line: usize) -> Result<f64, PersistError> {
+    if s == "inf" {
+        return Ok(f64::INFINITY);
+    }
+    s.parse().map_err(|_| PersistError::Format {
+        line,
+        message: format!("cannot parse distance {s:?}"),
+    })
+}
+
+/// Writes an ordering in the text format.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure.
+pub fn write_ordering(ordering: &ClusterOrdering, writer: impl Write) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# optics-ordering eps={} min_pts={}",
+        fmt_dist(ordering.eps),
+        ordering.min_pts
+    )?;
+    for e in &ordering.entries {
+        writeln!(
+            w,
+            "{},{},{},{}",
+            e.id,
+            fmt_dist(e.reachability),
+            fmt_dist(e.core_distance),
+            e.weight
+        )?;
+    }
+    w.flush()
+}
+
+/// Reads an ordering written by [`write_ordering`].
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or malformed content.
+pub fn read_ordering(reader: impl Read) -> Result<ClusterOrdering, PersistError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = lines.next().ok_or(PersistError::Format {
+        line: 1,
+        message: "empty file".to_string(),
+    })?;
+    let header = header?;
+    let rest = header.strip_prefix("# optics-ordering ").ok_or_else(|| PersistError::Format {
+        line: 1,
+        message: "missing '# optics-ordering' header".to_string(),
+    })?;
+    let mut eps = f64::INFINITY;
+    let mut min_pts = 1usize;
+    for field in rest.split_whitespace() {
+        if let Some(v) = field.strip_prefix("eps=") {
+            eps = parse_dist(v, 1)?;
+        } else if let Some(v) = field.strip_prefix("min_pts=") {
+            min_pts = v.parse().map_err(|_| PersistError::Format {
+                line: 1,
+                message: format!("cannot parse min_pts {v:?}"),
+            })?;
+        }
+    }
+
+    let mut entries = Vec::new();
+    for (idx, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut next = |name: &str| {
+            fields.next().ok_or_else(|| PersistError::Format {
+                line: idx + 1,
+                message: format!("missing field {name}"),
+            })
+        };
+        let id: usize = next("id")?.trim().parse().map_err(|_| PersistError::Format {
+            line: idx + 1,
+            message: "cannot parse id".to_string(),
+        })?;
+        let reachability = parse_dist(next("reachability")?.trim(), idx + 1)?;
+        let core_distance = parse_dist(next("core_distance")?.trim(), idx + 1)?;
+        let weight: u64 = next("weight")?.trim().parse().map_err(|_| PersistError::Format {
+            line: idx + 1,
+            message: "cannot parse weight".to_string(),
+        })?;
+        entries.push(OrderingEntry { id, reachability, core_distance, weight });
+    }
+    Ok(ClusterOrdering { entries, eps, min_pts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::UNDEFINED;
+
+    fn sample() -> ClusterOrdering {
+        ClusterOrdering {
+            entries: vec![
+                OrderingEntry { id: 2, reachability: UNDEFINED, core_distance: 0.5, weight: 10 },
+                OrderingEntry { id: 0, reachability: 0.25, core_distance: UNDEFINED, weight: 1 },
+                OrderingEntry { id: 1, reachability: 1e-300, core_distance: 3.5, weight: 7 },
+            ],
+            eps: 12.5,
+            min_pts: 4,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let o = sample();
+        let mut buf = Vec::new();
+        write_ordering(&o, &mut buf).unwrap();
+        let back = read_ordering(buf.as_slice()).unwrap();
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn infinite_eps_round_trips() {
+        let mut o = sample();
+        o.eps = f64::INFINITY;
+        let mut buf = Vec::new();
+        write_ordering(&o, &mut buf).unwrap();
+        let back = read_ordering(buf.as_slice()).unwrap();
+        assert!(back.eps.is_infinite());
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let r = read_ordering("1,2,3,4\n".as_bytes());
+        assert!(matches!(r, Err(PersistError::Format { line: 1, .. })));
+    }
+
+    #[test]
+    fn bad_field_reports_line() {
+        let input = "# optics-ordering eps=1 min_pts=2\n0,notanumber,1,1\n";
+        match read_ordering(input.as_bytes()) {
+            Err(PersistError::Format { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("notanumber"));
+            }
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        assert!(read_ordering("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let input = "# optics-ordering eps=1 min_pts=2\n\n# note\n3,0.5,0.25,2\n";
+        let o = read_ordering(input.as_bytes()).unwrap();
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.entries[0].id, 3);
+        assert_eq!(o.entries[0].weight, 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PersistError::Format { line: 7, message: "boom".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

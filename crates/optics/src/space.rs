@@ -1,0 +1,154 @@
+//! The [`OpticsSpace`] abstraction and its implementation for plain vector
+//! data.
+
+use db_spatial::{auto_index, AnyIndex, Dataset, Neighbor, SpatialIndex};
+
+/// Parameters of an OPTICS run: the generating distance ε and the density
+/// threshold MinPts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpticsParams {
+    /// Generating distance ε. Use `f64::INFINITY` for an unbounded run
+    /// (always produces fully defined reachabilities, at O(n²) cost).
+    pub eps: f64,
+    /// Minimum number of *original* objects for a core object. For
+    /// compressed spaces the weights of the summaries count, not the number
+    /// of summaries (Def. 7 of the Data Bubbles paper).
+    pub min_pts: usize,
+}
+
+impl Default for OpticsParams {
+    fn default() -> Self {
+        Self { eps: f64::INFINITY, min_pts: 5 }
+    }
+}
+
+/// What the OPTICS walk needs from a collection of objects.
+///
+/// Implementations exist for plain points ([`PointSpace`]) and for Data
+/// Bubbles (in the `data-bubbles` crate).
+pub trait OpticsSpace {
+    /// Number of objects.
+    fn len(&self) -> usize;
+
+    /// Whether there are no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes the ε-neighbourhood of object `i` into `out` (cleared first),
+    /// **sorted ascending by distance**, *including* object `i` itself at
+    /// distance 0.
+    fn neighborhood(&self, i: usize, eps: f64, out: &mut Vec<Neighbor>);
+
+    /// Number of original data objects represented by object `i`
+    /// (1 for plain points, `n` for summaries).
+    fn weight(&self, i: usize) -> u64;
+
+    /// The core-distance of object `i` given its ε-neighbourhood (as
+    /// produced by [`OpticsSpace::neighborhood`]). `None` encodes ∞
+    /// (not a core object).
+    fn core_distance(&self, i: usize, min_pts: usize, neighborhood: &[Neighbor]) -> Option<f64>;
+}
+
+/// [`OpticsSpace`] over a plain [`Dataset`]: Definitions 2–3 of the Data
+/// Bubbles paper (= the original OPTICS definitions).
+#[derive(Debug)]
+pub struct PointSpace<'a> {
+    ds: &'a Dataset,
+    index: AnyIndex,
+}
+
+impl<'a> PointSpace<'a> {
+    /// Builds the space with an automatically chosen index ([`auto_index`])
+    /// using `eps_hint` as the grid cell width hint.
+    pub fn new(ds: &'a Dataset, eps_hint: Option<f64>) -> Self {
+        Self { ds, index: auto_index(ds, eps_hint) }
+    }
+
+    /// Builds the space with an explicitly chosen index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was not built over `ds` (length mismatch).
+    pub fn with_index(ds: &'a Dataset, index: AnyIndex) -> Self {
+        assert_eq!(ds.len(), index.len(), "index/dataset mismatch");
+        Self { ds, index }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        self.ds
+    }
+}
+
+impl OpticsSpace for PointSpace<'_> {
+    fn len(&self) -> usize {
+        self.ds.len()
+    }
+
+    fn neighborhood(&self, i: usize, eps: f64, out: &mut Vec<Neighbor>) {
+        self.index.range(self.ds, self.ds.point(i), eps, out);
+    }
+
+    fn weight(&self, _i: usize) -> u64 {
+        1
+    }
+
+    fn core_distance(&self, _i: usize, min_pts: usize, neighborhood: &[Neighbor]) -> Option<f64> {
+        // Definition 3: MinPts-distance if at least MinPts objects lie in
+        // the ε-neighbourhood (the object itself counts), else ∞.
+        (neighborhood.len() >= min_pts).then(|| neighborhood[min_pts - 1].dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::from_rows(1, &[&[0.0], &[1.0], &[2.0], &[10.0]]).unwrap()
+    }
+
+    #[test]
+    fn neighborhood_includes_self_sorted() {
+        let d = ds();
+        let space = PointSpace::new(&d, Some(2.0));
+        let mut out = Vec::new();
+        space.neighborhood(1, 1.5, &mut out);
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 0, 2]);
+        assert_eq!(out[0].dist, 0.0);
+    }
+
+    #[test]
+    fn core_distance_definition_3() {
+        let d = ds();
+        let space = PointSpace::new(&d, None);
+        let mut out = Vec::new();
+        space.neighborhood(0, 2.5, &mut out); // {0, 1, 2}
+        // MinPts=3: core-dist = distance to 3rd closest (incl. self) = 2.0.
+        assert_eq!(space.core_distance(0, 3, &out), Some(2.0));
+        // MinPts=4: only 3 objects in the neighbourhood -> not core.
+        assert_eq!(space.core_distance(0, 4, &out), None);
+        // MinPts=1: the object itself, distance 0.
+        assert_eq!(space.core_distance(0, 1, &out), Some(0.0));
+    }
+
+    #[test]
+    fn weight_is_one_for_points() {
+        let d = ds();
+        let space = PointSpace::new(&d, None);
+        assert_eq!(space.weight(0), 1);
+        assert_eq!(space.len(), 4);
+        assert!(!space.is_empty());
+        assert_eq!(space.dataset().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "index/dataset mismatch")]
+    fn with_index_checks_length() {
+        let a = ds();
+        let b = Dataset::from_rows(1, &[&[0.0]]).unwrap();
+        let idx = auto_index(&b, None);
+        PointSpace::with_index(&a, idx);
+    }
+}

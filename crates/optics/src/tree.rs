@@ -1,0 +1,215 @@
+//! The cluster hierarchy: ξ-clusters ([`crate::extract_xi`]) arranged into
+//! a containment forest — OPTICS' answer to the dendrogram, restricted to
+//! the significant clusters.
+
+use crate::xi::XiCluster;
+
+/// One node of the cluster tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterNode {
+    /// The walk-position interval of this cluster.
+    pub cluster: XiCluster,
+    /// Indices (into [`ClusterTree::nodes`]) of the directly nested
+    /// clusters.
+    pub children: Vec<usize>,
+}
+
+/// A containment forest over extracted ξ-clusters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterTree {
+    /// All nodes; children always have larger indices than their parent.
+    pub nodes: Vec<ClusterNode>,
+    /// Indices of the top-level clusters.
+    pub roots: Vec<usize>,
+}
+
+impl ClusterTree {
+    /// Builds the forest from a set of intervals. Intervals must be either
+    /// disjoint or nested (which [`crate::extract_xi`] guarantees up to
+    /// boundary overlaps; partially overlapping intervals are attached to
+    /// the candidate parent that contains them fully, or become roots).
+    pub fn build(clusters: &[XiCluster]) -> ClusterTree {
+        let mut sorted: Vec<XiCluster> = clusters.to_vec();
+        // Outer intervals first: by start ascending, then size descending.
+        sorted.sort_by(|a, b| a.start.cmp(&b.start).then(b.len().cmp(&a.len())));
+        sorted.dedup();
+
+        let mut tree = ClusterTree::default();
+        // Stack of currently open ancestors (indices into tree.nodes).
+        let mut stack: Vec<usize> = Vec::new();
+        for c in sorted {
+            while let Some(&top) = stack.last() {
+                if tree.nodes[top].cluster.contains(&c) {
+                    break;
+                }
+                stack.pop();
+            }
+            let idx = tree.nodes.len();
+            tree.nodes.push(ClusterNode { cluster: c, children: Vec::new() });
+            match stack.last() {
+                Some(&parent) => tree.nodes[parent].children.push(idx),
+                None => tree.roots.push(idx),
+            }
+            stack.push(idx);
+        }
+        tree
+    }
+
+    /// Number of clusters in the forest.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Maximum nesting depth (0 for an empty forest, 1 for flat clusters).
+    pub fn depth(&self) -> usize {
+        fn rec(tree: &ClusterTree, node: usize) -> usize {
+            1 + tree.nodes[node].children.iter().map(|&c| rec(tree, c)).max().unwrap_or(0)
+        }
+        self.roots.iter().map(|&r| rec(self, r)).max().unwrap_or(0)
+    }
+
+    /// Number of leaf clusters (no nested sub-cluster).
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.children.is_empty()).count()
+    }
+
+    /// Returns a simplified forest where a cluster is dropped whenever it
+    /// shrinks its parent by less than `min_shrink` (fraction of the
+    /// parent's length). Steep-area extraction tends to emit stacks of
+    /// near-identical nested intervals; this keeps one per stack.
+    pub fn simplify(&self, min_shrink: f64) -> ClusterTree {
+        fn keep(tree: &ClusterTree, node: usize, parent_len: usize, min_shrink: f64, out: &mut Vec<XiCluster>) {
+            let c = tree.nodes[node].cluster;
+            let significant = (parent_len as f64 - c.len() as f64) >= min_shrink * parent_len as f64;
+            let effective_parent = if significant {
+                out.push(c);
+                c.len()
+            } else {
+                parent_len
+            };
+            for &ch in &tree.nodes[node].children {
+                keep(tree, ch, effective_parent, min_shrink, out);
+            }
+        }
+        let mut kept = Vec::new();
+        for &r in &self.roots {
+            keep(self, r, usize::MAX, min_shrink, &mut kept);
+        }
+        ClusterTree::build(&kept)
+    }
+
+    /// Renders the forest as an indented outline (for reports).
+    pub fn render(&self) -> String {
+        fn rec(tree: &ClusterTree, node: usize, depth: usize, out: &mut String) {
+            let c = &tree.nodes[node].cluster;
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("[{}..{}] ({} positions)\n", c.start, c.end, c.len()));
+            for &ch in &tree.nodes[node].children {
+                rec(tree, ch, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        for &r in &self.roots {
+            rec(self, r, 0, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(start: usize, end: usize) -> XiCluster {
+        XiCluster { start, end }
+    }
+
+    #[test]
+    fn flat_clusters_are_all_roots() {
+        let t = ClusterTree::build(&[c(0, 9), c(20, 29), c(40, 49)]);
+        assert_eq!(t.roots.len(), 3);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.n_leaves(), 3);
+    }
+
+    #[test]
+    fn nested_clusters_form_a_tree() {
+        let t = ClusterTree::build(&[c(0, 100), c(10, 30), c(40, 80), c(50, 60)]);
+        assert_eq!(t.roots.len(), 1);
+        assert_eq!(t.depth(), 3);
+        let root = &t.nodes[t.roots[0]];
+        assert_eq!(root.cluster, c(0, 100));
+        assert_eq!(root.children.len(), 2);
+        // The [40..80] child contains [50..60].
+        let mid = root
+            .children
+            .iter()
+            .find(|&&ch| t.nodes[ch].cluster == c(40, 80))
+            .expect("mid cluster present");
+        assert_eq!(t.nodes[*mid].children.len(), 1);
+        assert_eq!(t.nodes[t.nodes[*mid].children[0]].cluster, c(50, 60));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let t = ClusterTree::build(&[c(50, 60), c(0, 100), c(10, 30)]);
+        assert_eq!(t.roots.len(), 1);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let t = ClusterTree::build(&[c(0, 10), c(0, 10)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = ClusterTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let t = ClusterTree::build(&[c(0, 100), c(10, 30)]);
+        let r = t.render();
+        assert!(r.contains("[0..100]"));
+        assert!(r.contains("  [10..30]"));
+    }
+
+    #[test]
+    fn simplify_collapses_near_identical_stacks() {
+        // A stack of nearly identical intervals plus one genuinely nested
+        // cluster.
+        let t = ClusterTree::build(&[c(0, 100), c(0, 99), c(1, 99), c(20, 40)]);
+        assert_eq!(t.depth(), 4);
+        let s = t.simplify(0.1);
+        assert_eq!(s.depth(), 2, "stack should collapse: {}", s.render());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.nodes[s.roots[0]].cluster, c(0, 100));
+    }
+
+    #[test]
+    fn simplify_keeps_flat_forests() {
+        let t = ClusterTree::build(&[c(0, 9), c(20, 29)]);
+        let s = t.simplify(0.2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.roots.len(), 2);
+    }
+
+    #[test]
+    fn same_start_nests_by_size() {
+        let t = ClusterTree::build(&[c(0, 50), c(0, 20)]);
+        assert_eq!(t.roots.len(), 1);
+        assert_eq!(t.nodes[t.roots[0]].cluster, c(0, 50));
+        assert_eq!(t.depth(), 2);
+    }
+}

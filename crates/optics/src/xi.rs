@@ -1,0 +1,323 @@
+//! ξ-cluster extraction: finds the "dents" of a reachability plot as
+//! hierarchical clusters, following the steep-area method of the OPTICS
+//! paper (§4.3, Figure 19).
+//!
+//! A point is ξ-steep downward when its reachability drops by at least a
+//! factor `1−ξ` to its successor, and ξ-steep upward symmetrically. A
+//! cluster is a pair of a steep-down area and a steep-up area satisfying
+//! the paper's cluster conditions; clusters may nest, yielding the
+//! hierarchy.
+
+use crate::ordering::ClusterOrdering;
+
+/// One extracted cluster: an inclusive interval of *walk positions*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XiCluster {
+    /// First walk position of the cluster.
+    pub start: usize,
+    /// Last walk position of the cluster (inclusive).
+    pub end: usize,
+}
+
+impl XiCluster {
+    /// Number of walk positions covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Intervals are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    pub fn contains(&self, other: &XiCluster) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+#[derive(Debug)]
+struct SteepDownArea {
+    start: usize,
+    end: usize,
+    mib: f64,
+    start_val: f64,
+}
+
+/// Extracts ξ-clusters from a cluster ordering.
+///
+/// * `xi` — steepness threshold in `(0, 1)`; larger values require sharper
+///   cliffs and extract fewer clusters.
+/// * `min_cluster_size` — minimum number of walk positions per cluster
+///   (the OPTICS paper uses MinPts).
+///
+/// Returns clusters sorted by start position, larger (outer) clusters
+/// before nested ones with the same start.
+///
+/// ```
+/// use db_optics::{extract_xi, optics_points, OpticsParams};
+/// use db_spatial::Dataset;
+/// let mut ds = Dataset::new(1).unwrap();
+/// for i in 0..30 {
+///     ds.push(&[i as f64 * 0.1]).unwrap(); // dense run
+///     ds.push(&[100.0 + i as f64 * 0.1]).unwrap(); // second dense run
+/// }
+/// let o = optics_points(&ds, &OpticsParams { eps: f64::INFINITY, min_pts: 3 });
+/// let clusters = extract_xi(&o, 0.3, 5);
+/// assert!(clusters.len() >= 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `xi` is not in `(0, 1)`.
+pub fn extract_xi(
+    ordering: &ClusterOrdering,
+    xi: f64,
+    min_cluster_size: usize,
+) -> Vec<XiCluster> {
+    assert!(xi > 0.0 && xi < 1.0, "xi must be in (0, 1)");
+    let n = ordering.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let r: Vec<f64> = ordering.reachabilities();
+    // Reachability "after the end" is ∞: the plot conceptually rises at n.
+    let rv = |i: usize| if i >= n { f64::INFINITY } else { r[i] };
+    let ixi = 1.0 - xi;
+    // On an infinite plateau (r[i]=r[i+1]=∞), neither steep-down nor
+    // steep-up should trigger; ∞·(1−ξ) ≥ ∞ is true in IEEE, so guard.
+    let steep_down = |i: usize| {
+        let (a, b) = (rv(i), rv(i + 1));
+        a.is_finite() && (b == 0.0 || a * ixi >= b) && a > b || (a.is_infinite() && b.is_finite())
+    };
+    let down = |i: usize| rv(i) >= rv(i + 1);
+    let steep_up = |i: usize| {
+        let (a, b) = (rv(i), rv(i + 1));
+        b.is_infinite() && a.is_finite() || (b.is_finite() && a <= b * ixi && a < b)
+    };
+    let up = |i: usize| rv(i) <= rv(i + 1);
+
+    let min_pts = ordering.min_pts.max(1);
+    let mut sdas: Vec<SteepDownArea> = Vec::new();
+    let mut clusters: Vec<XiCluster> = Vec::new();
+    let mut index = 0usize;
+    let mut mib = 0.0f64;
+
+    // Note `index` runs to n-1 inclusive: rv(n) is conceptually ∞, so a
+    // plot that ends inside a dent still closes its final steep-up area.
+    while index < n {
+        mib = mib.max(rv(index));
+        if steep_down(index) {
+            filter_sdas(&mut sdas, mib, ixi);
+            // Extend the steep down area.
+            let start = index;
+            let mut end = index;
+            let mut flat = 0usize;
+            let mut j = index + 1;
+            while j < n {
+                if steep_down(j) {
+                    end = j;
+                    flat = 0;
+                } else if down(j) {
+                    flat += 1;
+                    if flat >= min_pts {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+                j += 1;
+            }
+            sdas.push(SteepDownArea { start, end, mib: 0.0, start_val: rv(start) });
+            index = end + 1;
+            mib = rv(index);
+        } else if steep_up(index) {
+            filter_sdas(&mut sdas, mib, ixi);
+            // Extend the steep up area.
+            let u_start = index;
+            let mut u_end = index;
+            let mut flat = 0usize;
+            let mut j = index + 1;
+            while j < n {
+                if steep_up(j) {
+                    u_end = j;
+                    flat = 0;
+                } else if up(j) {
+                    flat += 1;
+                    if flat >= min_pts {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+                j += 1;
+            }
+            index = u_end + 1;
+            mib = rv(index);
+            let end_val = rv(u_end + 1);
+
+            for d in &sdas {
+                let start_val = rv(d.start);
+                // Cluster condition 3b/sc2*: the maximum reachability inside
+                // the candidate must be clearly below both boundaries.
+                if d.mib > start_val.min(end_val) * ixi {
+                    continue;
+                }
+                // Condition 4: align the higher boundary with the lower one.
+                let mut cstart = d.start;
+                let mut cend = u_end;
+                if end_val.is_finite() && start_val * ixi >= end_val {
+                    // Steep-down start is much higher: trim from the left.
+                    while cstart < cend && rv(cstart + 1) > end_val {
+                        cstart += 1;
+                    }
+                } else if start_val.is_finite() && end_val * ixi >= start_val {
+                    // Steep-up end is much higher: trim from the right.
+                    while cend > cstart && rv(cend) > start_val {
+                        cend -= 1;
+                    }
+                }
+                // Conditions 1, 2, 3a: interval spans both areas and is
+                // large enough.
+                if cend <= cstart {
+                    continue;
+                }
+                if cend - cstart + 1 < min_cluster_size {
+                    continue;
+                }
+                if cstart > d.end || cend < u_start {
+                    continue;
+                }
+                clusters.push(XiCluster { start: cstart, end: cend });
+            }
+        } else {
+            index += 1;
+        }
+    }
+
+    // Drop the trivial whole-plot cluster ("everything is one cluster"),
+    // which the artificial ∞ boundaries at both ends would otherwise emit
+    // for any plot.
+    clusters.retain(|c| !(c.start == 0 && c.end == n - 1));
+    clusters.sort_by(|a, b| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
+    clusters.dedup();
+    clusters
+}
+
+/// Removes steep-down areas whose start is no longer sufficiently above the
+/// maximum seen since (`mib`), and records `mib` into the survivors
+/// (the "update mib-values and filter SetOfSteepDownAreas" step of
+/// Figure 19 in the OPTICS paper).
+fn filter_sdas(sdas: &mut Vec<SteepDownArea>, mib: f64, ixi: f64) {
+    sdas.retain_mut(|d| {
+        if d.start_val * ixi < mib {
+            false
+        } else {
+            d.mib = d.mib.max(mib);
+            true
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::{ClusterOrdering, OrderingEntry, UNDEFINED};
+
+    fn ordering_from(reach: &[f64], min_pts: usize) -> ClusterOrdering {
+        ClusterOrdering {
+            entries: reach
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| OrderingEntry {
+                    id: i,
+                    reachability: if i == 0 { UNDEFINED } else { r },
+                    core_distance: r.min(1.0),
+                    weight: 1,
+                })
+                .collect(),
+            eps: f64::INFINITY,
+            min_pts,
+        }
+    }
+
+    /// A plot with two clear dents separated by a plateau.
+    fn two_dents() -> Vec<f64> {
+        let mut r = vec![5.0; 10];
+        r.extend(vec![0.5; 15]); // dent 1: positions 10..25
+        r.extend(vec![5.0; 10]);
+        r.extend(vec![0.7; 15]); // dent 2: positions 35..50
+        r.extend(vec![5.0; 10]);
+        r
+    }
+
+    #[test]
+    fn finds_both_dents() {
+        let o = ordering_from(&two_dents(), 3);
+        let clusters = extract_xi(&o, 0.3, 5);
+        assert!(
+            clusters.iter().any(|c| c.start <= 10 && (24..=26).contains(&c.end)),
+            "first dent missing: {clusters:?}"
+        );
+        assert!(
+            clusters.iter().any(|c| (33..=35).contains(&c.start) && (49..=51).contains(&c.end)),
+            "second dent missing: {clusters:?}"
+        );
+    }
+
+    #[test]
+    fn nested_dents_produce_nested_clusters() {
+        // Outer dent at 1.0 with an inner dent at 0.1.
+        let mut r = vec![5.0; 10];
+        r.extend(vec![1.0; 10]); // outer, 10..
+        r.extend(vec![0.1; 10]); // inner, 20..30
+        r.extend(vec![1.0; 10]); // outer continues
+        r.extend(vec![5.0; 10]);
+        let o = ordering_from(&r, 3);
+        let clusters = extract_xi(&o, 0.3, 5);
+        let outer = clusters.iter().find(|c| c.len() > 25).expect("outer cluster");
+        let inner = clusters.iter().find(|c| c.len() < 15).expect("inner cluster");
+        assert!(outer.contains(inner), "outer {outer:?} should contain inner {inner:?}");
+    }
+
+    #[test]
+    fn flat_plot_has_no_clusters() {
+        let o = ordering_from(&vec![1.0; 50], 3);
+        assert!(extract_xi(&o, 0.1, 5).is_empty());
+    }
+
+    #[test]
+    fn min_cluster_size_filters_small_dents() {
+        let mut r = vec![5.0; 10];
+        r.extend(vec![0.5; 3]); // tiny dent
+        r.extend(vec![5.0; 10]);
+        let o = ordering_from(&r, 2);
+        let clusters = extract_xi(&o, 0.3, 10);
+        assert!(clusters.is_empty(), "tiny dent should be filtered: {clusters:?}");
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let a = XiCluster { start: 2, end: 10 };
+        let b = XiCluster { start: 3, end: 9 };
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert_eq!(a.len(), 9);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "xi must be in")]
+    fn rejects_bad_xi() {
+        let o = ordering_from(&[1.0, 2.0], 2);
+        extract_xi(&o, 1.5, 2);
+    }
+
+    #[test]
+    fn short_orderings_yield_nothing() {
+        let o = ordering_from(&[1.0], 2);
+        assert!(extract_xi(&o, 0.1, 1).is_empty());
+        let o = ordering_from(&[], 2);
+        assert!(extract_xi(&o, 0.1, 1).is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests of the OPTICS walk and the extraction utilities on
+//! arbitrary point data.
+
+use db_optics::{
+    dbscan, extract_dbscan, extract_xi, median_smooth, optics_points, OpticsParams,
+};
+use db_spatial::Dataset;
+use proptest::prelude::*;
+
+fn dataset_strategy(max_n: usize, dim: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, dim), 2..max_n).prop_map(
+        move |rows| {
+            let mut ds = Dataset::new(dim).unwrap();
+            for r in &rows {
+                ds.push(r).unwrap();
+            }
+            ds
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cluster ordering visits every object exactly once.
+    #[test]
+    fn ordering_is_a_permutation(
+        ds in dataset_strategy(150, 2),
+        eps in 0.5f64..200.0,
+        min_pts in 1usize..10,
+    ) {
+        let o = optics_points(&ds, &OpticsParams { eps, min_pts });
+        prop_assert_eq!(o.len(), ds.len());
+        let mut ids: Vec<usize> = o.entries.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..ds.len()).collect::<Vec<_>>());
+    }
+
+    /// Reachabilities never under-run the core distance of the predecessor
+    /// structure: every finite reachability is at least the distance to
+    /// *some* previously processed object's core distance. We check the
+    /// weaker but exact invariant that reachability ≥ 0 and core-distances
+    /// are ≤ eps when defined.
+    #[test]
+    fn distances_respect_bounds(
+        ds in dataset_strategy(120, 2),
+        eps in 0.5f64..100.0,
+        min_pts in 1usize..8,
+    ) {
+        let o = optics_points(&ds, &OpticsParams { eps, min_pts });
+        for e in &o.entries {
+            if e.is_core() {
+                prop_assert!(e.core_distance >= 0.0);
+                prop_assert!(e.core_distance <= eps + 1e-9);
+            }
+            if e.has_reachability() {
+                prop_assert!(e.reachability >= 0.0);
+            }
+        }
+    }
+
+    /// With ε = ∞ and MinPts = 1 every object is core and only the first
+    /// walk position has undefined reachability.
+    #[test]
+    fn unbounded_run_is_fully_connected(ds in dataset_strategy(80, 3)) {
+        let o = optics_points(&ds, &OpticsParams { eps: f64::INFINITY, min_pts: 1 });
+        let undefined = o.entries.iter().filter(|e| !e.has_reachability()).count();
+        prop_assert_eq!(undefined, 1);
+        prop_assert!(o.entries.iter().all(|e| e.is_core()));
+    }
+
+    /// Flat extraction yields a valid labeling: labels in {-1} ∪ [0, k),
+    /// every cluster id that appears is dense (no gaps).
+    #[test]
+    fn extraction_labels_are_dense(
+        ds in dataset_strategy(120, 2),
+        eps in 1.0f64..100.0,
+        cut_frac in 0.05f64..1.0,
+    ) {
+        let o = optics_points(&ds, &OpticsParams { eps, min_pts: 3 });
+        let labels = extract_dbscan(&o, eps * cut_frac, ds.len());
+        prop_assert_eq!(labels.len(), ds.len());
+        let max = labels.iter().copied().max().unwrap_or(-1);
+        for l in 0..=max {
+            prop_assert!(labels.contains(&l), "label {l} missing below max {max}");
+        }
+        prop_assert!(labels.iter().all(|&l| l >= -1));
+    }
+
+    /// DBSCAN and OPTICS-based extraction agree on the number of dense
+    /// clusters when run with identical parameters (cluster memberships can
+    /// differ on border points only).
+    #[test]
+    fn dbscan_and_extraction_cluster_counts_match(
+        ds in dataset_strategy(100, 2),
+        eps in 1.0f64..30.0,
+    ) {
+        let min_pts = 4;
+        let direct = dbscan(&ds, eps, min_pts);
+        let o = optics_points(&ds, &OpticsParams { eps: eps * 2.0, min_pts });
+        let extracted = extract_dbscan(&o, eps, ds.len());
+        let count = |labels: &[i32]| {
+            let mut v: Vec<i32> = labels.iter().copied().filter(|&l| l >= 0).collect();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        prop_assert_eq!(count(&direct), count(&extracted));
+    }
+
+    /// ξ clusters are valid intervals within the plot, properly nested or
+    /// disjoint after tree construction.
+    #[test]
+    fn xi_clusters_are_valid_intervals(
+        ds in dataset_strategy(150, 2),
+        xi in 0.01f64..0.9,
+    ) {
+        let o = optics_points(&ds, &OpticsParams { eps: f64::INFINITY, min_pts: 2 });
+        let clusters = extract_xi(&o, xi, 2);
+        for c in &clusters {
+            prop_assert!(c.start < c.end);
+            prop_assert!(c.end < o.len());
+        }
+    }
+
+    /// Median smoothing is idempotent on constant plots and bounded by the
+    /// input's range.
+    #[test]
+    fn median_smooth_stays_in_range(
+        values in prop::collection::vec(0.0f64..100.0, 3..100),
+        half in 1usize..6,
+    ) {
+        let s = median_smooth(&values, half);
+        prop_assert_eq!(s.len(), values.len());
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for v in s {
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+}

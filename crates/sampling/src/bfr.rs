@@ -1,0 +1,448 @@
+//! The Bradley–Fayyad–Reina compression scheme (reference \[2\] of the Data
+//! Bubbles paper, "Scaling Clustering Algorithms to Large Databases",
+//! KDD 1998), as described in the paper's §2:
+//!
+//! > "the authors distinguish different sets of data items: A set of
+//! > compressed data items **DS** which is intended to condense groups of
+//! > points unlikely to change cluster membership […], a set of compressed
+//! > data items **CS** which represents tight subclusters of data points,
+//! > and a set of regular data points **RS** which contains all points
+//! > which cannot be assigned to any of the compressed data items. While
+//! > BIRCH uses the diameter to threshold compressed data items, \[2\] apply
+//! > different threshold conditions for the construction of compressed
+//! > data items in the sets DS and CS respectively."
+//!
+//! This implementation processes the data in chunks (the original works on
+//! buffer loads from disk):
+//!
+//! 1. `primary_clusters` centers are fitted by k-means on the first chunk.
+//! 2. Each point within `ds_threshold` standard deviations of its closest
+//!    primary center (per-dimension Mahalanobis-like test) is *discarded*
+//!    into that center's DS statistics.
+//! 3. Leftover points are collected; at each chunk boundary they are
+//!    clustered into candidate subclusters, and candidates whose
+//!    per-dimension standard deviation is below `cs_max_std` become CS
+//!    entries (merging with existing CS entries when the merged subcluster
+//!    stays tight). The rest remain in RS as singletons.
+//!
+//! The output is a set of sufficient statistics `(n, LS, ss)` directly
+//! usable by the Data Bubble pipelines.
+
+use db_birch::Cf;
+use db_spatial::Dataset;
+
+/// Per-dimension sufficient statistics (BFR needs per-dimension variances,
+/// unlike the scalar-`ss` CF of Definition 1).
+#[derive(Debug, Clone, PartialEq)]
+struct DimStats {
+    n: u64,
+    ls: Vec<f64>,
+    ss: Vec<f64>,
+}
+
+impl DimStats {
+    fn empty(dim: usize) -> Self {
+        Self { n: 0, ls: vec![0.0; dim], ss: vec![0.0; dim] }
+    }
+
+    fn add_point(&mut self, p: &[f64]) {
+        self.n += 1;
+        for ((l, s), &x) in self.ls.iter_mut().zip(self.ss.iter_mut()).zip(p) {
+            *l += x;
+            *s += x * x;
+        }
+    }
+
+    fn merge(&mut self, other: &DimStats) {
+        self.n += other.n;
+        for (l, &o) in self.ls.iter_mut().zip(&other.ls) {
+            *l += o;
+        }
+        for (s, &o) in self.ss.iter_mut().zip(&other.ss) {
+            *s += o;
+        }
+    }
+
+    fn mean(&self, j: usize) -> f64 {
+        self.ls[j] / self.n as f64
+    }
+
+    fn variance(&self, j: usize) -> f64 {
+        let n = self.n as f64;
+        (self.ss[j] / n - (self.ls[j] / n).powi(2)).max(0.0)
+    }
+
+    fn max_std(&self) -> f64 {
+        (0..self.ls.len()).map(|j| self.variance(j)).fold(0.0f64, f64::max).sqrt()
+    }
+
+    /// Squared normalized (Mahalanobis-like, diagonal covariance) distance
+    /// of `p` from the statistics' mean. Dimensions with ~zero variance
+    /// use the fallback scale.
+    fn normalized_dist_sq(&self, p: &[f64], fallback_std: f64) -> f64 {
+        let mut acc = 0.0;
+        for (j, &x) in p.iter().enumerate() {
+            let std = self.variance(j).sqrt().max(fallback_std).max(1e-12);
+            let d = (x - self.mean(j)) / std;
+            acc += d * d;
+        }
+        acc
+    }
+
+    fn to_cf(&self) -> Cf {
+        Cf::from_parts(self.n, self.ls.clone(), self.ss.iter().sum())
+    }
+}
+
+/// Parameters of [`bfr_compress`].
+#[derive(Debug, Clone)]
+pub struct BfrParams {
+    /// Number of primary (DS) clusters.
+    pub primary_clusters: usize,
+    /// A point joins a DS cluster when its per-dimension normalized
+    /// distance (in standard deviations, RMS over dimensions) is below
+    /// this.
+    pub ds_threshold: f64,
+    /// A candidate subcluster becomes a CS entry when its largest
+    /// per-dimension standard deviation is below this (absolute units).
+    pub cs_max_std: f64,
+    /// Chunk size of the streaming pass.
+    pub chunk: usize,
+    /// Seed for the internal k-means runs.
+    pub seed: u64,
+}
+
+impl Default for BfrParams {
+    fn default() -> Self {
+        Self { primary_clusters: 20, ds_threshold: 2.0, cs_max_std: 1.0, chunk: 10_000, seed: 0 }
+    }
+}
+
+/// The three output sets of the BFR compression.
+#[derive(Debug, Clone)]
+pub struct BfrResult {
+    /// DS: one entry per primary cluster (may be fewer when clusters stay
+    /// empty).
+    pub discard: Vec<Cf>,
+    /// CS: tight subclusters found among the leftovers.
+    pub compressed: Vec<Cf>,
+    /// RS: points retained as singletons.
+    pub retained: Vec<Cf>,
+}
+
+impl BfrResult {
+    /// All sufficient statistics concatenated (DS, then CS, then RS) — the
+    /// representative set handed to a clustering algorithm.
+    pub fn all_cfs(&self) -> Vec<Cf> {
+        let mut out =
+            Vec::with_capacity(self.discard.len() + self.compressed.len() + self.retained.len());
+        out.extend(self.discard.iter().cloned());
+        out.extend(self.compressed.iter().cloned());
+        out.extend(self.retained.iter().cloned());
+        out
+    }
+
+    /// Total number of summarized points.
+    pub fn total_points(&self) -> u64 {
+        self.all_cfs().iter().map(|cf| cf.n()).sum()
+    }
+}
+
+/// Runs the BFR compression over a dataset.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `primary_clusters == 0`.
+pub fn bfr_compress(ds: &Dataset, params: &BfrParams) -> BfrResult {
+    assert!(!ds.is_empty(), "cannot compress an empty dataset");
+    assert!(params.primary_clusters >= 1, "need at least one primary cluster");
+    let dim = ds.dim();
+    let k = params.primary_clusters.min(ds.len());
+
+    // Global scale used as variance fallback for fresh clusters.
+    let fallback_std = global_std(ds).max(1e-9);
+
+    // Primary centers: k-means on the first chunk.
+    let first_chunk = ds.len().min(params.chunk.max(k));
+    let init: Vec<usize> = (0..first_chunk).collect();
+    let sample = ds.subset(&init);
+    let centers = simple_kmeans(&sample, k, 20, params.seed);
+
+    let mut discard: Vec<DimStats> = vec![DimStats::empty(dim); k];
+    // Seed the DS statistics with their centers so the Mahalanobis test
+    // has a mean from the start (weight 1; removed at the end).
+    for (stats, c) in discard.iter_mut().zip(centers.chunks_exact(dim)) {
+        stats.add_point(c);
+    }
+
+    let mut cs: Vec<DimStats> = Vec::new();
+    let mut rs: Vec<Vec<f64>> = Vec::new();
+    let threshold_sq = params.ds_threshold * params.ds_threshold;
+
+    let mut processed = 0usize;
+    while processed < ds.len() {
+        let end = (processed + params.chunk).min(ds.len());
+        for i in processed..end {
+            let p = ds.point(i);
+            // Closest primary center by normalized distance.
+            let (best, d2) = discard
+                .iter()
+                .enumerate()
+                .map(|(c, s)| (c, s.normalized_dist_sq(p, fallback_std) / dim as f64))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("k >= 1");
+            if d2 <= threshold_sq {
+                discard[best].add_point(p);
+            } else {
+                rs.push(p.to_vec());
+            }
+        }
+        processed = end;
+        condense_leftovers(&mut cs, &mut rs, dim, params);
+    }
+
+    // Remove the seeding pseudo-points from the DS statistics by
+    // subtracting each center once; clusters that absorbed nothing vanish.
+    let discard_cfs: Vec<Cf> = discard
+        .iter()
+        .zip(centers.chunks_exact(dim))
+        .filter(|(s, _)| s.n > 1)
+        .map(|(s, c)| {
+            let mut ls = s.ls.clone();
+            let mut ss_total: f64 = s.ss.iter().sum();
+            for (l, &x) in ls.iter_mut().zip(c) {
+                *l -= x;
+                ss_total -= x * x;
+            }
+            Cf::from_parts(s.n - 1, ls, ss_total.max(0.0))
+        })
+        .collect();
+
+    BfrResult {
+        discard: discard_cfs,
+        compressed: cs.iter().map(DimStats::to_cf).collect(),
+        retained: rs.iter().map(|p| Cf::from_point(p)).collect(),
+    }
+}
+
+/// Clusters the current RS into candidate subclusters; tight ones move to
+/// CS (merging into an existing CS entry when the merge stays tight).
+fn condense_leftovers(
+    cs: &mut Vec<DimStats>,
+    rs: &mut Vec<Vec<f64>>,
+    dim: usize,
+    params: &BfrParams,
+) {
+    if rs.len() < 4 {
+        return;
+    }
+    let mut data = Dataset::with_capacity(dim, rs.len()).expect("dim > 0");
+    for p in rs.iter() {
+        data.push(p).expect("dim matches");
+    }
+    // Secondary k-means with ~sqrt(len) candidates.
+    let k2 = ((rs.len() as f64).sqrt().ceil() as usize).clamp(1, rs.len());
+    let centers = simple_kmeans(&data, k2, 10, params.seed ^ 0x5EC0);
+    // Assign leftovers to candidates.
+    let mut groups: Vec<DimStats> = vec![DimStats::empty(dim); k2];
+    let mut membership = vec![0usize; rs.len()];
+    for (i, p) in data.iter().enumerate() {
+        let best = (0..k2)
+            .min_by(|&a, &b| {
+                db_spatial::euclidean_sq(p, &centers[a * dim..(a + 1) * dim])
+                    .total_cmp(&db_spatial::euclidean_sq(p, &centers[b * dim..(b + 1) * dim]))
+            })
+            .expect("k2 >= 1");
+        groups[best].add_point(p);
+        membership[i] = best;
+    }
+    // Tight candidates (>= 2 points) become CS entries.
+    let mut keep: Vec<Vec<f64>> = Vec::new();
+    let mut promoted = vec![false; k2];
+    for (g, stats) in groups.iter().enumerate() {
+        if stats.n >= 2 && stats.max_std() <= params.cs_max_std {
+            promoted[g] = true;
+        }
+    }
+    for (i, p) in rs.drain(..).enumerate() {
+        if !promoted[membership[i]] {
+            keep.push(p);
+        }
+    }
+    for (g, stats) in groups.into_iter().enumerate() {
+        if promoted[g] {
+            // Merge into the closest existing CS entry when it stays tight.
+            let merged_into = cs.iter_mut().find(|existing| {
+                let mut merged = (*existing).clone();
+                merged.merge(&stats);
+                merged.max_std() <= params.cs_max_std
+            });
+            match merged_into {
+                Some(existing) => existing.merge(&stats),
+                None => cs.push(stats),
+            }
+        }
+    }
+    *rs = keep;
+}
+
+/// Root-mean-square per-dimension standard deviation of the whole dataset.
+fn global_std(ds: &Dataset) -> f64 {
+    let mut stats = DimStats::empty(ds.dim());
+    for p in ds.iter() {
+        stats.add_point(p);
+    }
+    let dim = ds.dim() as f64;
+    ((0..ds.dim()).map(|j| stats.variance(j)).sum::<f64>() / dim).sqrt()
+}
+
+/// A tiny dependency-free Lloyd k-means (the `db-hierarchical` crate
+/// depends on `db-birch`, which would make a dependency from here
+/// circular).
+fn simple_kmeans(ds: &Dataset, k: usize, iters: usize, seed: u64) -> Vec<f64> {
+    let dim = ds.dim();
+    let k = k.min(ds.len()).max(1);
+    // Deterministic spread-out init: stride sampling after seeding.
+    let stride = (ds.len() / k).max(1);
+    let offset = (seed as usize) % stride.max(1);
+    let mut centers: Vec<f64> = Vec::with_capacity(k * dim);
+    for c in 0..k {
+        let idx = (offset + c * stride).min(ds.len() - 1);
+        centers.extend_from_slice(ds.point(idx));
+    }
+    let mut assignment = vec![0usize; ds.len()];
+    for _ in 0..iters {
+        let mut changed = false;
+        for (i, p) in ds.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    db_spatial::euclidean_sq(p, &centers[a * dim..(a + 1) * dim])
+                        .total_cmp(&db_spatial::euclidean_sq(p, &centers[b * dim..(b + 1) * dim]))
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for (i, p) in ds.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &x) in sums[assignment[i] * dim..(assignment[i] + 1) * dim].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..dim {
+                    centers[c * dim + j] = sums[c * dim + j] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        // Three tight groups plus scattered outliers.
+        let mut ds = Dataset::new(2).unwrap();
+        for c in [[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]] {
+            for i in 0..200 {
+                ds.push(&[c[0] + (i % 20) as f64 * 0.05, c[1] + (i / 20) as f64 * 0.05]).unwrap();
+            }
+        }
+        for i in 0..10 {
+            ds.push(&[200.0 + i as f64 * 37.0, -100.0 - i as f64 * 11.0]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn counts_are_preserved() {
+        let ds = blobs();
+        let r = bfr_compress(&ds, &BfrParams { primary_clusters: 3, ..BfrParams::default() });
+        assert_eq!(r.total_points(), ds.len() as u64);
+    }
+
+    #[test]
+    fn dense_groups_land_in_ds() {
+        let ds = blobs();
+        let r = bfr_compress(&ds, &BfrParams { primary_clusters: 3, ..BfrParams::default() });
+        // The three blobs dominate: DS holds the lion's share of points.
+        let ds_points: u64 = r.discard.iter().map(Cf::n).sum();
+        assert!(
+            ds_points >= 550,
+            "DS should absorb most of the 600 blob points, got {ds_points}"
+        );
+        assert!(r.discard.len() <= 3);
+    }
+
+    #[test]
+    fn outliers_stay_out_of_ds() {
+        let ds = blobs();
+        let r = bfr_compress(
+            &ds,
+            &BfrParams { primary_clusters: 3, ds_threshold: 1.5, ..BfrParams::default() },
+        );
+        // The 10 far-flung outliers cannot be absorbed by blob statistics:
+        // they end up in CS or RS.
+        let non_ds: u64 = r.compressed.iter().chain(&r.retained).map(Cf::n).sum();
+        assert!(non_ds >= 10, "outliers were wrongly discarded into DS");
+    }
+
+    #[test]
+    fn cs_entries_are_tight() {
+        let ds = blobs();
+        let params = BfrParams { primary_clusters: 2, cs_max_std: 1.0, ..BfrParams::default() };
+        let r = bfr_compress(&ds, &params);
+        for cf in &r.compressed {
+            assert!(cf.n() >= 2);
+            // The CF radius bounds the per-dimension std from above.
+            assert!(
+                cf.radius() <= params.cs_max_std * (ds.dim() as f64).sqrt() + 1e-9,
+                "CS entry too loose: radius {}",
+                cf.radius()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = blobs();
+        let p = BfrParams { primary_clusters: 3, seed: 5, ..BfrParams::default() };
+        let a = bfr_compress(&ds, &p);
+        let b = bfr_compress(&ds, &p);
+        assert_eq!(a.all_cfs(), b.all_cfs());
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let ds = Dataset::from_rows(2, &[&[1.0, 2.0]]).unwrap();
+        let r = bfr_compress(&ds, &BfrParams::default());
+        assert_eq!(r.total_points(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        bfr_compress(&Dataset::new(2).unwrap(), &BfrParams::default());
+    }
+
+    #[test]
+    fn chunked_processing_matches_totals() {
+        let ds = blobs();
+        let small_chunks = bfr_compress(
+            &ds,
+            &BfrParams { primary_clusters: 3, chunk: 64, ..BfrParams::default() },
+        );
+        assert_eq!(small_chunks.total_points(), ds.len() as u64);
+    }
+}

@@ -1,0 +1,201 @@
+//! Incremental maintenance of a sampling-based compression: once the
+//! representatives are fixed, newly arriving objects are absorbed with one
+//! nearest-neighbour query and one CF update (the additivity condition of
+//! Definition 1) — no recompression pass.
+//!
+//! This supports the streaming/warehouse setting the paper's motivation
+//! describes (databases that keep growing): keep one compression alive,
+//! absorb inserts, and re-run OPTICS on the (cheap) bubble set whenever a
+//! fresh cluster ordering is wanted.
+
+use db_birch::Cf;
+use db_spatial::{auto_index, AnyIndex, Dataset, SpatialIndex};
+
+use crate::CompressedSample;
+
+/// A live compression: fixed representatives plus growing sufficient
+/// statistics and membership.
+#[derive(Debug, Clone)]
+pub struct IncrementalCompression {
+    reps: Dataset,
+    index: AnyIndex,
+    stats: Vec<Cf>,
+    assignment: Vec<u32>,
+}
+
+impl IncrementalCompression {
+    /// Starts from an existing batch compression.
+    pub fn from_sample(sample: &CompressedSample) -> Self {
+        let index = auto_index(&sample.reps, None);
+        Self {
+            reps: sample.reps.clone(),
+            index,
+            stats: sample.stats.clone(),
+            assignment: sample.assignment.clone(),
+        }
+    }
+
+    /// Starts from bare representatives (each seeds its own statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps` is empty.
+    pub fn from_representatives(reps: Dataset) -> Self {
+        assert!(!reps.is_empty(), "need at least one representative");
+        let stats = reps.iter().map(Cf::from_point).collect();
+        let assignment = (0..reps.len() as u32).collect();
+        let index = auto_index(&reps, None);
+        Self { reps, index, stats, assignment }
+    }
+
+    /// Number of representatives.
+    pub fn k(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Number of objects absorbed so far (including the representatives
+    /// when constructed via [`Self::from_representatives`]).
+    pub fn n_objects(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The per-representative sufficient statistics.
+    pub fn stats(&self) -> &[Cf] {
+        &self.stats
+    }
+
+    /// The classification of every absorbed object, in arrival order.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// The representatives.
+    pub fn representatives(&self) -> &Dataset {
+        &self.reps
+    }
+
+    /// Absorbs one new object: classifies it to the nearest representative
+    /// and updates that representative's statistics. Returns the
+    /// representative index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point dimensionality differs.
+    pub fn absorb(&mut self, point: &[f64]) -> usize {
+        assert_eq!(point.len(), self.reps.dim(), "dimensionality mismatch");
+        let nn = self.index.nearest(&self.reps, point).expect("reps non-empty");
+        self.stats[nn.id].add_point(point);
+        self.assignment.push(nn.id as u32);
+        nn.id
+    }
+
+    /// Absorbs a batch of objects.
+    pub fn absorb_all(&mut self, ds: &Dataset) {
+        for p in ds.iter() {
+            self.absorb(p);
+        }
+    }
+
+    /// Per-representative member lists (arrival order indices).
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.k()];
+        for (i, &a) in self.assignment.iter().enumerate() {
+            out[a as usize].push(i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress_by_sampling;
+
+    fn line(n: usize) -> Dataset {
+        let mut ds = Dataset::new(1).unwrap();
+        for i in 0..n {
+            ds.push(&[i as f64]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn incremental_equals_batch_for_same_data() {
+        // Batch-compress the first half, absorb the second half one by
+        // one; statistics must equal a batch classification of everything
+        // against the same representatives.
+        let ds = line(200);
+        let first = ds.subset(&(0..100).collect::<Vec<_>>());
+        let batch = compress_by_sampling(&first, 10, 7).unwrap();
+        let mut inc = IncrementalCompression::from_sample(&batch);
+        for i in 100..200 {
+            inc.absorb(ds.point(i));
+        }
+        // Reference: classify all 200 points against the same reps.
+        let assignment = crate::nn_classify(&ds, &batch.reps);
+        let stats = crate::accumulate_stats(&ds, &assignment, 10);
+        assert_eq!(inc.n_objects(), 200);
+        for (a, b) in inc.stats().iter().zip(&stats) {
+            assert_eq!(a.n(), b.n());
+            for (x, y) in a.ls().iter().zip(b.ls()) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn from_representatives_seeds_one_point_each() {
+        let reps = line(5);
+        let inc = IncrementalCompression::from_representatives(reps);
+        assert_eq!(inc.k(), 5);
+        assert_eq!(inc.n_objects(), 5);
+        assert!(inc.stats().iter().all(|cf| cf.n() == 1));
+    }
+
+    #[test]
+    fn absorb_assigns_to_nearest() {
+        let reps = Dataset::from_rows(1, &[&[0.0], &[100.0]]).unwrap();
+        let mut inc = IncrementalCompression::from_representatives(reps);
+        assert_eq!(inc.absorb(&[10.0]), 0);
+        assert_eq!(inc.absorb(&[90.0]), 1);
+        assert_eq!(inc.members()[0], vec![0, 2]);
+        assert_eq!(inc.members()[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn absorb_all_matches_loop() {
+        let reps = line(4);
+        let batch = line(50);
+        let mut a = IncrementalCompression::from_representatives(reps.clone());
+        a.absorb_all(&batch);
+        let mut b = IncrementalCompression::from_representatives(reps);
+        for p in batch.iter() {
+            b.absorb(p);
+        }
+        assert_eq!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn bubbles_from_incremental_stats_cluster_correctly() {
+        // Stream two groups into a 4-rep compression; the derived bubble
+        // weights must sum to the stream size.
+        let reps = Dataset::from_rows(1, &[&[0.0], &[5.0], &[100.0], &[105.0]]).unwrap();
+        let mut inc = IncrementalCompression::from_representatives(reps);
+        for i in 0..100 {
+            inc.absorb(&[(i % 10) as f64]);
+            inc.absorb(&[100.0 + (i % 10) as f64]);
+        }
+        let total: u64 = inc.stats().iter().map(Cf::n).sum();
+        assert_eq!(total, 204);
+        // The stats feed straight into a bubble space.
+        let centroids: Vec<_> = inc.stats().iter().map(|cf| cf.centroid()[0]).collect();
+        assert!(centroids[0] < 10.0 && centroids[2] > 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn absorb_wrong_dim_panics() {
+        let mut inc = IncrementalCompression::from_representatives(line(3));
+        inc.absorb(&[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Parallel nearest-neighbour classification.
+//!
+//! The one-pass classification of the whole database against the `k`
+//! representatives is the dominant cost of the sampling pipelines (the
+//! OPTICS step runs on only `k` objects). Each point's classification is
+//! independent, so the pass parallelizes perfectly; results are identical
+//! to the sequential [`crate::nn_classify`] bit for bit.
+
+use std::num::NonZeroUsize;
+
+use db_spatial::{auto_index, Dataset, SpatialIndex};
+
+/// Classifies every point of `ds` to its nearest point in `reps` using
+/// `threads` worker threads (`None` = available parallelism). Output is
+/// identical to [`crate::nn_classify`].
+///
+/// # Panics
+///
+/// Panics if `reps` is empty or dimensionalities differ.
+pub fn nn_classify_parallel(
+    ds: &Dataset,
+    reps: &Dataset,
+    threads: Option<NonZeroUsize>,
+) -> Vec<u32> {
+    assert!(!reps.is_empty(), "cannot classify against an empty representative set");
+    assert_eq!(ds.dim(), reps.dim(), "dimensionality mismatch");
+    let threads = threads
+        .or_else(|| std::thread::available_parallelism().ok())
+        .map_or(1, NonZeroUsize::get)
+        .min(ds.len().max(1));
+    if threads <= 1 || ds.len() < 1024 {
+        return crate::nn_classify(ds, reps);
+    }
+
+    let index = auto_index(reps, None);
+    let mut out = vec![0u32; ds.len()];
+    let chunk = ds.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (t, slice) in out.chunks_mut(chunk).enumerate() {
+            let index = &index;
+            scope.spawn(move |_| {
+                let offset = t * chunk;
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    let p = ds.point(offset + i);
+                    let nn = index.nearest(reps, p).expect("reps non-empty");
+                    *slot = nn.id as u32;
+                }
+            });
+        }
+    })
+    .expect("classification workers do not panic");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn_classify;
+
+    fn data(n: usize) -> Dataset {
+        let mut ds = Dataset::new(2).unwrap();
+        for i in 0..n {
+            ds.push(&[(i % 173) as f64, ((i * 31) % 97) as f64]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn matches_sequential_exactly() {
+        let ds = data(5_000);
+        let reps = ds.subset(&(0..50).map(|i| i * 97).collect::<Vec<_>>());
+        let seq = nn_classify(&ds, &reps);
+        for threads in [1usize, 2, 3, 8] {
+            let par = nn_classify_parallel(&ds, &reps, NonZeroUsize::new(threads));
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_take_the_sequential_path() {
+        let ds = data(100);
+        let reps = ds.subset(&[0, 50]);
+        let par = nn_classify_parallel(&ds, &reps, NonZeroUsize::new(4));
+        assert_eq!(par, nn_classify(&ds, &reps));
+    }
+
+    #[test]
+    fn default_thread_count_works() {
+        let ds = data(3_000);
+        let reps = ds.subset(&[0, 1000, 2000]);
+        let par = nn_classify_parallel(&ds, &reps, None);
+        assert_eq!(par, nn_classify(&ds, &reps));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty representative set")]
+    fn empty_reps_panic() {
+        let ds = data(10);
+        let reps = Dataset::new(2).unwrap();
+        nn_classify_parallel(&ds, &reps, None);
+    }
+}

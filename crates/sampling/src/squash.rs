@@ -1,0 +1,172 @@
+//! Grid-based data squashing (reference \[4\] of the Data Bubbles paper,
+//! DuMouchel et al., "Squashing Flat Files Flatter", KDD 1999), per the
+//! paper's §2 description:
+//!
+//! > "In a first step, the data is grouped into regions by partitioning
+//! > the dimensions of the data. Then, in the second step, a number of
+//! > moments are calculated for each region […]. In the third step, they
+//! > create for each region a set of squashed data items so that its
+//! > moments approximate those of the original data falling in the region.
+//! > Obviously, information such as clustering features for the
+//! > constructed regions […] can be easily derived from this kind of
+//! > squashed data items."
+//!
+//! We implement exactly that derivation: partition every dimension into
+//! `bins_per_dim` equal-width bins over the data's bounding box, compute
+//! first- and second-order moments (= the sufficient statistics
+//! `(n, LS, ss)`) per occupied region, and return one CF per region.
+//! Occupied regions are kept in a hash map, so the exponential number of
+//! *potential* regions in high dimensions costs nothing.
+
+use std::collections::HashMap;
+
+use db_birch::Cf;
+use db_spatial::Dataset;
+
+/// The result of grid squashing.
+#[derive(Debug, Clone)]
+pub struct SquashResult {
+    /// One CF per occupied grid region.
+    pub regions: Vec<Cf>,
+    /// For each original point, the index (into `regions`) of its region.
+    pub assignment: Vec<u32>,
+}
+
+/// Squashes a dataset into per-region sufficient statistics.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `bins_per_dim == 0`.
+pub fn squash_compress(ds: &Dataset, bins_per_dim: usize) -> SquashResult {
+    assert!(!ds.is_empty(), "cannot squash an empty dataset");
+    assert!(bins_per_dim >= 1, "need at least one bin per dimension");
+    assert!(
+        bins_per_dim <= u16::MAX as usize + 1,
+        "bins_per_dim exceeds the 65,536-bin key range"
+    );
+    let (lo, hi) = ds.bounding_box().expect("non-empty");
+    let dim = ds.dim();
+    let widths: Vec<f64> = lo
+        .iter()
+        .zip(&hi)
+        .map(|(&l, &h)| ((h - l) / bins_per_dim as f64).max(f64::MIN_POSITIVE))
+        .collect();
+
+    let mut region_of: HashMap<Vec<u16>, u32> = HashMap::new();
+    let mut regions: Vec<Cf> = Vec::new();
+    let mut assignment = Vec::with_capacity(ds.len());
+    let mut key = vec![0u16; dim];
+    for p in ds.iter() {
+        for ((k, &x), (&l, &w)) in key.iter_mut().zip(p).zip(lo.iter().zip(&widths)) {
+            // The upper boundary belongs to the last bin.
+            *k = (((x - l) / w) as usize).min(bins_per_dim - 1) as u16;
+        }
+        let idx = *region_of.entry(key.clone()).or_insert_with(|| {
+            regions.push(Cf::empty(dim));
+            (regions.len() - 1) as u32
+        });
+        regions[idx as usize].add_point(p);
+        assignment.push(idx);
+    }
+    SquashResult { regions, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_data() -> Dataset {
+        let mut ds = Dataset::new(2).unwrap();
+        for i in 0..10 {
+            for j in 0..10 {
+                ds.push(&[i as f64, j as f64]).unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn counts_partition_the_data() {
+        let ds = grid_data();
+        let r = squash_compress(&ds, 5);
+        assert_eq!(r.regions.iter().map(Cf::n).sum::<u64>(), 100);
+        assert_eq!(r.assignment.len(), 100);
+        // 5x5 regions over a 10x10 grid of points: every region occupied.
+        assert_eq!(r.regions.len(), 25);
+        assert!(r.regions.iter().all(|cf| cf.n() == 4));
+    }
+
+    #[test]
+    fn one_bin_collapses_everything() {
+        let ds = grid_data();
+        let r = squash_compress(&ds, 1);
+        assert_eq!(r.regions.len(), 1);
+        assert_eq!(r.regions[0].n(), 100);
+        let c = r.regions[0].centroid();
+        assert!((c[0] - 4.5).abs() < 1e-9 && (c[1] - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moments_match_members() {
+        let ds = grid_data();
+        let r = squash_compress(&ds, 3);
+        // Recompute each region's CF from the assignment and compare.
+        let mut manual = vec![Cf::empty(2); r.regions.len()];
+        for (i, p) in ds.iter().enumerate() {
+            manual[r.assignment[i] as usize].add_point(p);
+        }
+        for (a, b) in manual.iter().zip(&r.regions) {
+            assert_eq!(a.n(), b.n());
+            assert_eq!(a.ls(), b.ls());
+            assert!((a.ss() - b.ss()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn boundary_points_belong_to_last_bin() {
+        let ds = Dataset::from_rows(1, &[&[0.0], &[1.0], &[2.0]]).unwrap();
+        let r = squash_compress(&ds, 2);
+        // Bins [0,1) and [1,2]; the maximum (2.0) goes to the last bin.
+        assert_eq!(r.regions.len(), 2);
+        assert_eq!(r.assignment[0], r.assignment[0]);
+        assert_ne!(r.assignment[0], r.assignment[2]);
+        assert_eq!(r.assignment[1], r.assignment[2]);
+    }
+
+    #[test]
+    fn identical_points_are_one_region() {
+        let mut ds = Dataset::new(3).unwrap();
+        for _ in 0..50 {
+            ds.push(&[1.0, 2.0, 3.0]).unwrap();
+        }
+        let r = squash_compress(&ds, 8);
+        assert_eq!(r.regions.len(), 1);
+        assert_eq!(r.regions[0].n(), 50);
+    }
+
+    #[test]
+    fn high_dim_sparse_occupation() {
+        // 20 points in 8-d: at most 20 occupied regions despite 5^8
+        // potential ones.
+        let mut ds = Dataset::new(8).unwrap();
+        for i in 0..20 {
+            let p: Vec<f64> = (0..8).map(|j| ((i * 7 + j * 13) % 29) as f64).collect();
+            ds.push(&p).unwrap();
+        }
+        let r = squash_compress(&ds, 5);
+        assert!(r.regions.len() <= 20);
+        assert_eq!(r.regions.iter().map(Cf::n).sum::<u64>(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_panics() {
+        squash_compress(&Dataset::new(2).unwrap(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        squash_compress(&grid_data(), 0);
+    }
+}

@@ -1,0 +1,329 @@
+use crate::error::SpatialError;
+
+/// A dense, row-major collection of `d`-dimensional points.
+///
+/// Storage is a single flat `Vec<f64>`, point `i` occupying
+/// `data[i*dim .. (i+1)*dim]`. This layout keeps range scans and distance
+/// computations cache friendly and avoids one allocation per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of dimensionality `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::ZeroDimension`] if `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self, SpatialError> {
+        if dim == 0 {
+            return Err(SpatialError::ZeroDimension);
+        }
+        Ok(Self { dim, data: Vec::new() })
+    }
+
+    /// Creates an empty dataset with capacity for `n` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::ZeroDimension`] if `dim == 0`.
+    pub fn with_capacity(dim: usize, n: usize) -> Result<Self, SpatialError> {
+        if dim == 0 {
+            return Err(SpatialError::ZeroDimension);
+        }
+        Ok(Self { dim, data: Vec::with_capacity(dim * n) })
+    }
+
+    /// Builds a dataset from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0` or any row length differs from `dim`.
+    pub fn from_rows(dim: usize, rows: &[&[f64]]) -> Result<Self, SpatialError> {
+        let mut ds = Self::with_capacity(dim, rows.len())?;
+        for row in rows {
+            ds.push(row)?;
+        }
+        Ok(ds)
+    }
+
+    /// Builds a dataset from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0` or `flat.len()` is not a multiple of
+    /// `dim`.
+    pub fn from_flat(dim: usize, flat: Vec<f64>) -> Result<Self, SpatialError> {
+        if dim == 0 {
+            return Err(SpatialError::ZeroDimension);
+        }
+        if !flat.len().is_multiple_of(dim) {
+            return Err(SpatialError::RaggedBuffer { len: flat.len(), dim });
+        }
+        Ok(Self { dim, data: flat })
+    }
+
+    /// Appends a point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::DimensionMismatch`] if `point.len() != dim`.
+    pub fn push(&mut self, point: &[f64]) -> Result<(), SpatialError> {
+        if point.len() != self.dim {
+            return Err(SpatialError::DimensionMismatch { expected: self.dim, got: point.len() });
+        }
+        self.data.extend_from_slice(point);
+        Ok(())
+    }
+
+    /// Dimensionality of the points.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the dataset contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Borrow point `i`, or `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&[f64]> {
+        if i < self.len() {
+            Some(self.point(i))
+        } else {
+            None
+        }
+    }
+
+    /// Iterator over all points in index order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The underlying flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the dataset, returning the flat buffer.
+    pub fn into_flat(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// A new dataset containing only the points whose indices are listed in
+    /// `ids` (in that order). Out-of-range ids panic.
+    pub fn subset(&self, ids: &[usize]) -> Dataset {
+        let mut out = Dataset::with_capacity(self.dim, ids.len()).expect("dim > 0");
+        for &i in ids {
+            out.data.extend_from_slice(self.point(i));
+        }
+        out
+    }
+
+    /// A new dataset keeping only the first `d` coordinates of every point.
+    ///
+    /// Used by the dimension-scaling experiments: the paper generates its
+    /// 10-d set as the 20-d set projected onto the first 10 dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `d > self.dim()`.
+    pub fn project(&self, d: usize) -> Dataset {
+        assert!(d > 0 && d <= self.dim, "projection dimension {d} out of range");
+        if d == self.dim {
+            return self.clone();
+        }
+        let mut out = Dataset::with_capacity(d, self.len()).expect("dim > 0");
+        for p in self.iter() {
+            out.data.extend_from_slice(&p[..d]);
+        }
+        out
+    }
+
+    /// Component-wise bounding box `(min, max)` of all points.
+    ///
+    /// Returns `None` for an empty dataset.
+    pub fn bounding_box(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = self.point(0).to_vec();
+        let mut hi = lo.clone();
+        for p in self.iter().skip(1) {
+            for ((l, h), &x) in lo.iter_mut().zip(hi.iter_mut()).zip(p) {
+                if x < *l {
+                    *l = x;
+                }
+                if x > *h {
+                    *h = x;
+                }
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// The centroid (mean vector) of all points, or `None` when empty.
+    pub fn centroid(&self) -> Option<Vec<f64>> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut sum = vec![0.0; self.dim];
+        for p in self.iter() {
+            for (s, &x) in sum.iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let n = self.len() as f64;
+        for s in &mut sum {
+            *s /= n;
+        }
+        Some(sum)
+    }
+
+    /// Appends all points of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::DimensionMismatch`] when dimensionalities
+    /// differ.
+    pub fn extend_from(&mut self, other: &Dataset) -> Result<(), SpatialError> {
+        if other.dim != self.dim {
+            return Err(SpatialError::DimensionMismatch { expected: self.dim, got: other.dim });
+        }
+        self.data.extend_from_slice(&other.data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_rows(2, &[&[0.0, 0.0], &[1.0, 2.0], &[3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_zero_dim() {
+        assert_eq!(Dataset::new(0).unwrap_err(), SpatialError::ZeroDimension);
+        assert_eq!(Dataset::with_capacity(0, 10).unwrap_err(), SpatialError::ZeroDimension);
+        assert_eq!(Dataset::from_flat(0, vec![]).unwrap_err(), SpatialError::ZeroDimension);
+    }
+
+    #[test]
+    fn push_and_access_round_trip() {
+        let ds = small();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.point(1), &[1.0, 2.0]);
+        assert_eq!(ds.get(2), Some(&[3.0, 4.0][..]));
+        assert_eq!(ds.get(3), None);
+    }
+
+    #[test]
+    fn push_rejects_wrong_dimension() {
+        let mut ds = Dataset::new(2).unwrap();
+        let err = ds.push(&[1.0, 2.0, 3.0]).unwrap_err();
+        assert_eq!(err, SpatialError::DimensionMismatch { expected: 2, got: 3 });
+    }
+
+    #[test]
+    fn from_flat_rejects_ragged() {
+        let err = Dataset::from_flat(2, vec![1.0, 2.0, 3.0]).unwrap_err();
+        assert_eq!(err, SpatialError::RaggedBuffer { len: 3, dim: 2 });
+    }
+
+    #[test]
+    fn iter_yields_rows_in_order() {
+        let ds = small();
+        let rows: Vec<&[f64]> = ds.iter().collect();
+        assert_eq!(rows, vec![&[0.0, 0.0][..], &[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(ds.iter().len(), 3);
+    }
+
+    #[test]
+    fn subset_selects_and_reorders() {
+        let ds = small();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.point(0), &[3.0, 4.0]);
+        assert_eq!(sub.point(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn project_keeps_prefix_coordinates() {
+        let ds = Dataset::from_rows(3, &[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let p = ds.project(2);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.point(0), &[1.0, 2.0]);
+        assert_eq!(p.point(1), &[4.0, 5.0]);
+        // Projecting to the full dimension is a clone.
+        assert_eq!(ds.project(3), ds);
+    }
+
+    #[test]
+    #[should_panic(expected = "projection dimension")]
+    fn project_rejects_too_large() {
+        small().project(5);
+    }
+
+    #[test]
+    fn bounding_box_and_centroid() {
+        let ds = small();
+        let (lo, hi) = ds.bounding_box().unwrap();
+        assert_eq!(lo, vec![0.0, 0.0]);
+        assert_eq!(hi, vec![3.0, 4.0]);
+        let c = ds.centroid().unwrap();
+        assert!((c[0] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((c[1] - 2.0).abs() < 1e-12);
+
+        let empty = Dataset::new(2).unwrap();
+        assert!(empty.bounding_box().is_none());
+        assert!(empty.centroid().is_none());
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = small();
+        let b = Dataset::from_rows(2, &[&[9.0, 9.0]]).unwrap();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.point(3), &[9.0, 9.0]);
+
+        let c = Dataset::new(3).unwrap();
+        assert!(a.extend_from(&c).is_err());
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let ds = small();
+        let flat = ds.clone().into_flat();
+        assert_eq!(flat.len(), 6);
+        let back = Dataset::from_flat(2, flat).unwrap();
+        assert_eq!(back, ds);
+        assert_eq!(back.as_flat()[3], 2.0);
+    }
+}

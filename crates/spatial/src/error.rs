@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Errors produced when constructing or manipulating datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpatialError {
+    /// The dimensionality was zero.
+    ZeroDimension,
+    /// A row had a different length than the dataset dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the dataset.
+        expected: usize,
+        /// Length of the offending row.
+        got: usize,
+    },
+    /// The flat buffer length was not a multiple of the dimensionality.
+    RaggedBuffer {
+        /// Length of the flat buffer.
+        len: usize,
+        /// Dimensionality of the dataset.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for SpatialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialError::ZeroDimension => write!(f, "dataset dimensionality must be non-zero"),
+            SpatialError::DimensionMismatch { expected, got } => {
+                write!(f, "row has {got} coordinates, dataset dimensionality is {expected}")
+            }
+            SpatialError::RaggedBuffer { len, dim } => {
+                write!(f, "flat buffer of length {len} is not a multiple of dimension {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpatialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(SpatialError::ZeroDimension.to_string().contains("non-zero"));
+        let e = SpatialError::DimensionMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        let e = SpatialError::RaggedBuffer { len: 7, dim: 2 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('2'));
+    }
+}

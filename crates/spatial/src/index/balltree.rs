@@ -1,0 +1,347 @@
+//! A ball tree: hierarchical bounding spheres over dataset indices.
+//!
+//! KD-trees prune with axis-aligned slabs, which degrade in moderate/high
+//! dimensionality; bounding spheres stay tight, so the ball tree is the
+//! better default beyond ~8 dimensions (the Corel workload's regime).
+//! Construction splits each node on the diameter direction approximated by
+//! a double-farthest-point sweep.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::dataset::Dataset;
+use crate::index::{sort_neighbors, Neighbor, SpatialIndex};
+use crate::metric::{Metric, SquaredEuclidean};
+
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Ball {
+    center: Vec<f64>,
+    radius: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { start: u32, end: u32 },
+    Split { left: u32 },
+}
+
+/// A ball tree supporting ε-range and k-NN queries.
+#[derive(Debug, Clone)]
+pub struct BallTree {
+    nodes: Vec<Node>,
+    balls: Vec<Ball>,
+    ids: Vec<u32>,
+    n: usize,
+    dim: usize,
+}
+
+impl BallTree {
+    /// Builds the tree in O(n log n) distance computations.
+    pub fn build(ds: &Dataset) -> Self {
+        let n = ds.len();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::new();
+        let mut balls = Vec::new();
+        if n > 0 {
+            nodes.push(Node::Leaf { start: 0, end: n as u32 });
+            balls.push(Ball { center: vec![0.0; ds.dim()], radius: 0.0 });
+            build_rec(ds, &mut nodes, &mut balls, &mut ids, 0, 0, n);
+        }
+        Self { nodes, balls, ids, n, dim: ds.dim() }
+    }
+
+    /// Lower bound on the distance from `q` to any point in node `i`.
+    #[inline]
+    fn min_dist(&self, i: usize, q: &[f64]) -> f64 {
+        let b = &self.balls[i];
+        (SquaredEuclidean.dist(q, &b.center).sqrt() - b.radius).max(0.0)
+    }
+}
+
+fn build_rec(
+    ds: &Dataset,
+    nodes: &mut Vec<Node>,
+    balls: &mut Vec<Ball>,
+    ids: &mut [u32],
+    node: usize,
+    start: usize,
+    end: usize,
+) {
+    // Bounding ball: centroid + max distance.
+    let dim = ds.dim();
+    let mut center = vec![0.0f64; dim];
+    for &id in &ids[start..end] {
+        for (c, &x) in center.iter_mut().zip(ds.point(id as usize)) {
+            *c += x;
+        }
+    }
+    let len = end - start;
+    for c in &mut center {
+        *c /= len as f64;
+    }
+    let radius = ids[start..end]
+        .iter()
+        .map(|&id| SquaredEuclidean.dist(&center, ds.point(id as usize)))
+        .fold(0.0f64, f64::max)
+        .sqrt();
+    balls[node] = Ball { center, radius };
+
+    if len <= LEAF_SIZE || radius <= 0.0 {
+        nodes[node] = Node::Leaf { start: start as u32, end: end as u32 };
+        return;
+    }
+    // Split direction: farthest point from the centroid, then the point
+    // farthest from it (approximate diameter).
+    let c = &balls[node].center;
+    let a = *ids[start..end]
+        .iter()
+        .max_by(|&&x, &&y| {
+            SquaredEuclidean
+                .dist(c, ds.point(x as usize))
+                .total_cmp(&SquaredEuclidean.dist(c, ds.point(y as usize)))
+        })
+        .expect("non-empty");
+    let b = *ids[start..end]
+        .iter()
+        .max_by(|&&x, &&y| {
+            SquaredEuclidean
+                .dist(ds.point(a as usize), ds.point(x as usize))
+                .total_cmp(&SquaredEuclidean.dist(ds.point(a as usize), ds.point(y as usize)))
+        })
+        .expect("non-empty");
+    // Partition by projection onto the a→b axis (median split).
+    let pa = ds.point(a as usize).to_vec();
+    let pb = ds.point(b as usize).to_vec();
+    let axis: Vec<f64> = pb.iter().zip(&pa).map(|(&x, &y)| x - y).collect();
+    let mid = start + len / 2;
+    let project = |id: u32| -> f64 {
+        ds.point(id as usize).iter().zip(&axis).map(|(&x, &ax)| x * ax).sum()
+    };
+    ids[start..end]
+        .select_nth_unstable_by(len / 2, |&x, &y| project(x).total_cmp(&project(y)));
+
+    let left = nodes.len() as u32;
+    nodes.push(Node::Leaf { start: 0, end: 0 });
+    balls.push(Ball { center: vec![0.0; dim], radius: 0.0 });
+    nodes.push(Node::Leaf { start: 0, end: 0 });
+    balls.push(Ball { center: vec![0.0; dim], radius: 0.0 });
+    nodes[node] = Node::Split { left };
+    build_rec(ds, nodes, balls, ids, left as usize, start, mid);
+    build_rec(ds, nodes, balls, ids, left as usize + 1, mid, end);
+}
+
+impl SpatialIndex for BallTree {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn range(&self, ds: &Dataset, q: &[f64], eps: f64, out: &mut Vec<Neighbor>) {
+        assert_eq!(ds.len(), self.n, "index/dataset mismatch");
+        assert_eq!(q.len(), self.dim, "query dimensionality mismatch");
+        out.clear();
+        if self.n == 0 || eps.is_nan() || eps < 0.0 {
+            return;
+        }
+        let eps_sq = eps * eps;
+        let mut stack = vec![0usize];
+        // Node-level pruning uses a sqrt-round-tripped lower bound; relax it
+        // slightly so boundary-exact points can never be pruned (membership
+        // itself is decided by exact squared distances below).
+        let prune_eps = eps + 1e-9 * (1.0 + eps);
+        while let Some(node) = stack.pop() {
+            if self.min_dist(node, q) > prune_eps {
+                continue;
+            }
+            match self.nodes[node] {
+                Node::Leaf { start, end } => {
+                    for &id in &self.ids[start as usize..end as usize] {
+                        let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
+                        if d2 <= eps_sq {
+                            out.push(Neighbor::new(id as usize, d2.sqrt()));
+                        }
+                    }
+                }
+                Node::Split { left } => {
+                    stack.push(left as usize);
+                    stack.push(left as usize + 1);
+                }
+            }
+        }
+        sort_neighbors(out);
+    }
+
+    fn knn(&self, ds: &Dataset, q: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        assert_eq!(ds.len(), self.n, "index/dataset mismatch");
+        assert_eq!(q.len(), self.dim, "query dimensionality mismatch");
+        out.clear();
+        if self.n == 0 || k == 0 {
+            return;
+        }
+        #[derive(PartialEq)]
+        struct Cand(f64, usize);
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+            }
+        }
+        let k = k.min(self.n);
+        let mut best: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
+        let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        frontier.push(Reverse(Cand(0.0, 0)));
+        while let Some(Reverse(Cand(min_d, node))) = frontier.pop() {
+            if best.len() == k {
+                // best stores squared distances; frontier stores true
+                // lower-bound distances, whose sqrt round-trip can inflate
+                // the square by a few ulps — keep exploring within that
+                // tolerance so exact-distance ties resolve identically to
+                // the linear scan (lower ids win).
+                let worst = best.peek().expect("non-empty").0;
+                if min_d * min_d > worst * (1.0 + 1e-9) + f64::MIN_POSITIVE {
+                    break;
+                }
+            }
+            match self.nodes[node] {
+                Node::Leaf { start, end } => {
+                    for &id in &self.ids[start as usize..end as usize] {
+                        let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
+                        let cand = Cand(d2, id as usize);
+                        if best.len() < k {
+                            best.push(cand);
+                        } else if cand < *best.peek().expect("non-empty") {
+                            best.pop();
+                            best.push(cand);
+                        }
+                    }
+                }
+                Node::Split { left } => {
+                    for child in [left as usize, left as usize + 1] {
+                        frontier.push(Reverse(Cand(self.min_dist(child, q), child)));
+                    }
+                }
+            }
+        }
+        out.extend(best.into_iter().map(|Cand(d2, id)| Neighbor::new(id, d2.sqrt())));
+        sort_neighbors(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::linear::LinearScan;
+
+    fn random_ds(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut ds = Dataset::new(dim).unwrap();
+        for _ in 0..n {
+            let p: Vec<f64> = (0..dim).map(|_| next() * 10.0 - 5.0).collect();
+            ds.push(&p).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        for &dim in &[2usize, 5, 9, 16] {
+            let ds = random_ds(400, dim, 3 + dim as u64);
+            let tree = BallTree::build(&ds);
+            let lin = LinearScan::build(&ds);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for qi in [0usize, 100, 399] {
+                let q = ds.point(qi).to_vec();
+                for eps in [0.0, 1.0, 4.0, 100.0] {
+                    tree.range(&ds, &q, eps, &mut a);
+                    lin.range(&ds, &q, eps, &mut b);
+                    assert_eq!(
+                        a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                        b.iter().map(|n| n.id).collect::<Vec<_>>(),
+                        "dim={dim} eps={eps}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        for &dim in &[2usize, 9] {
+            let ds = random_ds(300, dim, 11 + dim as u64);
+            let tree = BallTree::build(&ds);
+            let lin = LinearScan::build(&ds);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for qi in [0usize, 150, 299] {
+                let q = ds.point(qi).to_vec();
+                for k in [1usize, 7, 64, 300] {
+                    tree.knn(&ds, &q, k, &mut a);
+                    lin.knn(&ds, &q, k, &mut b);
+                    assert_eq!(
+                        a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                        b.iter().map(|n| n.id).collect::<Vec<_>>(),
+                        "dim={dim} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_ties_with_interleaved_duplicates_match_linear() {
+        // Regression: sqrt-round-tripped pruning bounds used to drop
+        // exact-distance ties, resolving them differently from the linear
+        // scan's (distance, id) order.
+        let mut ds = Dataset::new(3).unwrap();
+        for i in 0..300 {
+            let base = [(i % 10) as f64, ((i / 10) % 10) as f64, (i / 100) as f64];
+            // Every third point is an exact duplicate of a grid node.
+            ds.push(&base).unwrap();
+        }
+        let tree = BallTree::build(&ds);
+        let lin = LinearScan::build(&ds);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for qi in [0usize, 50, 150, 299] {
+            let q = ds.point(qi).to_vec();
+            for k in [1usize, 3, 10] {
+                tree.knn(&ds, &q, k, &mut a);
+                lin.knn(&ds, &q, k, &mut b);
+                assert_eq!(
+                    a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    b.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    "qi={qi} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_and_empty() {
+        let ds = Dataset::new(3).unwrap();
+        let t = BallTree::build(&ds);
+        let mut out = Vec::new();
+        t.range(&ds, &[0.0; 3], 1.0, &mut out);
+        assert!(out.is_empty());
+
+        let mut ds = Dataset::new(2).unwrap();
+        for _ in 0..50 {
+            ds.push(&[2.0, 2.0]).unwrap();
+        }
+        let t = BallTree::build(&ds);
+        t.range(&ds, &[2.0, 2.0], 0.0, &mut out);
+        assert_eq!(out.len(), 50);
+        t.knn(&ds, &[0.0, 0.0], 3, &mut out);
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

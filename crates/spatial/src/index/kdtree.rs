@@ -1,0 +1,325 @@
+//! A KD-tree over dataset indices.
+//!
+//! Nodes are stored in a flat arena; leaves hold small buckets of point ids.
+//! Splits are made at the median of the widest dimension of each node's
+//! bounding box, which keeps the tree balanced for arbitrary (including
+//! highly skewed) data distributions.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::dataset::Dataset;
+use crate::index::{sort_neighbors, Neighbor, SpatialIndex};
+use crate::metric::{Metric, SquaredEuclidean};
+
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Range into `KdTree::ids`.
+        start: u32,
+        end: u32,
+    },
+    Split {
+        dim: u16,
+        value: f64,
+        /// Index of the left child in the arena; right child is `left + 1`.
+        left: u32,
+    },
+}
+
+/// A balanced KD-tree supporting ε-range and k-NN queries.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    ids: Vec<u32>,
+    n: usize,
+    dim: usize,
+}
+
+impl KdTree {
+    /// Builds the tree in O(n log² n).
+    pub fn build(ds: &Dataset) -> Self {
+        let n = ds.len();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::with_capacity((2 * n / LEAF_SIZE).max(1));
+        if n > 0 {
+            nodes.push(Node::Leaf { start: 0, end: n as u32 }); // placeholder root
+            Self::build_rec(ds, &mut nodes, &mut ids, 0, 0, n);
+        }
+        Self { nodes, ids, n, dim: ds.dim() }
+    }
+
+    fn build_rec(
+        ds: &Dataset,
+        nodes: &mut Vec<Node>,
+        ids: &mut [u32],
+        node: usize,
+        start: usize,
+        end: usize,
+    ) {
+        let len = end - start;
+        if len <= LEAF_SIZE {
+            nodes[node] = Node::Leaf { start: start as u32, end: end as u32 };
+            return;
+        }
+        // Widest dimension of this node's bounding box.
+        let dim = ds.dim();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for &id in &ids[start..end] {
+            for (j, &x) in ds.point(id as usize).iter().enumerate() {
+                if x < lo[j] {
+                    lo[j] = x;
+                }
+                if x > hi[j] {
+                    hi[j] = x;
+                }
+            }
+        }
+        let split_dim = (0..dim)
+            .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
+            .expect("dim > 0");
+        if hi[split_dim] - lo[split_dim] <= 0.0 {
+            // All points identical in every dimension: keep as one leaf.
+            nodes[node] = Node::Leaf { start: start as u32, end: end as u32 };
+            return;
+        }
+        let mid = start + len / 2;
+        ids[start..end].select_nth_unstable_by(len / 2, |&a, &b| {
+            ds.point(a as usize)[split_dim].total_cmp(&ds.point(b as usize)[split_dim])
+        });
+        let value = ds.point(ids[mid] as usize)[split_dim];
+        let left = nodes.len() as u32;
+        nodes.push(Node::Leaf { start: 0, end: 0 }); // left placeholder
+        nodes.push(Node::Leaf { start: 0, end: 0 }); // right placeholder
+        nodes[node] = Node::Split { dim: split_dim as u16, value, left };
+        Self::build_rec(ds, nodes, ids, left as usize, start, mid);
+        Self::build_rec(ds, nodes, ids, left as usize + 1, mid, end);
+    }
+}
+
+impl SpatialIndex for KdTree {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn range(&self, ds: &Dataset, q: &[f64], eps: f64, out: &mut Vec<Neighbor>) {
+        assert_eq!(ds.len(), self.n, "index/dataset mismatch");
+        assert_eq!(q.len(), self.dim, "query dimensionality mismatch");
+        out.clear();
+        if self.n == 0 || eps.is_nan() || eps < 0.0 {
+            return;
+        }
+        let eps_sq = eps * eps;
+        // Iterative DFS; prune subtrees whose slab distance exceeds eps.
+        let mut stack: Vec<(usize, f64)> = vec![(0, 0.0)];
+        while let Some((node, min_d2)) = stack.pop() {
+            if min_d2 > eps_sq {
+                continue;
+            }
+            match self.nodes[node] {
+                Node::Leaf { start, end } => {
+                    for &id in &self.ids[start as usize..end as usize] {
+                        let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
+                        if d2 <= eps_sq {
+                            out.push(Neighbor::new(id as usize, d2.sqrt()));
+                        }
+                    }
+                }
+                Node::Split { dim, value, left } => {
+                    let delta = q[dim as usize] - value;
+                    let gap = delta * delta;
+                    let (near, far) = if delta < 0.0 {
+                        (left as usize, left as usize + 1)
+                    } else {
+                        (left as usize + 1, left as usize)
+                    };
+                    // The near side keeps the parent's lower bound; the far
+                    // side is at least `gap` away along the split axis.
+                    stack.push((far, min_d2.max(gap)));
+                    stack.push((near, min_d2));
+                }
+            }
+        }
+        sort_neighbors(out);
+    }
+
+    fn knn(&self, ds: &Dataset, q: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        assert_eq!(ds.len(), self.n, "index/dataset mismatch");
+        assert_eq!(q.len(), self.dim, "query dimensionality mismatch");
+        out.clear();
+        if self.n == 0 || k == 0 {
+            return;
+        }
+        // Max-heap of the current k best (dist², id); ordering includes the
+        // id so tie-breaking matches LinearScan exactly.
+        #[derive(PartialEq)]
+        struct Cand(f64, usize);
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+            }
+        }
+
+        let k = k.min(self.n);
+        let mut best: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
+        // Best-first traversal of the tree.
+        let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        frontier.push(Reverse(Cand(0.0, 0)));
+        while let Some(Reverse(Cand(min_d2, node))) = frontier.pop() {
+            if best.len() == k {
+                let worst = best.peek().expect("non-empty");
+                // Even an id-0 point at min_d2 cannot beat the current worst.
+                if Cand(min_d2, 0) >= *worst {
+                    break;
+                }
+            }
+            match self.nodes[node] {
+                Node::Leaf { start, end } => {
+                    for &id in &self.ids[start as usize..end as usize] {
+                        let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
+                        let cand = Cand(d2, id as usize);
+                        if best.len() < k {
+                            best.push(cand);
+                        } else if cand < *best.peek().expect("non-empty") {
+                            best.pop();
+                            best.push(cand);
+                        }
+                    }
+                }
+                Node::Split { dim, value, left } => {
+                    let delta = q[dim as usize] - value;
+                    let gap = delta * delta;
+                    let (near, far) = if delta < 0.0 {
+                        (left as usize, left as usize + 1)
+                    } else {
+                        (left as usize + 1, left as usize)
+                    };
+                    frontier.push(Reverse(Cand(min_d2, near)));
+                    frontier.push(Reverse(Cand(min_d2.max(gap), far)));
+                }
+            }
+        }
+        out.extend(best.into_iter().map(|Cand(d2, id)| Neighbor::new(id, d2.sqrt())));
+        sort_neighbors(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::linear::LinearScan;
+
+    fn random_ds(n: usize, dim: usize, seed: u64) -> Dataset {
+        // Tiny xorshift so the test does not depend on `rand`.
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut ds = Dataset::new(dim).unwrap();
+        for _ in 0..n {
+            let p: Vec<f64> = (0..dim).map(|_| next() * 10.0).collect();
+            ds.push(&p).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let ds = Dataset::new(3).unwrap();
+        let t = KdTree::build(&ds);
+        let mut out = Vec::new();
+        t.range(&ds, &[0.0, 0.0, 0.0], 1.0, &mut out);
+        assert!(out.is_empty());
+        t.knn(&ds, &[0.0, 0.0, 0.0], 5, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_points_form_single_leaf() {
+        let mut ds = Dataset::new(2).unwrap();
+        for _ in 0..100 {
+            ds.push(&[1.0, 1.0]).unwrap();
+        }
+        let t = KdTree::build(&ds);
+        let mut out = Vec::new();
+        t.range(&ds, &[1.0, 1.0], 0.0, &mut out);
+        assert_eq!(out.len(), 100);
+        t.knn(&ds, &[0.0, 0.0], 3, &mut out);
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn range_matches_linear_scan_on_random_data() {
+        for &dim in &[1usize, 2, 3, 5] {
+            let ds = random_ds(500, dim, 42 + dim as u64);
+            let tree = KdTree::build(&ds);
+            let lin = LinearScan::build(&ds);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for qi in [0usize, 7, 123, 499] {
+                let q: Vec<f64> = ds.point(qi).to_vec();
+                for eps in [0.0, 0.5, 2.0, 100.0] {
+                    tree.range(&ds, &q, eps, &mut a);
+                    lin.range(&ds, &q, eps, &mut b);
+                    assert_eq!(
+                        a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                        b.iter().map(|n| n.id).collect::<Vec<_>>(),
+                        "dim={dim} eps={eps}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_scan_on_random_data() {
+        for &dim in &[1usize, 2, 4] {
+            let ds = random_ds(300, dim, 7 + dim as u64);
+            let tree = KdTree::build(&ds);
+            let lin = LinearScan::build(&ds);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for qi in [0usize, 50, 299] {
+                let q: Vec<f64> = ds.point(qi).to_vec();
+                for k in [1usize, 5, 17, 300, 1000] {
+                    tree.knn(&ds, &q, k, &mut a);
+                    lin.knn(&ds, &q, k, &mut b);
+                    assert_eq!(
+                        a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                        b.iter().map(|n| n.id).collect::<Vec<_>>(),
+                        "dim={dim} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_eps_returns_nothing() {
+        let ds = random_ds(100, 2, 3);
+        let tree = KdTree::build(&ds);
+        let mut out = Vec::new();
+        tree.range(&ds, ds.point(0), -1.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimensionality mismatch")]
+    fn wrong_query_dim_panics() {
+        let ds = random_ds(100, 2, 3);
+        let tree = KdTree::build(&ds);
+        let mut out = Vec::new();
+        tree.range(&ds, &[0.0, 0.0, 0.0], 1.0, &mut out);
+    }
+}

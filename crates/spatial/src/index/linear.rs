@@ -1,0 +1,135 @@
+//! Exhaustive-scan index: the always-correct O(n) baseline against which the
+//! tree and grid indexes are property-tested.
+
+use crate::dataset::Dataset;
+use crate::index::{sort_neighbors, Neighbor, SpatialIndex};
+use crate::metric::{Metric, SquaredEuclidean};
+
+/// An index that answers every query by scanning all points.
+#[derive(Debug, Clone)]
+pub struct LinearScan {
+    n: usize,
+}
+
+impl LinearScan {
+    /// "Builds" the index (records only the dataset length).
+    pub fn build(ds: &Dataset) -> Self {
+        Self { n: ds.len() }
+    }
+}
+
+impl SpatialIndex for LinearScan {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn range(&self, ds: &Dataset, q: &[f64], eps: f64, out: &mut Vec<Neighbor>) {
+        assert_eq!(ds.len(), self.n, "index/dataset mismatch");
+        out.clear();
+        if eps.is_nan() || eps < 0.0 {
+            return; // negative eps would square into a positive radius
+        }
+        let eps_sq = eps * eps;
+        for (id, p) in ds.iter().enumerate() {
+            let d2 = SquaredEuclidean.dist(q, p);
+            if d2 <= eps_sq {
+                out.push(Neighbor::new(id, d2.sqrt()));
+            }
+        }
+        sort_neighbors(out);
+    }
+
+    fn knn(&self, ds: &Dataset, q: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        assert_eq!(ds.len(), self.n, "index/dataset mismatch");
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        // Collect all distances, partially select the k smallest.
+        let mut all: Vec<Neighbor> = ds
+            .iter()
+            .enumerate()
+            .map(|(id, p)| Neighbor::new(id, SquaredEuclidean.dist(q, p)))
+            .collect();
+        let k = k.min(all.len());
+        if k == 0 {
+            return;
+        }
+        all.select_nth_unstable_by(k - 1, |a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        all.truncate(k);
+        for n in &mut all {
+            n.dist = n.dist.sqrt();
+        }
+        sort_neighbors(&mut all);
+        out.extend_from_slice(&all);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::from_rows(1, &[&[0.0], &[1.0], &[2.0], &[3.0], &[10.0]]).unwrap()
+    }
+
+    #[test]
+    fn range_inclusive_boundary() {
+        let d = ds();
+        let idx = LinearScan::build(&d);
+        let mut out = Vec::new();
+        idx.range(&d, &[0.0], 2.0, &mut out);
+        let ids: Vec<usize> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]); // 2.0 exactly on the boundary is included
+        assert!((out[2].dist - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_empty_when_isolated() {
+        let d = ds();
+        let idx = LinearScan::build(&d);
+        let mut out = vec![Neighbor::new(99, 0.0)];
+        idx.range(&d, &[100.0], 1.0, &mut out);
+        assert!(out.is_empty()); // out is cleared
+    }
+
+    #[test]
+    fn knn_returns_sorted_k_nearest() {
+        let d = ds();
+        let idx = LinearScan::build(&d);
+        let mut out = Vec::new();
+        idx.knn(&d, &[2.2], 3, &mut out);
+        let ids: Vec<usize> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+        assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn knn_k_zero_and_k_too_large() {
+        let d = ds();
+        let idx = LinearScan::build(&d);
+        let mut out = Vec::new();
+        idx.knn(&d, &[0.0], 0, &mut out);
+        assert!(out.is_empty());
+        idx.knn(&d, &[0.0], 100, &mut out);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn knn_tie_broken_by_lower_id() {
+        let d = Dataset::from_rows(1, &[&[1.0], &[-1.0], &[1.0]]).unwrap();
+        let idx = LinearScan::build(&d);
+        let mut out = Vec::new();
+        idx.knn(&d, &[0.0], 2, &mut out);
+        let ids: Vec<usize> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1]); // all at distance 1; ids 0 and 1 win over 2
+    }
+
+    #[test]
+    fn nearest_on_empty_dataset() {
+        let d = Dataset::new(2).unwrap();
+        let idx = LinearScan::build(&d);
+        assert!(idx.nearest(&d, &[0.0, 0.0]).is_none());
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Spatial indexes answering ε-range and k-NN queries over a [`Dataset`].
+//!
+//! Indexes store only point *indices*; the dataset is passed by reference at
+//! query time. All implementations return exactly the same result sets (ties
+//! in k-NN are broken by lower point id), which the test-suite checks by
+//! property testing against [`linear::LinearScan`].
+
+use crate::dataset::Dataset;
+
+pub mod balltree;
+pub mod grid;
+pub mod kdtree;
+pub mod linear;
+
+/// One query result: a point id together with its distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the point in the dataset.
+    pub id: usize,
+    /// Euclidean distance to the query point.
+    pub dist: f64,
+}
+
+impl Neighbor {
+    /// Creates a neighbor record.
+    #[inline]
+    pub fn new(id: usize, dist: f64) -> Self {
+        Self { id, dist }
+    }
+}
+
+/// Sorts neighbours by `(dist, id)` — the canonical result order.
+pub(crate) fn sort_neighbors(out: &mut [Neighbor]) {
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+}
+
+/// An index over the points of one dataset, answering Euclidean proximity
+/// queries.
+///
+/// The dataset passed to the query methods must be the dataset the index was
+/// built from (same length, same order); this is asserted where cheap.
+pub trait SpatialIndex {
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// Whether the index contains no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All points within distance `eps` of `q` (inclusive), appended to
+    /// `out` sorted by `(dist, id)`. `out` is cleared first.
+    fn range(&self, ds: &Dataset, q: &[f64], eps: f64, out: &mut Vec<Neighbor>);
+
+    /// The `k` nearest points to `q`, appended to `out` sorted by
+    /// `(dist, id)`. Fewer than `k` results are returned when the dataset is
+    /// smaller. `out` is cleared first. Ties at the `k`-th distance are
+    /// broken by lower id.
+    fn knn(&self, ds: &Dataset, q: &[f64], k: usize, out: &mut Vec<Neighbor>);
+
+    /// The single nearest point to `q`, or `None` on an empty index.
+    fn nearest(&self, ds: &Dataset, q: &[f64]) -> Option<Neighbor> {
+        let mut out = Vec::with_capacity(1);
+        self.knn(ds, q, 1, &mut out);
+        out.first().copied()
+    }
+}
+
+/// A runtime-selected index, so pipeline code can hold "some index" without
+/// generics leaking everywhere.
+#[derive(Debug, Clone)]
+pub enum AnyIndex {
+    /// Exhaustive scan.
+    Linear(linear::LinearScan),
+    /// KD-tree.
+    KdTree(kdtree::KdTree),
+    /// Ball tree.
+    BallTree(balltree::BallTree),
+    /// Uniform grid.
+    Grid(grid::GridIndex),
+}
+
+impl SpatialIndex for AnyIndex {
+    fn len(&self) -> usize {
+        match self {
+            AnyIndex::Linear(i) => i.len(),
+            AnyIndex::KdTree(i) => i.len(),
+            AnyIndex::BallTree(i) => i.len(),
+            AnyIndex::Grid(i) => i.len(),
+        }
+    }
+
+    fn range(&self, ds: &Dataset, q: &[f64], eps: f64, out: &mut Vec<Neighbor>) {
+        match self {
+            AnyIndex::Linear(i) => i.range(ds, q, eps, out),
+            AnyIndex::KdTree(i) => i.range(ds, q, eps, out),
+            AnyIndex::BallTree(i) => i.range(ds, q, eps, out),
+            AnyIndex::Grid(i) => i.range(ds, q, eps, out),
+        }
+    }
+
+    fn knn(&self, ds: &Dataset, q: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        match self {
+            AnyIndex::Linear(i) => i.knn(ds, q, k, out),
+            AnyIndex::KdTree(i) => i.knn(ds, q, k, out),
+            AnyIndex::BallTree(i) => i.knn(ds, q, k, out),
+            AnyIndex::Grid(i) => i.knn(ds, q, k, out),
+        }
+    }
+}
+
+/// Picks a sensible index for `ds`:
+///
+/// * tiny datasets (< 64 points) → [`linear::LinearScan`],
+/// * low dimensionality (≤ 4) with a usable ε hint → [`grid::GridIndex`]
+///   with cell width `eps_hint`,
+/// * moderate dimensionality (≤ 8) → [`kdtree::KdTree`],
+/// * otherwise → [`balltree::BallTree`] (spheres prune better than slabs
+///   in higher dimensions).
+///
+/// `eps_hint` should be the ε used for subsequent range queries (OPTICS'
+/// generating distance); pass `None` when unknown.
+pub fn auto_index(ds: &Dataset, eps_hint: Option<f64>) -> AnyIndex {
+    if ds.len() < 64 {
+        return AnyIndex::Linear(linear::LinearScan::build(ds));
+    }
+    if ds.dim() <= 4 {
+        if let Some(eps) = eps_hint {
+            if eps.is_finite() && eps > 0.0 {
+                if let Some(g) = grid::GridIndex::build(ds, eps) {
+                    return AnyIndex::Grid(g);
+                }
+            }
+        }
+    }
+    if ds.dim() <= 8 {
+        AnyIndex::KdTree(kdtree::KdTree::build(ds))
+    } else {
+        AnyIndex::BallTree(balltree::BallTree::build(ds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::from_rows(
+            2,
+            &[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[10.0, 10.0], &[10.5, 10.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn neighbor_constructor() {
+        let n = Neighbor::new(3, 1.5);
+        assert_eq!(n.id, 3);
+        assert_eq!(n.dist, 1.5);
+    }
+
+    #[test]
+    fn sort_neighbors_orders_by_dist_then_id() {
+        let mut v = vec![Neighbor::new(2, 1.0), Neighbor::new(1, 1.0), Neighbor::new(0, 0.5)];
+        sort_neighbors(&mut v);
+        assert_eq!(v.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn auto_index_picks_linear_for_tiny() {
+        let d = ds();
+        assert!(matches!(auto_index(&d, Some(1.0)), AnyIndex::Linear(_)));
+    }
+
+    #[test]
+    fn auto_index_picks_grid_for_low_dim_with_hint() {
+        let mut d = Dataset::new(2).unwrap();
+        for i in 0..200 {
+            d.push(&[i as f64, (i % 7) as f64]).unwrap();
+        }
+        assert!(matches!(auto_index(&d, Some(1.0)), AnyIndex::Grid(_)));
+        assert!(matches!(auto_index(&d, None), AnyIndex::KdTree(_)));
+        assert!(matches!(auto_index(&d, Some(f64::INFINITY)), AnyIndex::KdTree(_)));
+    }
+
+    #[test]
+    fn auto_index_picks_kdtree_for_moderate_dim() {
+        let mut d = Dataset::new(6).unwrap();
+        for i in 0..200 {
+            d.push(&[i as f64; 6]).unwrap();
+        }
+        assert!(matches!(auto_index(&d, Some(1.0)), AnyIndex::KdTree(_)));
+    }
+
+    #[test]
+    fn auto_index_picks_balltree_for_high_dim() {
+        let mut d = Dataset::new(9).unwrap();
+        for i in 0..200 {
+            d.push(&[i as f64; 9]).unwrap();
+        }
+        assert!(matches!(auto_index(&d, None), AnyIndex::BallTree(_)));
+    }
+
+    #[test]
+    fn any_index_dispatches_all_variants() {
+        let d = ds();
+        let variants: Vec<AnyIndex> = vec![
+            AnyIndex::Linear(linear::LinearScan::build(&d)),
+            AnyIndex::KdTree(kdtree::KdTree::build(&d)),
+            AnyIndex::BallTree(balltree::BallTree::build(&d)),
+            AnyIndex::Grid(grid::GridIndex::build(&d, 1.5).unwrap()),
+        ];
+        for idx in &variants {
+            assert_eq!(idx.len(), 5);
+            assert!(!idx.is_empty());
+            let mut out = Vec::new();
+            idx.range(&d, &[0.0, 0.0], 1.0, &mut out);
+            assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+            idx.knn(&d, &[10.1, 10.0], 1, &mut out);
+            assert_eq!(out[0].id, 3);
+            assert_eq!(idx.nearest(&d, &[10.6, 10.0]).unwrap().id, 4);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Plain-text I/O for datasets: numeric CSV (comma, semicolon, tab or
+//! whitespace separated) without external dependencies.
+//!
+//! This is how real data enters the pipelines — e.g. the actual Corel
+//! "Color Moments" file from the UCI KDD archive, whose rows are
+//! `<image id> <9 moments>` and can be loaded with `skip_columns = 1`.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+
+/// Options for [`read_csv`].
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Number of leading columns to skip on every row (ids, labels, …).
+    pub skip_columns: usize,
+    /// Number of leading lines to skip (headers).
+    pub skip_lines: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self { skip_columns: 0, skip_lines: 0 }
+    }
+}
+
+/// Errors of the CSV reader.
+#[derive(Debug)]
+pub enum CsvError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A field failed to parse as `f64`.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: String,
+    },
+    /// A row had a different number of coordinates than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Expected coordinates per row.
+        expected: usize,
+        /// Found coordinates.
+        got: usize,
+    },
+    /// No data rows were found.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::BadNumber { line, field } => {
+                write!(f, "line {line}: cannot parse {field:?} as a number")
+            }
+            CsvError::RaggedRow { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} coordinates, found {got}")
+            }
+            CsvError::Empty => write!(f, "no data rows found"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Splits a line on commas, semicolons, tabs or runs of spaces.
+fn fields(line: &str) -> impl Iterator<Item = &str> {
+    line.split(|c: char| c == ',' || c == ';' || c == '\t' || c == ' ')
+        .filter(|f| !f.trim().is_empty())
+        .map(str::trim)
+}
+
+/// Reads a numeric table from `reader`. Empty lines and lines starting
+/// with `#` are skipped. The dimensionality is inferred from the first
+/// data row.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, unparsable fields, ragged rows or an
+/// empty input.
+pub fn read_csv_from(reader: impl Read, options: &CsvOptions) -> Result<Dataset, CsvError> {
+    let reader = BufReader::new(reader);
+    let mut ds: Option<Dataset> = None;
+    let mut row: Vec<f64> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if idx < options.skip_lines {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        row.clear();
+        for field in fields(trimmed).skip(options.skip_columns) {
+            let v: f64 = field
+                .parse()
+                .map_err(|_| CsvError::BadNumber { line: idx + 1, field: field.to_string() })?;
+            // Rust parses "NaN"/"inf" successfully, but non-finite
+            // coordinates poison every distance downstream — reject them
+            // here, where the line number is still known.
+            if !v.is_finite() {
+                return Err(CsvError::BadNumber { line: idx + 1, field: field.to_string() });
+            }
+            row.push(v);
+        }
+        match &mut ds {
+            None => {
+                if row.is_empty() {
+                    return Err(CsvError::BadNumber {
+                        line: idx + 1,
+                        field: String::from("<no numeric columns>"),
+                    });
+                }
+                let mut d = Dataset::new(row.len()).expect("non-empty row");
+                d.push(&row).expect("dimensions match");
+                ds = Some(d);
+            }
+            Some(d) => {
+                if row.len() != d.dim() {
+                    return Err(CsvError::RaggedRow {
+                        line: idx + 1,
+                        expected: d.dim(),
+                        got: row.len(),
+                    });
+                }
+                d.push(&row).expect("dimensions match");
+            }
+        }
+    }
+    ds.ok_or(CsvError::Empty)
+}
+
+/// Reads a numeric table from a file. See [`read_csv_from`].
+///
+/// # Errors
+///
+/// Returns an error when the file cannot be opened or parsed.
+pub fn read_csv(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Dataset, CsvError> {
+    read_csv_from(File::open(path)?, options)
+}
+
+/// Writes a dataset as comma-separated values (full `f64` round-trip
+/// precision).
+///
+/// # Errors
+///
+/// Returns an error on I/O failure.
+pub fn write_csv_to(ds: &Dataset, writer: impl Write) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for p in ds.iter() {
+        for (j, x) in p.iter().enumerate() {
+            if j > 0 {
+                write!(w, ",")?;
+            }
+            // `{:?}` prints the shortest representation that round-trips.
+            write!(w, "{x:?}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Writes a dataset to a CSV file. See [`write_csv_to`].
+///
+/// # Errors
+///
+/// Returns an error on I/O failure.
+pub fn write_csv(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    write_csv_to(ds, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_comma_separated() {
+        let input = "1.0,2.0\n3.5,-4.25\n";
+        let ds = read_csv_from(input.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.point(1), &[3.5, -4.25]);
+    }
+
+    #[test]
+    fn reads_whitespace_and_mixed_separators() {
+        let input = "1 2\t3\n4;5, 6\n";
+        let ds = read_csv_from(input.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(ds.dim(), 3);
+        assert_eq!(ds.point(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn skips_headers_comments_and_blank_lines() {
+        let input = "x,y\n# comment\n\n1,2\n3,4\n";
+        let ds =
+            read_csv_from(input.as_bytes(), &CsvOptions { skip_lines: 1, skip_columns: 0 })
+                .unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn skip_columns_drops_ids() {
+        // Corel-style: id followed by coordinates.
+        let input = "1001 0.1 0.2\n1002 0.3 0.4\n";
+        let ds =
+            read_csv_from(input.as_bytes(), &CsvOptions { skip_columns: 1, skip_lines: 0 })
+                .unwrap();
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.point(0), &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn bad_number_is_reported_with_line() {
+        let input = "1,2\n3,oops\n";
+        match read_csv_from(input.as_bytes(), &CsvOptions::default()) {
+            Err(CsvError::BadNumber { line, field }) => {
+                assert_eq!(line, 2);
+                assert_eq!(field, "oops");
+            }
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_row_is_reported() {
+        let input = "1,2\n3\n";
+        match read_csv_from(input.as_bytes(), &CsvOptions::default()) {
+            Err(CsvError::RaggedRow { line, expected, got }) => {
+                assert_eq!((line, expected, got), (2, 2, 1));
+            }
+            other => panic!("expected RaggedRow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected() {
+        for bad in ["1.0,NaN\n", "inf,2.0\n", "1.0,-inf\n"] {
+            match read_csv_from(bad.as_bytes(), &CsvOptions::default()) {
+                Err(CsvError::BadNumber { line: 1, .. }) => {}
+                other => panic!("{bad:?} must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            read_csv_from("".as_bytes(), &CsvOptions::default()),
+            Err(CsvError::Empty)
+        ));
+        assert!(matches!(
+            read_csv_from("# only comments\n".as_bytes(), &CsvOptions::default()),
+            Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let ds = Dataset::from_rows(3, &[&[1.5, -2.25, 1e-30], &[0.1 + 0.2, 4.0, 5.0]]).unwrap();
+        let mut buf = Vec::new();
+        write_csv_to(&ds, &mut buf).unwrap();
+        let back = read_csv_from(buf.as_slice(), &CsvOptions::default()).unwrap();
+        assert_eq!(back, ds); // exact f64 round-trip via {:?}
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ds = Dataset::from_rows(2, &[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let path = std::env::temp_dir().join(format!("db-spatial-io-{}.csv", std::process::id()));
+        write_csv(&ds, &path).unwrap();
+        let back = read_csv(&path, &CsvOptions::default()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CsvError::BadNumber { line: 3, field: "x".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = CsvError::RaggedRow { line: 2, expected: 3, got: 1 };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(CsvError::Empty.to_string().contains("no data"));
+    }
+}

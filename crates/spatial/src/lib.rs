@@ -1,0 +1,67 @@
+//! Dense vector datasets, distance metrics and spatial indexes.
+//!
+//! This crate is the spatial substrate of the Data Bubbles reproduction:
+//!
+//! * [`Dataset`] — a flat, row-major container of `d`-dimensional `f64`
+//!   points. All higher layers (OPTICS, BIRCH, sampling, Data Bubbles)
+//!   operate on datasets or on summaries derived from them.
+//! * [`Metric`] — distance functions ([`Euclidean`], [`SquaredEuclidean`],
+//!   [`Manhattan`], [`Chebyshev`]).
+//! * [`SpatialIndex`] — ε-range, k-NN and 1-NN queries. Three
+//!   implementations with identical semantics: [`LinearScan`] (the always
+//!   correct baseline), [`KdTree`] (good for moderate dimensions) and
+//!   [`GridIndex`] (fastest for low-dimensional, density-based workloads —
+//!   the "index-based access structure" OPTICS assumes).
+//!
+//! # Example
+//!
+//! ```
+//! use db_spatial::{Dataset, KdTree, SpatialIndex};
+//!
+//! let ds = Dataset::from_rows(2, &[&[0.0, 0.0], &[1.0, 0.0], &[5.0, 5.0]]).unwrap();
+//! let tree = KdTree::build(&ds);
+//! let mut out = Vec::new();
+//! tree.range(&ds, &[0.1, 0.0], 2.0, &mut out);
+//! let ids: Vec<usize> = out.iter().map(|n| n.id).collect();
+//! assert_eq!(ids.len(), 2);
+//! assert!(ids.contains(&0) && ids.contains(&1));
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+pub mod io;
+mod metric;
+pub mod vptree;
+
+pub mod index;
+
+pub use dataset::Dataset;
+pub use error::SpatialError;
+pub use index::balltree::BallTree;
+pub use index::grid::GridIndex;
+pub use index::kdtree::KdTree;
+pub use index::linear::LinearScan;
+pub use index::{auto_index, AnyIndex, Neighbor, SpatialIndex};
+pub use io::{read_csv, read_csv_from, write_csv, write_csv_to, CsvError, CsvOptions};
+pub use metric::{Chebyshev, Euclidean, Manhattan, Metric, SquaredEuclidean};
+pub use vptree::{MetricNeighbor, VpTree};
+
+/// Euclidean distance between two slices of equal length.
+///
+/// Convenience free function used pervasively by the higher layers.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    Euclidean.dist(a, b)
+}
+
+/// Squared Euclidean distance between two slices of equal length.
+#[inline]
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    SquaredEuclidean.dist(a, b)
+}

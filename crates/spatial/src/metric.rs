@@ -1,0 +1,140 @@
+/// A distance function on `d`-dimensional points.
+///
+/// Implementations must satisfy the metric axioms except that
+/// [`SquaredEuclidean`] intentionally violates the triangle inequality (it
+/// is provided because comparisons of squared distances avoid `sqrt` in hot
+/// loops; the orderings are identical).
+pub trait Metric {
+    /// Distance between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// May panic (in debug builds) if `a.len() != b.len()`.
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// A monotone surrogate of the distance, cheaper to compute when
+    /// available. Only relative order is guaranteed; defaults to `dist`.
+    #[inline]
+    fn dist_surrogate(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.dist(a, b)
+    }
+
+    /// Converts a surrogate value back into a true distance.
+    #[inline]
+    fn surrogate_to_dist(&self, s: f64) -> f64 {
+        s
+    }
+}
+
+/// The Euclidean (L2) metric. The metric of the paper's evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        SquaredEuclidean.dist(a, b).sqrt()
+    }
+
+    #[inline]
+    fn dist_surrogate(&self, a: &[f64], b: &[f64]) -> f64 {
+        SquaredEuclidean.dist(a, b)
+    }
+
+    #[inline]
+    fn surrogate_to_dist(&self, s: f64) -> f64 {
+        s.sqrt()
+    }
+}
+
+/// Squared Euclidean "distance" (not a metric; monotone in L2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquaredEuclidean;
+
+impl Metric for SquaredEuclidean {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0.0;
+        for (&x, &y) in a.iter().zip(b) {
+            let d = x - y;
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+/// The Manhattan (L1) metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+    }
+}
+
+/// The Chebyshev (L∞) metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [1.0, 2.0, 3.0];
+    const B: [f64; 3] = [4.0, 6.0, 3.0];
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        assert!((Euclidean.dist(&A, &B) - 5.0).abs() < 1e-12);
+        assert_eq!(Euclidean.dist(&A, &A), 0.0);
+    }
+
+    #[test]
+    fn squared_euclidean_is_square_of_euclidean() {
+        let d = Euclidean.dist(&A, &B);
+        let s = SquaredEuclidean.dist(&A, &B);
+        assert!((s - d * d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surrogate_round_trips() {
+        let s = Euclidean.dist_surrogate(&A, &B);
+        assert!((Euclidean.surrogate_to_dist(s) - 5.0).abs() < 1e-12);
+        // Default surrogate is identity.
+        let m = Manhattan.dist_surrogate(&A, &B);
+        assert_eq!(Manhattan.surrogate_to_dist(m), m);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        assert!((Manhattan.dist(&A, &B) - 7.0).abs() < 1e-12);
+        assert!((Chebyshev.dist(&A, &B) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_symmetric() {
+        assert_eq!(Euclidean.dist(&A, &B), Euclidean.dist(&B, &A));
+        assert_eq!(Manhattan.dist(&A, &B), Manhattan.dist(&B, &A));
+        assert_eq!(Chebyshev.dist(&A, &B), Chebyshev.dist(&B, &A));
+    }
+
+    #[test]
+    fn norm_ordering_l1_ge_l2_ge_linf() {
+        let l1 = Manhattan.dist(&A, &B);
+        let l2 = Euclidean.dist(&A, &B);
+        let li = Chebyshev.dist(&A, &B);
+        assert!(l1 >= l2 && l2 >= li);
+    }
+}

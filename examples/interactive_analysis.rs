@@ -1,0 +1,60 @@
+//! The paper's motivating scenario (§1): "it makes a large difference for
+//! the user if he can cluster his data in a couple of seconds or in a
+//! couple of hours (e.g. if the analyst wants to try out different subsets
+//! of the attributes without incurring prohibitive waiting times)".
+//!
+//! This example plays that analyst: a 200,000-point data set, four
+//! different attribute subsets to explore — each explored in milliseconds
+//! via Data Bubbles instead of seconds-to-minutes via full OPTICS, with
+//! the cluster structure preserved.
+//!
+//! ```text
+//! cargo run --release --example interactive_analysis
+//! ```
+
+use data_bubbles::pipeline::optics_sa_bubbles;
+use db_datagen::{gaussian_family, GaussianFamilyParams};
+use db_eval::adjusted_rand_index;
+use db_optics::OpticsParams;
+
+fn main() {
+    // "The database": 200k rows with 10 attributes, 15 latent groups.
+    let data = gaussian_family(
+        &GaussianFamilyParams {
+            n: 200_000,
+            dim: 10,
+            clusters: 15,
+            domain: 300.0,
+            ..GaussianFamilyParams::default()
+        },
+        7,
+    );
+    println!("database: {} rows x {} attributes\n", data.len(), data.data.dim());
+
+    // The analyst tries different attribute subsets (prefix projections).
+    for attrs in [2usize, 4, 6, 10] {
+        let view = data.project(attrs);
+        let params = OpticsParams { eps: f64::INFINITY, min_pts: 20 };
+        let t = std::time::Instant::now();
+        let out = optics_sa_bubbles(&view.data, 1_000, 7, &params)
+            .expect("valid pipeline configuration");
+        let dt = t.elapsed();
+
+        // Cut the expanded plot at a scale suited to this dimensionality.
+        let cut = 1.1 * 3.0 * (2.0 * attrs as f64).sqrt();
+        let labels = out.expanded.as_ref().unwrap().extract_dbscan(cut);
+        let found = labels
+            .iter()
+            .copied()
+            .filter(|&l| l >= 0)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        println!(
+            "attributes 1..{attrs:<2}  clustered in {:>7.3}s   clusters found = {found:>2}/15   \
+             ARI vs truth = {:.3}",
+            dt.as_secs_f64(),
+            adjusted_rand_index(&data.labels, &labels),
+        );
+    }
+    println!("\nEvery exploration ran on 1,000 Data Bubbles instead of 200,000 rows.");
+}

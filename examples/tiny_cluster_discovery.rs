@@ -1,0 +1,76 @@
+//! The paper's real-world scenario (§9.3): find two *tiny* clusters
+//! embedded in 68,040 points of almost uniform density (the Corel color
+//! moments challenge profile) — at a compression factor of 68.
+//!
+//! ```text
+//! cargo run --release --example tiny_cluster_discovery
+//! ```
+
+use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
+use db_birch::BirchParams;
+use db_datagen::{corel_like, CorelParams};
+use db_optics::OpticsParams;
+use std::collections::HashMap;
+
+fn main() {
+    let data = corel_like(&CorelParams::default(), 2001);
+    println!(
+        "data set: {} points x {} dims; two hidden clusters of {} points each\n",
+        data.len(),
+        data.data.dim(),
+        data.cluster_sizes()[0]
+    );
+
+    let params = OpticsParams { eps: f64::INFINITY, min_pts: 10 };
+    let k = data.len() / 68; // the paper's compression factor
+
+    for (name, run) in [
+        ("OPTICS-SA-Bubbles", optics_sa_bubbles(&data.data, k, 1, &params)),
+        (
+            "OPTICS-CF-Bubbles",
+            optics_cf_bubbles(&data.data, k, &BirchParams::default(), &params),
+        ),
+    ] {
+        let out = run.expect("valid pipeline configuration");
+        let t = out.timings;
+        let expanded = out.expanded.as_ref().unwrap();
+        // Anything below 0.25 reachability is far denser than the
+        // background (whose 10-NN distance is ~0.39).
+        let labels = expanded.extract_dbscan(0.25);
+
+        // Keep only small extracted clusters — the interesting finds.
+        let mut sizes: HashMap<i32, usize> = HashMap::new();
+        for &l in &labels {
+            if l >= 0 {
+                *sizes.entry(l).or_insert(0) += 1;
+            }
+        }
+        let tiny: Vec<(i32, usize)> = sizes
+            .iter()
+            .filter(|&(_, &s)| s < data.len() / 10)
+            .map(|(&l, &s)| (l, s))
+            .collect();
+
+        println!(
+            "{name}: {} bubbles, total {:.2}s ({:.2}s compression, {:.2}s clustering)",
+            out.n_representatives,
+            t.total().as_secs_f64(),
+            t.compression.as_secs_f64(),
+            t.clustering.as_secs_f64()
+        );
+        println!("  small dense clusters found: {}", tiny.len());
+        for (l, s) in &tiny {
+            // How pure is each find vs. the ground truth?
+            let members: Vec<usize> =
+                (0..data.len()).filter(|&i| labels[i] == *l).collect();
+            let truth_hits =
+                members.iter().filter(|&&i| data.labels[i] >= 0).count();
+            println!(
+                "    cluster {l}: {s} points, {truth_hits} of them from a true hidden cluster"
+            );
+        }
+        println!();
+    }
+    println!("(The paper's result: sampling-based bubbles recover both tiny clusters;");
+    println!(" BIRCH-based bubbles approximate the structure but lose them.)");
+}

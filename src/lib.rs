@@ -1,0 +1,24 @@
+//! Umbrella crate for the Data Bubbles reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the individual crates for documentation:
+//!
+//! * [`data_bubbles`] — the paper's contribution (Data Bubbles + pipelines).
+//! * [`db_optics`] — OPTICS and DBSCAN.
+//! * [`db_birch`] — BIRCH CF-trees.
+//! * [`db_sampling`] — sampling + NN-classification compression.
+//! * [`db_hierarchical`] — single-link / agglomerative baselines, k-means.
+//! * [`db_spatial`] — datasets, metrics and spatial indexes.
+//! * [`db_datagen`] — the paper's synthetic workloads (DS1, DS2, …).
+//! * [`db_eval`] — confusion matrices and clustering quality measures.
+
+#![warn(missing_docs)]
+
+pub use data_bubbles;
+pub use db_birch;
+pub use db_datagen;
+pub use db_eval;
+pub use db_hierarchical;
+pub use db_optics;
+pub use db_sampling;
+pub use db_spatial;

@@ -1,0 +1,83 @@
+//! Integration test of the paper's §9.3 scenario: two tiny dense clusters
+//! embedded in a large near-uniform body must survive 68× compression via
+//! sampling-based Data Bubbles.
+
+use data_bubbles::pipeline::optics_sa_bubbles;
+use db_datagen::{corel_like, CorelParams};
+use db_optics::OpticsParams;
+use std::collections::HashMap;
+
+fn cluster_purity(labels: &[i32], truth: &[i32], cluster: i32) -> (usize, usize) {
+    // (members of the truth cluster sharing the majority extracted label,
+    //  size of that extracted label)
+    let members: Vec<usize> =
+        (0..truth.len()).filter(|&i| truth[i] == cluster).collect();
+    let mut votes: HashMap<i32, usize> = HashMap::new();
+    for &i in &members {
+        if labels[i] >= 0 {
+            *votes.entry(labels[i]).or_insert(0) += 1;
+        }
+    }
+    let Some((&label, &count)) = votes.iter().max_by_key(|&(_, &c)| c) else {
+        return (0, 0);
+    };
+    let label_size = labels.iter().filter(|&&l| l == label).count();
+    (count, label_size)
+}
+
+#[test]
+fn sa_bubbles_recover_both_tiny_clusters() {
+    let params = CorelParams { n: 12_000, dim: 9, tiny_cluster_size: 120 };
+    let data = corel_like(&params, 77);
+    let k = data.len() / 68;
+    let out = optics_sa_bubbles(
+        &data.data,
+        k,
+        77,
+        &OpticsParams { eps: f64::INFINITY, min_pts: 10 },
+    )
+    .unwrap();
+    let labels = out.expanded.as_ref().unwrap().extract_dbscan(0.25);
+
+    for cluster in 0..2 {
+        let (recovered, label_size) = cluster_purity(&labels, &data.labels, cluster);
+        assert!(
+            recovered >= 96, // >= 80% of 120
+            "tiny cluster {cluster}: only {recovered}/120 members recovered"
+        );
+        assert!(
+            label_size <= 3 * 120,
+            "tiny cluster {cluster} drowned in a huge extracted cluster ({label_size})"
+        );
+    }
+}
+
+#[test]
+fn tiny_clusters_stay_separate() {
+    // "no objects switched from one cluster to the other one" (Fig. 22).
+    let params = CorelParams { n: 12_000, dim: 9, tiny_cluster_size: 120 };
+    let data = corel_like(&params, 78);
+    let k = data.len() / 68;
+    let out = optics_sa_bubbles(
+        &data.data,
+        k,
+        78,
+        &OpticsParams { eps: f64::INFINITY, min_pts: 10 },
+    )
+    .unwrap();
+    let labels = out.expanded.as_ref().unwrap().extract_dbscan(0.25);
+
+    // Majority labels of the two truth clusters must differ.
+    let maj = |cluster: i32| {
+        let mut votes: HashMap<i32, usize> = HashMap::new();
+        for (&truth, &label) in data.labels.iter().zip(&labels) {
+            if truth == cluster && label >= 0 {
+                *votes.entry(label).or_insert(0) += 1;
+            }
+        }
+        votes.into_iter().max_by_key(|&(_, c)| c).map(|(l, _)| l)
+    };
+    let (a, b) = (maj(0), maj(1));
+    assert!(a.is_some() && b.is_some(), "a tiny cluster disappeared entirely");
+    assert_ne!(a, b, "the two tiny clusters were merged");
+}

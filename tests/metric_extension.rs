@@ -1,0 +1,58 @@
+//! Integration test of the §10 metric-data extension: on Euclidean data,
+//! the metric machinery (distance closure only) must reach the same
+//! clustering quality as the native Euclidean bubble pipeline.
+
+use data_bubbles::pipeline::optics_sa_bubbles;
+use data_bubbles::{compress_metric, MetricBubbleSpace};
+use db_datagen::{ds2, Ds2Params};
+use db_eval::adjusted_rand_index;
+use db_optics::{extract_dbscan, optics, OpticsParams};
+
+#[test]
+fn metric_bubbles_match_euclidean_bubbles_on_vector_data() {
+    let data = ds2(&Ds2Params { n: 4_000, sigma: 2.0 }, 21);
+    let n = data.len();
+    let dist = |a: usize, b: usize| db_spatial::euclidean(data.data.point(a), data.data.point(b));
+
+    // Metric pipeline: closure-only compression + OPTICS + label transfer.
+    let compression = compress_metric(n, 60, 10, 5, dist);
+    let space = MetricBubbleSpace::new(compression.bubbles.clone(), dist);
+    let ordering = optics(&space, &OpticsParams { eps: f64::INFINITY, min_pts: 10 });
+    let bubble_labels = extract_dbscan(&ordering, 4.0, 60);
+    let metric_labels: Vec<i32> =
+        compression.assignment.iter().map(|&b| bubble_labels[b as usize]).collect();
+    let metric_ari = adjusted_rand_index(&data.labels, &metric_labels);
+
+    // Native Euclidean pipeline at the same compression.
+    let out = optics_sa_bubbles(
+        &data.data,
+        60,
+        5,
+        &OpticsParams { eps: f64::INFINITY, min_pts: 10 },
+    )
+    .unwrap();
+    let euclid_labels = out.expanded.as_ref().unwrap().extract_dbscan(4.0);
+    let euclid_ari = adjusted_rand_index(&data.labels, &euclid_labels);
+
+    assert!(euclid_ari > 0.95, "euclidean baseline degraded: {euclid_ari}");
+    assert!(
+        metric_ari > 0.9,
+        "metric extension ARI {metric_ari} too far below euclidean {euclid_ari}"
+    );
+}
+
+#[test]
+fn metric_compression_weights_partition_the_data() {
+    let data = ds2(&Ds2Params { n: 2_000, sigma: 2.0 }, 22);
+    let dist = |a: usize, b: usize| db_spatial::euclidean(data.data.point(a), data.data.point(b));
+    let c = compress_metric(data.len(), 40, 5, 9, dist);
+    let total: u64 = c.bubbles.iter().map(|b| b.n).sum();
+    assert_eq!(total, data.len() as u64);
+    // Every bubble's nndist table is monotone and bounded by its extent
+    // (up to estimation noise).
+    for b in &c.bubbles {
+        for w in b.nndist_table.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+}

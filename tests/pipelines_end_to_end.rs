@@ -1,0 +1,169 @@
+//! End-to-end integration tests of the six paper pipelines on seeded
+//! synthetic workloads: the qualitative claims of the paper's evaluation,
+//! asserted numerically.
+
+use data_bubbles::pipeline::{
+    optics_cf_bubbles, optics_cf_naive, optics_cf_weighted, optics_sa_bubbles, optics_sa_naive,
+    optics_sa_weighted,
+};
+use db_birch::BirchParams;
+use db_datagen::{ds1, ds2, Ds1Params, Ds2Params};
+use db_eval::adjusted_rand_index;
+use db_optics::{extract_dbscan, optics_points, OpticsParams};
+
+fn bubble_params() -> OpticsParams {
+    OpticsParams { eps: f64::INFINITY, min_pts: 10 }
+}
+
+#[test]
+fn ds2_bubbles_match_ground_truth_and_reference() {
+    let data = ds2(&Ds2Params { n: 4_000, sigma: 2.0 }, 1);
+    let reference = optics_points(&data.data, &OpticsParams { eps: 10.0, min_pts: 10 });
+    let ref_labels = extract_dbscan(&reference, 4.0, data.len());
+    assert!(adjusted_rand_index(&data.labels, &ref_labels) > 0.99, "reference itself is clean");
+
+    for out in [
+        optics_sa_bubbles(&data.data, 40, 7, &bubble_params()).unwrap(),
+        optics_cf_bubbles(&data.data, 40, &BirchParams::default(), &bubble_params()).unwrap(),
+    ] {
+        let expanded = out.expanded.as_ref().unwrap();
+        assert_eq!(expanded.len(), data.len(), "lost objects problem must be solved");
+        let labels = expanded.extract_dbscan(4.0);
+        let ari_truth = adjusted_rand_index(&data.labels, &labels);
+        let ari_ref = adjusted_rand_index(&ref_labels, &labels);
+        assert!(ari_truth > 0.95, "bubbles vs truth ARI {ari_truth}");
+        assert!(ari_ref > 0.95, "bubbles vs reference ARI {ari_ref}");
+    }
+}
+
+#[test]
+fn ds2_weighted_recovers_cluster_sizes() {
+    let data = ds2(&Ds2Params { n: 4_000, sigma: 2.0 }, 2);
+    let out = optics_sa_weighted(
+        &data.data,
+        40,
+        3,
+        &OpticsParams { eps: f64::INFINITY, min_pts: 2 },
+    )
+    .unwrap();
+    let expanded = out.expanded.as_ref().unwrap();
+    assert_eq!(expanded.len(), data.len());
+    // Size distortion solved: every original object appears exactly once.
+    let mut order = expanded.order();
+    order.sort_unstable();
+    assert_eq!(order, (0..data.len() as u32).collect::<Vec<_>>());
+}
+
+#[test]
+fn naive_pipelines_expose_all_three_problems() {
+    let data = ds2(&Ds2Params { n: 4_000, sigma: 2.0 }, 3);
+    let sa = optics_sa_naive(&data.data, 40, 3, &OpticsParams { eps: f64::INFINITY, min_pts: 2 })
+        .unwrap();
+    // Lost objects: only the sample is in the result.
+    assert!(sa.expanded.is_none());
+    assert_eq!(sa.rep_ordering.len(), 40);
+    // Size distortion: a cluster occupies ~8 of 40 positions, not 800.
+    let cf =
+        optics_cf_naive(&data.data, 40, &BirchParams::default(), &OpticsParams {
+            eps: f64::INFINITY,
+            min_pts: 2,
+        })
+        .unwrap();
+    assert!(cf.rep_ordering.len() <= 40);
+}
+
+#[test]
+fn ds1_bubbles_preserve_reference_structure() {
+    let data = ds1(&Ds1Params { n: 6_000, ..Ds1Params::default() }, 4);
+    // Reference cut calibrated for this density (see bench::common).
+    let min_pts = 10;
+    let cut = 120.0 * ((min_pts as f64) / (data.len() as f64)).sqrt();
+    let reference =
+        optics_points(&data.data, &OpticsParams { eps: 3.0 * cut, min_pts });
+    let ref_labels = extract_dbscan(&reference, cut, data.len());
+
+    let out = optics_sa_bubbles(&data.data, 120, 9, &bubble_params()).unwrap();
+    let labels = out.expanded.as_ref().unwrap().extract_dbscan(cut);
+    let ari = adjusted_rand_index(&ref_labels, &labels);
+    assert!(ari > 0.8, "bubble clustering diverges from reference: ARI {ari}");
+}
+
+#[test]
+fn bubbles_beat_weighted_on_structure() {
+    // The paper's core claim: at high compression, bubbles preserve the
+    // structure weighted expansion cannot.
+    let data = ds1(&Ds1Params { n: 8_000, ..Ds1Params::default() }, 5);
+    let min_pts = 10;
+    let cut = 120.0 * ((min_pts as f64) / (data.len() as f64)).sqrt();
+    let reference =
+        optics_points(&data.data, &OpticsParams { eps: 3.0 * cut, min_pts });
+    let ref_labels = extract_dbscan(&reference, cut, data.len());
+
+    let k = 40; // compression factor 200
+    let bub = optics_sa_bubbles(&data.data, k, 11, &bubble_params()).unwrap();
+    let ari_bub = adjusted_rand_index(
+        &ref_labels,
+        &bub.expanded.as_ref().unwrap().extract_dbscan(cut),
+    );
+
+    let wgt = optics_sa_weighted(
+        &data.data,
+        k,
+        11,
+        &OpticsParams { eps: f64::INFINITY, min_pts: 2 },
+    )
+    .unwrap();
+    // Weighted plots live on the representative scale; give the variant
+    // its best shot with an adaptive cut (4x median finite reachability).
+    let values = wgt.expanded.as_ref().unwrap().reachabilities();
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    finite.sort_by(f64::total_cmp);
+    let wcut = 4.0 * finite[finite.len() / 2];
+    let ari_wgt = adjusted_rand_index(
+        &ref_labels,
+        &wgt.expanded.as_ref().unwrap().extract_dbscan(wcut),
+    );
+
+    assert!(
+        ari_bub > ari_wgt,
+        "bubbles ({ari_bub:.3}) must beat weighted ({ari_wgt:.3}) at factor 200"
+    );
+    assert!(ari_bub > 0.75, "bubble quality too low: {ari_bub:.3}");
+}
+
+#[test]
+fn cf_weighted_and_bubbles_recover_all_objects() {
+    let data = ds2(&Ds2Params { n: 3_000, sigma: 2.0 }, 6);
+    for out in [
+        optics_cf_weighted(&data.data, 30, &BirchParams::default(), &OpticsParams {
+            eps: f64::INFINITY,
+            min_pts: 2,
+        })
+        .unwrap(),
+        optics_cf_bubbles(&data.data, 30, &BirchParams::default(), &bubble_params()).unwrap(),
+    ] {
+        let expanded = out.expanded.as_ref().unwrap();
+        let mut order = expanded.order();
+        order.sort_unstable();
+        assert_eq!(order, (0..data.len() as u32).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn pipelines_are_deterministic() {
+    let data = ds2(&Ds2Params { n: 2_000, sigma: 2.0 }, 8);
+    let a = optics_sa_bubbles(&data.data, 25, 5, &bubble_params()).unwrap();
+    let b = optics_sa_bubbles(&data.data, 25, 5, &bubble_params()).unwrap();
+    assert_eq!(a.rep_ordering, b.rep_ordering);
+    assert_eq!(a.expanded, b.expanded);
+}
+
+#[test]
+fn compression_timings_dominate_at_high_compression() {
+    // At extreme compression the O(k²) clustering cost is negligible; the
+    // single data pass (compression) dominates — the basis of the paper's
+    // linear scalability claim.
+    let data = ds1(&Ds1Params { n: 20_000, ..Ds1Params::default() }, 10);
+    let out = optics_sa_bubbles(&data.data, 20, 5, &bubble_params()).unwrap();
+    assert!(out.timings.compression >= out.timings.clustering);
+}
