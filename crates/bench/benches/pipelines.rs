@@ -1,80 +1,66 @@
-//! Criterion benches mirroring the paper's runtime figures (16–18) at
-//! bench-friendly sizes. Absolute numbers differ from the figure harness
-//! (smaller n), but the orderings — bubbles ≫ original, SA > CF, speed-up
-//! growing with compression factor / database size — are the same.
+//! Benches mirroring the paper's runtime figures (16–18) at bench-friendly
+//! sizes. Absolute numbers differ from the figure harness (smaller n), but
+//! the orderings — bubbles ≫ original, SA > CF, speed-up growing with
+//! compression factor / database size — are the same.
+//!
+//! After each group the db-obs metrics table is printed, so the algorithm
+//! counters (distance calls, nodes visited, …) accompany the timings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
 use db_bench::experiments::common::{ds1_setup, family_setup};
+use db_bench::harness::Group;
 use db_birch::BirchParams;
 use db_datagen::{ds1, gaussian_family, Ds1Params, GaussianFamilyParams};
 use db_optics::optics_points;
-use std::hint::black_box;
 
 const BENCH_N: usize = 10_000;
+const SAMPLES: usize = 10;
 
 fn bench_data() -> db_datagen::LabeledDataset {
     ds1(&Ds1Params { n: BENCH_N, ..Ds1Params::default() }, 2001)
 }
 
 /// Figure 4 / 16 baseline: original OPTICS vs. the bubble pipelines.
-fn optics_full_vs_bubbles(c: &mut Criterion) {
+fn optics_full_vs_bubbles() {
     let data = bench_data();
     let setup = ds1_setup(data.len());
-    let mut g = c.benchmark_group("fig16_baseline");
-    g.sample_size(10);
-    g.bench_function("original_optics", |b| {
-        b.iter(|| black_box(optics_points(&data.data, &setup.optics())))
+    let g = Group::new("fig16_baseline", SAMPLES);
+    g.bench("original_optics", || optics_points(&data.data, &setup.optics()));
+    g.bench("sa_bubbles_k100", || optics_sa_bubbles(&data.data, 100, 7, &setup.optics()).unwrap());
+    g.bench("cf_bubbles_k100", || {
+        optics_cf_bubbles(&data.data, 100, &BirchParams::default(), &setup.optics()).unwrap()
     });
-    g.bench_function("sa_bubbles_k100", |b| {
-        b.iter(|| black_box(optics_sa_bubbles(&data.data, 100, 7, &setup.optics()).unwrap()))
-    });
-    g.bench_function("cf_bubbles_k100", |b| {
-        b.iter(|| {
-            black_box(
-                optics_cf_bubbles(&data.data, 100, &BirchParams::default(), &setup.optics())
-                    .unwrap(),
-            )
-        })
-    });
-    g.finish();
 }
 
 /// Figure 16: pipeline runtime vs. compression factor.
-fn speedup_compression(c: &mut Criterion) {
+fn speedup_compression() {
     let data = bench_data();
     let setup = ds1_setup(data.len());
-    let mut g = c.benchmark_group("fig16_compression_factor");
-    g.sample_size(10);
+    let g = Group::new("fig16_compression_factor", SAMPLES);
     for factor in [20usize, 100, 500] {
         let k = (data.len() / factor).max(2);
-        g.bench_with_input(BenchmarkId::new("sa_bubbles", factor), &k, |b, &k| {
-            b.iter(|| black_box(optics_sa_bubbles(&data.data, k, 7, &setup.optics()).unwrap()))
+        g.bench(&format!("sa_bubbles/{factor}"), || {
+            optics_sa_bubbles(&data.data, k, 7, &setup.optics()).unwrap()
         });
     }
-    g.finish();
 }
 
 /// Figure 17: pipeline runtime vs. database size (fixed k).
-fn speedup_size(c: &mut Criterion) {
+fn speedup_size() {
     let data = bench_data();
-    let mut g = c.benchmark_group("fig17_database_size");
-    g.sample_size(10);
+    let g = Group::new("fig17_database_size", SAMPLES);
     for n in [2_500usize, 5_000, 10_000] {
         let sub = data.prefix(n);
         let setup = ds1_setup(n);
-        g.bench_with_input(BenchmarkId::new("sa_bubbles_k100", n), &sub, |b, sub| {
-            b.iter(|| black_box(optics_sa_bubbles(&sub.data, 100, 7, &setup.optics()).unwrap()))
+        g.bench(&format!("sa_bubbles_k100/{n}"), || {
+            optics_sa_bubbles(&sub.data, 100, 7, &setup.optics()).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("original", n), &sub, |b, sub| {
-            b.iter(|| black_box(optics_points(&sub.data, &setup.optics())))
-        });
+        g.bench(&format!("original/{n}"), || optics_points(&sub.data, &setup.optics()));
     }
-    g.finish();
 }
 
 /// Figure 18: pipeline runtime vs. dimensionality.
-fn speedup_dimension(c: &mut Criterion) {
+fn speedup_dimension() {
     let family = gaussian_family(
         &GaussianFamilyParams {
             n: BENCH_N,
@@ -85,23 +71,22 @@ fn speedup_dimension(c: &mut Criterion) {
         },
         2001,
     );
-    let mut g = c.benchmark_group("fig18_dimension");
-    g.sample_size(10);
+    let g = Group::new("fig18_dimension", SAMPLES);
     for dim in [2usize, 5, 10, 20] {
         let data = family.project(dim);
         let setup = family_setup(data.len(), dim);
-        g.bench_with_input(BenchmarkId::new("sa_bubbles_k100", dim), &data, |b, data| {
-            b.iter(|| black_box(optics_sa_bubbles(&data.data, 100, 7, &setup.optics()).unwrap()))
+        g.bench(&format!("sa_bubbles_k100/{dim}d"), || {
+            optics_sa_bubbles(&data.data, 100, 7, &setup.optics()).unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    optics_full_vs_bubbles,
-    speedup_compression,
-    speedup_size,
-    speedup_dimension
-);
-criterion_main!(benches);
+fn main() {
+    db_obs::reset();
+    optics_full_vs_bubbles();
+    speedup_compression();
+    speedup_size();
+    speedup_dimension();
+    println!("\n== metrics ==");
+    print!("{}", db_obs::render_table(&db_obs::snapshot()));
+}

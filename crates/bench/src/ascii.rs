@@ -84,7 +84,7 @@ mod tests {
         let panel = render_plot(&v, 30, 6);
         let lines: Vec<&str> = panel.lines().collect();
         assert_eq!(lines.len(), 7); // 6 rows + scale line
-        // Top row: high plateaus filled, dent empty in the middle.
+                                    // Top row: high plateaus filled, dent empty in the middle.
         let top = lines[0];
         assert!(top.starts_with('#'));
         assert!(top.contains(' '));

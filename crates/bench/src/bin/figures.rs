@@ -5,7 +5,9 @@
 //! ```
 //!
 //! Reports are written to `<out>/<figure>.txt` (+ `.json` series) and
-//! echoed to stdout.
+//! echoed to stdout. With the (default) `metrics` feature each figure also
+//! prints the db-obs metrics table and writes `<out>/<figure>.metrics.jsonl`;
+//! metrics are reset between figures so each file covers one figure only.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -66,11 +68,22 @@ fn main() -> ExitCode {
     for t in &targets {
         println!("\n================ {t} ================");
         let started = std::time::Instant::now();
+        db_obs::reset();
         if let Err(e) = run_figure(t, &cfg) {
             eprintln!("{t} failed: {e}");
             return ExitCode::FAILURE;
         }
         println!("[{t} done in {:.1}s]", started.elapsed().as_secs_f64());
+        let snap = db_obs::snapshot();
+        if !snap.is_empty() {
+            println!("\n-- metrics ({t}) --");
+            print!("{}", db_obs::render_table(&snap));
+            let path = cfg.out_dir.join(format!("{t}.metrics.jsonl"));
+            if let Err(e) = std::fs::write(&path, db_obs::json_lines(&snap)) {
+                eprintln!("could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,16 +1,26 @@
 fn main() {
+    use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
     use db_bench::config::{RunConfig, Scale};
     use db_bench::experiments::common::ds1_setup;
-    use data_bubbles::pipeline::{optics_sa_bubbles, optics_cf_bubbles};
     let cfg = RunConfig { scale: Scale::Paper, ..Default::default() };
-    eprintln!("generating DS1 @ 1M...");
+    db_obs::log_info!(target: "bench", "generating DS1 @ 1M...");
     let data = cfg.make_ds1();
     let setup = ds1_setup(data.len());
     for factor in [100usize, 1000, 5000] {
         let k = (data.len() / factor).max(20);
         let sa = optics_sa_bubbles(&data.data, k, cfg.seed, &setup.bubble_optics()).unwrap();
-        let cf = optics_cf_bubbles(&data.data, k, &db_birch::BirchParams::default(), &setup.bubble_optics()).unwrap();
-        println!("factor {factor}: k={k} SA={:.2}s CF={:.2}s (CF k_actual={})",
-            sa.timings.total().as_secs_f64(), cf.timings.total().as_secs_f64(), cf.n_representatives);
+        let cf = optics_cf_bubbles(
+            &data.data,
+            k,
+            &db_birch::BirchParams::default(),
+            &setup.bubble_optics(),
+        )
+        .unwrap();
+        println!(
+            "factor {factor}: k={k} SA={:.2}s CF={:.2}s (CF k_actual={})",
+            sa.timings.total().as_secs_f64(),
+            cf.timings.total().as_secs_f64(),
+            cf.n_representatives
+        );
     }
 }

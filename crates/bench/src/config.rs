@@ -3,8 +3,8 @@
 use std::path::PathBuf;
 
 use db_datagen::{
-    corel_like, ds1, ds2, gaussian_family, CorelParams, Ds1Params, Ds2Params,
-    GaussianFamilyParams, LabeledDataset,
+    corel_like, ds1, ds2, gaussian_family, CorelParams, Ds1Params, Ds2Params, GaussianFamilyParams,
+    LabeledDataset,
 };
 
 /// How large the workloads are.

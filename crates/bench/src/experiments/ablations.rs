@@ -15,13 +15,11 @@ use data_bubbles::{BubbleSpace, DataBubble};
 use db_optics::{optics, optics_points, OpticsParams, PointSpace};
 use db_sampling::compress_by_sampling;
 use db_spatial::{AnyIndex, GridIndex, KdTree, LinearScan};
-use serde::Serialize;
 
 use crate::config::RunConfig;
 use crate::experiments::common::{dents, ds1_setup, expanded_quality};
 use crate::report::Report;
 
-#[derive(Serialize)]
 struct AblationRow {
     ablation: &'static str,
     variant: &'static str,
@@ -29,11 +27,14 @@ struct AblationRow {
     dents: usize,
 }
 
-#[derive(Serialize)]
+db_obs::impl_to_json!(AblationRow { ablation, variant, ari, dents });
+
 struct IndexRow {
     index: &'static str,
     runtime_s: f64,
 }
+
+db_obs::impl_to_json!(IndexRow { index, runtime_s });
 
 /// Runs all ablations.
 pub fn run(cfg: &RunConfig) -> io::Result<()> {
@@ -49,8 +50,7 @@ pub fn run(cfg: &RunConfig) -> io::Result<()> {
     let compressed = compress_by_sampling(&data.data, k, cfg.seed)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     let members = compressed.members();
-    let bubbles: Vec<DataBubble> =
-        compressed.stats.iter().map(DataBubble::from_cf).collect();
+    let bubbles: Vec<DataBubble> = compressed.stats.iter().map(DataBubble::from_cf).collect();
 
     // --- Ablation 1: Definition 6 vs. plain representative distance. ----
     rep.section("ablation 1: bubble distance (Def. 6) vs. rep-to-rep distance");
@@ -70,10 +70,8 @@ pub fn run(cfg: &RunConfig) -> io::Result<()> {
     // Zero-extent bubbles degrade Def. 6 to the plain distance between the
     // representatives and Lemma 1 to nndist ≡ 0, isolating the distance
     // definition (weights and expansion structure stay identical).
-    let flat: Vec<DataBubble> = bubbles
-        .iter()
-        .map(|b| DataBubble::new(b.rep().to_vec(), b.n(), 0.0))
-        .collect();
+    let flat: Vec<DataBubble> =
+        bubbles.iter().map(|b| DataBubble::new(b.rep().to_vec(), b.n(), 0.0)).collect();
     let flat_space = BubbleSpace::new(flat);
     let flat_ordering = optics(&flat_space, &setup.bubble_optics());
     let flat_expanded = expand_bubbles(&flat_ordering, &members, &flat_space, setup.min_pts);
@@ -131,21 +129,21 @@ pub fn run(cfg: &RunConfig) -> io::Result<()> {
     // Sanity: same walk irrespective of the index.
     {
         let a = optics_points(&subset.data, &sub_setup.optics());
-        let space = PointSpace::with_index(&subset.data, AnyIndex::KdTree(KdTree::build(&subset.data)));
+        let space =
+            PointSpace::with_index(&subset.data, AnyIndex::KdTree(KdTree::build(&subset.data)));
         let b = optics(&space, &sub_setup.optics());
-        let same = a
-            .entries
-            .iter()
-            .zip(&b.entries)
-            .all(|(x, y)| x.id == y.id && (x.reachability - y.reachability).abs() < 1e-9
-                || (x.reachability.is_infinite() && y.reachability.is_infinite() && x.id == y.id));
+        let same = a.entries.iter().zip(&b.entries).all(|(x, y)| {
+            x.id == y.id && (x.reachability - y.reachability).abs() < 1e-9
+                || (x.reachability.is_infinite() && y.reachability.is_infinite() && x.id == y.id)
+        });
         rep.line(format!("walks identical across indexes: {same}"));
     }
 
-    #[derive(Serialize)]
     struct All {
         quality: Vec<AblationRow>,
         index: Vec<IndexRow>,
     }
+
+    db_obs::impl_to_json!(All { quality, index });
     rep.finish(Some(&All { quality: rows, index: index_rows }))
 }

@@ -43,10 +43,7 @@ impl Setup {
     /// shrink with the compression — a sample of `k` points cannot support
     /// the full-data MinPts.
     pub fn rep_optics(&self, k: usize) -> OpticsParams {
-        OpticsParams {
-            eps: f64::INFINITY,
-            min_pts: self.min_pts.min((k / 50).max(2)),
-        }
+        OpticsParams { eps: f64::INFINITY, min_pts: self.min_pts.min((k / 50).max(2)) }
     }
 }
 
@@ -118,7 +115,7 @@ pub fn reference_run(data: &LabeledDataset, setup: &Setup) -> (ClusterOrdering, 
 }
 
 /// Quality of a clustering against the generator's ground truth.
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Quality {
     /// Adjusted Rand index vs. the ground-truth labels.
     pub ari: f64,
@@ -128,12 +125,10 @@ pub struct Quality {
     pub clusters_true: usize,
 }
 
+db_obs::impl_to_json!(Quality { ari, clusters_found, clusters_true });
+
 /// Quality of a *reference* ordering (per object id = walk id).
-pub fn reference_quality(
-    ordering: &ClusterOrdering,
-    data: &LabeledDataset,
-    cut: f64,
-) -> Quality {
+pub fn reference_quality(ordering: &ClusterOrdering, data: &LabeledDataset, cut: f64) -> Quality {
     let labels = extract_dbscan(ordering, cut, data.len());
     quality_from_labels(&labels, data)
 }

@@ -13,13 +13,11 @@ use data_bubbles::pipeline::{run_pipeline, Compressor, PipelineConfig, Recovery}
 use db_birch::BirchParams;
 use db_optics::{extract_xi, ClusterTree};
 use db_sampling::BfrParams;
-use serde::Serialize;
 
 use crate::config::RunConfig;
 use crate::experiments::common::{ds1_setup, expanded_quality, k_for, reference_run};
 use crate::report::Report;
 
-#[derive(Serialize)]
 struct CompressorRow {
     compressor: &'static str,
     representatives: usize,
@@ -27,6 +25,14 @@ struct CompressorRow {
     clusters_found: usize,
     runtime_s: f64,
 }
+
+db_obs::impl_to_json!(CompressorRow {
+    compressor,
+    representatives,
+    ari,
+    clusters_found,
+    runtime_s
+});
 
 /// Compares the four compression substrates under the bubble pipeline.
 pub fn run_compressors(cfg: &RunConfig) -> io::Result<()> {
@@ -94,13 +100,14 @@ pub fn run_compressors(cfg: &RunConfig) -> io::Result<()> {
     rep.finish(Some(&rows))
 }
 
-#[derive(Serialize)]
 struct HierarchyRow {
     method: &'static str,
     clusters: usize,
     depth: usize,
     leaves: usize,
 }
+
+db_obs::impl_to_json!(HierarchyRow { method, clusters, depth, leaves });
 
 /// Compares the ξ-cluster hierarchy of the reference and bubble plots.
 pub fn run_hierarchy(cfg: &RunConfig) -> io::Result<()> {

@@ -6,7 +6,6 @@ use std::io;
 
 use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
 use db_birch::BirchParams;
-use serde::Serialize;
 
 use crate::config::RunConfig;
 use crate::experiments::common::{ds1_setup, reference_run};
@@ -15,7 +14,6 @@ use crate::report::{secs, Report};
 /// Compression factors of the figure.
 pub const FACTORS: [usize; 4] = [100, 200, 1_000, 5_000];
 
-#[derive(Serialize)]
 struct Row {
     factor: usize,
     k: usize,
@@ -25,6 +23,16 @@ struct Row {
     cf_speedup: f64,
     cf_k_actual: usize,
 }
+
+db_obs::impl_to_json!(Row {
+    factor,
+    k,
+    sa_runtime_s,
+    sa_speedup,
+    cf_runtime_s,
+    cf_speedup,
+    cf_k_actual
+});
 
 /// Runs the figure.
 pub fn run(cfg: &RunConfig) -> io::Result<()> {
@@ -63,8 +71,13 @@ pub fn run(cfg: &RunConfig) -> io::Result<()> {
         };
         rep.line(format!(
             "{:>8} {:>8} {:>11.3}s {:>10.1} {:>11.3}s {:>10.1} {:>10}",
-            row.factor, row.k, row.sa_runtime_s, row.sa_speedup, row.cf_runtime_s,
-            row.cf_speedup, row.cf_k_actual
+            row.factor,
+            row.k,
+            row.sa_runtime_s,
+            row.sa_speedup,
+            row.cf_runtime_s,
+            row.cf_speedup,
+            row.cf_k_actual
         ));
         rows.push(row);
     }

@@ -7,7 +7,6 @@ use std::io;
 
 use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
 use db_birch::BirchParams;
-use serde::Serialize;
 
 use crate::config::RunConfig;
 use crate::experiments::common::{ds1_setup, reference_run};
@@ -16,7 +15,6 @@ use crate::report::{secs, Report};
 /// Fractions of DS1 used as subset sizes.
 pub const FRACTIONS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
 
-#[derive(Serialize)]
 struct Row {
     n: usize,
     k: usize,
@@ -26,6 +24,16 @@ struct Row {
     cf_runtime_s: f64,
     cf_speedup: f64,
 }
+
+db_obs::impl_to_json!(Row {
+    n,
+    k,
+    reference_s,
+    sa_runtime_s,
+    sa_speedup,
+    cf_runtime_s,
+    cf_speedup
+});
 
 /// Runs the figure.
 pub fn run(cfg: &RunConfig) -> io::Result<()> {
@@ -49,8 +57,13 @@ pub fn run(cfg: &RunConfig) -> io::Result<()> {
         let (_, ref_time) = reference_run(&data, &setup);
         let sa = optics_sa_bubbles(&data.data, k.min(n), cfg.seed, &setup.bubble_optics())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-        let cf = optics_cf_bubbles(&data.data, k.min(n), &BirchParams::default(), &setup.bubble_optics())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let cf = optics_cf_bubbles(
+            &data.data,
+            k.min(n),
+            &BirchParams::default(),
+            &setup.bubble_optics(),
+        )
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let row = Row {
             n,
             k: k.min(n),

@@ -10,7 +10,6 @@ use std::io;
 
 use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
 use db_birch::BirchParams;
-use serde::Serialize;
 
 use crate::config::RunConfig;
 use crate::experiments::common::{family_setup, reference_run};
@@ -19,7 +18,6 @@ use crate::report::Report;
 /// The dimensions of the figure.
 pub const DIMS: [usize; 4] = [2, 5, 10, 20];
 
-#[derive(Serialize)]
 struct Row {
     dim: usize,
     reference_s: Option<f64>,
@@ -29,6 +27,16 @@ struct Row {
     cf_speedup: Option<f64>,
     cf_k_actual: usize,
 }
+
+db_obs::impl_to_json!(Row {
+    dim,
+    reference_s,
+    sa_runtime_s,
+    sa_speedup,
+    cf_runtime_s,
+    cf_speedup,
+    cf_k_actual
+});
 
 /// Runs the figure.
 pub fn run(cfg: &RunConfig) -> io::Result<()> {

@@ -8,13 +8,11 @@ use std::io;
 use data_bubbles::pipeline::optics_sa_bubbles;
 use db_eval::{adjusted_rand_index, ConfusionMatrix};
 use db_optics::extract_dbscan;
-use serde::Serialize;
 
 use crate::config::RunConfig;
 use crate::experiments::common::{family_setup, reference_run};
 use crate::report::Report;
 
-#[derive(Serialize)]
 struct Summary {
     dim: usize,
     n: usize,
@@ -24,6 +22,16 @@ struct Summary {
     ari_reference_vs_truth: f64,
     ari_bubbles_vs_truth: f64,
 }
+
+db_obs::impl_to_json!(Summary {
+    dim,
+    n,
+    k,
+    diagonal_fraction,
+    ari_vs_reference,
+    ari_reference_vs_truth,
+    ari_bubbles_vs_truth
+});
 
 /// Runs the figure.
 pub fn run(cfg: &RunConfig) -> io::Result<()> {

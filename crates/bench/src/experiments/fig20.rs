@@ -7,7 +7,6 @@ use std::io;
 
 use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
 use db_birch::BirchParams;
-use serde::Serialize;
 
 use crate::ascii::render_plot;
 use crate::config::RunConfig;
@@ -17,7 +16,6 @@ use crate::experiments::common::{
 use crate::experiments::fig18::DIMS;
 use crate::report::Report;
 
-#[derive(Serialize)]
 struct Row {
     dim: usize,
     method: &'static str,
@@ -25,6 +23,8 @@ struct Row {
     clusters_found: usize,
     dents: usize,
 }
+
+db_obs::impl_to_json!(Row { dim, method, ari, clusters_found, dents });
 
 /// Runs the figure.
 pub fn run(cfg: &RunConfig) -> io::Result<()> {

@@ -13,14 +13,12 @@ use db_birch::BirchParams;
 use db_datagen::LabeledDataset;
 use db_eval::ConfusionMatrix;
 use db_optics::extract_dbscan;
-use serde::Serialize;
 
 use crate::ascii::render_plot;
 use crate::config::RunConfig;
 use crate::experiments::common::{corel_setup, reference_run};
 use crate::report::{secs, Report};
 
-#[derive(Serialize)]
 struct Fig21Row {
     method: &'static str,
     runtime_s: f64,
@@ -28,6 +26,8 @@ struct Fig21Row {
     k_actual: usize,
     tiny_clusters_recovered: usize,
 }
+
+db_obs::impl_to_json!(Fig21Row { method, runtime_s, speedup, k_actual, tiny_clusters_recovered });
 
 /// How many of the ground-truth tiny clusters are recovered by `labels`:
 /// a tiny cluster counts as recovered when ≥ 80% of its members share one
@@ -41,8 +41,7 @@ fn tiny_clusters_recovered(labels: &[i32], data: &LabeledDataset) -> usize {
     }
     let mut recovered = 0usize;
     for truth in 0..data.n_clusters() as i32 {
-        let members: Vec<usize> =
-            (0..data.len()).filter(|&i| data.labels[i] == truth).collect();
+        let members: Vec<usize> = (0..data.len()).filter(|&i| data.labels[i] == truth).collect();
         if members.is_empty() {
             continue;
         }
@@ -76,7 +75,12 @@ pub fn run_fig21(cfg: &RunConfig) -> io::Result<()> {
     let data = cfg.make_corel();
     let setup = corel_setup(data.len());
     let k = k_for(&data);
-    rep.line(format!("n = {}, k = {k}, eps = {}, MinPts = {}", data.len(), setup.eps, setup.min_pts));
+    rep.line(format!(
+        "n = {}, k = {k}, eps = {}, MinPts = {}",
+        data.len(),
+        setup.eps,
+        setup.min_pts
+    ));
 
     let mut rows = Vec::new();
 
@@ -180,10 +184,11 @@ pub fn run_fig22(cfg: &RunConfig) -> io::Result<()> {
     rep.line("the clusters are well preserved: no objects switch from one cluster to the");
     rep.line("other; only border objects move between cluster and noise.");
 
-    #[derive(Serialize)]
     struct Summary {
         diagonal_fraction: f64,
     }
+
+    db_obs::impl_to_json!(Summary { diagonal_fraction });
     rep.finish(Some(&Summary { diagonal_fraction: m.diagonal_fraction() }))
 }
 
@@ -199,12 +204,6 @@ fn restrict_to_small_clusters(labels: &[i32], min_size: usize, max_size: usize) 
     }
     labels
         .iter()
-        .map(|&l| {
-            if l >= 0 && (min_size..=max_size).contains(&sizes[&l]) {
-                l
-            } else {
-                -1
-            }
-        })
+        .map(|&l| if l >= 0 && (min_size..=max_size).contains(&sizes[&l]) { l } else { -1 })
         .collect()
 }

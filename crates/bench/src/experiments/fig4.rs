@@ -3,16 +3,11 @@
 
 use std::io;
 
-use serde::Serialize;
-
 use crate::ascii::render_plot;
 use crate::config::RunConfig;
-use crate::experiments::common::{
-    dents, ds1_setup, ds2_setup, reference_quality, reference_run,
-};
+use crate::experiments::common::{dents, ds1_setup, ds2_setup, reference_quality, reference_run};
 use crate::report::{secs, Report};
 
-#[derive(Serialize)]
 struct Row {
     dataset: &'static str,
     n: usize,
@@ -21,6 +16,8 @@ struct Row {
     clusters_true: usize,
     ari: f64,
 }
+
+db_obs::impl_to_json!(Row { dataset, n, runtime_s, dents, clusters_true, ari });
 
 /// Runs the figure.
 pub fn run(cfg: &RunConfig) -> io::Result<()> {

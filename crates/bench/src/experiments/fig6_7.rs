@@ -8,7 +8,6 @@ use data_bubbles::pipeline::{optics_cf_naive, optics_sa_naive, PipelineOutput};
 use db_birch::BirchParams;
 use db_datagen::LabeledDataset;
 use db_eval::count_dents;
-use serde::Serialize;
 
 use crate::ascii::render_plot;
 use crate::config::RunConfig;
@@ -19,7 +18,6 @@ use crate::report::{secs, Report};
 /// representatives of 1M = factors 100 / 1,000 / 5,000).
 pub const FIG6_FACTORS: [usize; 3] = [100, 1_000, 5_000];
 
-#[derive(Serialize)]
 struct Row {
     method: &'static str,
     factor: usize,
@@ -28,6 +26,8 @@ struct Row {
     dents: usize,
     runtime_s: f64,
 }
+
+db_obs::impl_to_json!(Row { method, factor, k_requested, k_actual, dents, runtime_s });
 
 fn report_naive(
     rep: &mut Report,

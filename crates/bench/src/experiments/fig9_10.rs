@@ -9,7 +9,6 @@ use data_bubbles::pipeline::{optics_cf_weighted, optics_sa_weighted, PipelineOut
 use db_birch::BirchParams;
 use db_datagen::LabeledDataset;
 use db_eval::adjusted_rand_index;
-use serde::Serialize;
 
 use crate::ascii::render_plot;
 use crate::config::RunConfig;
@@ -18,7 +17,6 @@ use crate::experiments::common::{
 };
 use crate::report::{secs, Report};
 
-#[derive(Serialize)]
 pub(crate) struct Row {
     pub method: &'static str,
     pub factor: usize,
@@ -30,6 +28,18 @@ pub(crate) struct Row {
     pub dents: usize,
     pub runtime_s: f64,
 }
+
+db_obs::impl_to_json!(Row {
+    method,
+    factor,
+    k_actual,
+    ari,
+    ari_vs_reference,
+    clusters_found,
+    clusters_true,
+    dents,
+    runtime_s
+});
 
 /// Reports one expanded (weighted or bubble) pipeline result.
 ///

@@ -1,0 +1,88 @@
+//! A small timing harness for the `benches/` targets (which run with
+//! `harness = false`): warm up, sample `n` runs, report min / median /
+//! mean wall-clock per iteration as a text table.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark group: a titled table of timed closures.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// Starts a group; `samples` runs are timed per benchmark (after one
+    /// warm-up run).
+    pub fn new(name: &str, samples: usize) -> Self {
+        assert!(samples >= 1);
+        println!("\n== {name} ==");
+        println!("{:<28} {:>12} {:>12} {:>12}", "benchmark", "min", "median", "mean");
+        Self { name: name.to_string(), samples }
+    }
+
+    /// Times `f` and prints one table row. The closure's return value is
+    /// passed through `black_box` so the work is not optimized away.
+    pub fn bench<T>(&self, label: &str, mut f: impl FnMut() -> T) {
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        black_box(f()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{:<28} {:>12} {:>12} {:>12}",
+            label,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean)
+        );
+    }
+
+    /// The group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Formats a duration with an adaptive unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_duration_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        let g = Group::new("test", 3);
+        let mut count = 0;
+        g.bench("noop", || count += 1);
+        assert_eq!(count, 4); // 1 warm-up + 3 samples
+        assert_eq!(g.name(), "test");
+    }
+}

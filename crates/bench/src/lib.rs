@@ -13,14 +13,15 @@
 //! ```
 //!
 //! or a single figure with `-- fig16`, at a different scale with
-//! `-- --scale quick all` (see [`config::Scale`]). Criterion benches mirroring the
-//! runtime figures live in `benches/`.
+//! `-- --scale quick all` (see [`config::Scale`]). Benches mirroring the
+//! runtime figures live in `benches/` (run with `cargo bench -p db-bench`).
 
 #![warn(missing_docs)]
 
 pub mod ascii;
 pub mod config;
 pub mod experiments;
+pub mod harness;
 pub mod report;
 
 use std::io;
@@ -29,8 +30,23 @@ use config::RunConfig;
 
 /// All figure ids known to the harness, in paper order.
 pub const ALL_FIGURES: &[&str] = &[
-    "fig4", "fig6", "fig7", "fig9", "fig10", "fig14", "fig15", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "fig21", "fig22", "ablations", "ext_compressors", "ext_hierarchy",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "ablations",
+    "ext_compressors",
+    "ext_hierarchy",
 ];
 
 /// Runs one figure by id. Returns an error for unknown ids.

@@ -6,7 +6,7 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::PathBuf;
 
-use serde::Serialize;
+use db_obs::ToJson;
 
 /// A report under construction for one figure.
 #[derive(Debug)]
@@ -51,15 +51,13 @@ impl Report {
     }
 
     /// Writes `<id>.txt` and, when `series` is given, `<id>.json`.
-    pub fn finish<S: Serialize>(self, series: Option<&S>) -> io::Result<()> {
+    pub fn finish<S: ToJson>(self, series: Option<&S>) -> io::Result<()> {
         let txt_path = self.out_dir.join(format!("{}.txt", self.id));
         let mut f = fs::File::create(&txt_path)?;
         f.write_all(self.text.as_bytes())?;
         if let Some(series) = series {
             let json_path = self.out_dir.join(format!("{}.json", self.id));
-            let json = serde_json::to_string_pretty(series)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            fs::write(json_path, json)?;
+            fs::write(json_path, series.to_json().render_pretty())?;
         }
         Ok(())
     }
@@ -74,10 +72,11 @@ pub fn secs(d: std::time::Duration) -> String {
 mod tests {
     use super::*;
 
-    #[derive(Serialize)]
     struct Row {
         x: u32,
     }
+
+    db_obs::impl_to_json!(Row { x });
 
     #[test]
     fn report_round_trip() {

@@ -170,8 +170,7 @@ impl Cf {
         }
         let nf = n as f64;
         let ss = self.ss + other.ss;
-        let ls_norm_sq: f64 =
-            self.ls.iter().zip(&other.ls).map(|(&a, &b)| (a + b) * (a + b)).sum();
+        let ls_norm_sq: f64 = self.ls.iter().zip(&other.ls).map(|(&a, &b)| (a + b) * (a + b)).sum();
         let num = 2.0 * nf * ss - 2.0 * ls_norm_sq;
         (num / (nf * (nf - 1.0))).max(0.0).sqrt()
     }

@@ -116,6 +116,7 @@ impl CfTree {
             self.rebuild(t);
         }
         self.points_inserted += 1;
+        db_obs::counter!("birch.inserts").incr();
         self.insert_cf_internal(Cf::from_point(point));
     }
 
@@ -167,6 +168,7 @@ impl CfTree {
                 let threshold = self.threshold;
                 if entries[closest].merged_diameter(cf) <= threshold {
                     entries[closest] += cf;
+                    db_obs::counter!("birch.absorbs").incr();
                     return None;
                 }
                 entries.push(cf.clone());
@@ -175,6 +177,7 @@ impl CfTree {
                     return None;
                 }
                 // Split the leaf.
+                db_obs::counter!("birch.leaf_splits").incr();
                 let all = std::mem::take(entries);
                 let (keep, spill) = split_group(all);
                 self.nodes[node] = Node::Leaf { entries: keep };
@@ -217,10 +220,9 @@ impl CfTree {
                             return None;
                         }
                         // Split the inner node.
-                        let pairs: Vec<(Cf, usize)> = summaries
-                            .drain(..)
-                            .zip(children.drain(..))
-                            .collect();
+                        db_obs::counter!("birch.inner_splits").incr();
+                        let pairs: Vec<(Cf, usize)> =
+                            summaries.drain(..).zip(children.drain(..)).collect();
                         let (keep, spill) = split_inner(pairs);
                         let (ks, kc): (Vec<Cf>, Vec<usize>) = keep.into_iter().unzip();
                         let (ss, sc): (Vec<Cf>, Vec<usize>) = spill.into_iter().unzip();
@@ -325,6 +327,15 @@ impl CfTree {
     /// Rebuilds the tree with a new (larger) threshold by reinserting all
     /// leaf entries.
     fn rebuild(&mut self, new_threshold: f64) {
+        let _span = db_obs::span!("birch.rebuild");
+        db_obs::counter!("birch.rebuilds").incr();
+        db_obs::log_debug!(
+            "rebuild #{}: threshold {:.6e} -> {:.6e}, {} leaf entries",
+            self.rebuild_count + 1,
+            self.threshold,
+            new_threshold,
+            self.leaf_entry_count
+        );
         let entries = self.leaf_entries();
         self.nodes.clear();
         self.nodes.push(Node::Leaf { entries: Vec::new() });
@@ -445,10 +456,23 @@ fn split_inner(pairs: InnerEntries) -> (InnerEntries, InnerEntries) {
 /// CFs. This is step 1 of the paper's `OPTICS-CF` pipelines.
 pub fn birch(ds: &Dataset, k: usize, params: &BirchParams) -> Vec<Cf> {
     let mut tree = CfTree::new(ds.dim(), params.clone());
-    for p in ds.iter() {
-        tree.insert_point(p);
+    {
+        let _span = db_obs::span!("birch.phase1_insert");
+        for p in ds.iter() {
+            tree.insert_point(p);
+        }
     }
-    tree.condense_to(k);
+    {
+        let _span = db_obs::span!("birch.phase2_condense");
+        tree.condense_to(k);
+    }
+    db_obs::log_debug!(
+        "birch: {} points -> {} leaf entries (target {}, {} rebuilds)",
+        tree.points_inserted(),
+        tree.leaf_entry_count(),
+        k,
+        tree.rebuild_count()
+    );
     tree.leaf_entries()
 }
 

@@ -1,25 +1,25 @@
-//! Property tests of CF arithmetic and CF-tree invariants on arbitrary
-//! inputs.
+//! Randomized tests of CF arithmetic and CF-tree invariants over many
+//! seeded random inputs.
 
 use db_birch::{birch, BirchParams, Cf, CfTree};
+use db_rng::Rng;
 use db_spatial::Dataset;
-use proptest::prelude::*;
 
-fn points_strategy(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(prop::collection::vec(-1000.0f64..1000.0, dim), 1..max_n)
+const CASES: u64 = 64;
+
+fn random_points(rng: &mut Rng, max_n: usize, dim: usize) -> Vec<Vec<f64>> {
+    let n = rng.gen_range(1..max_n);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_f64(-1000.0, 1000.0)).collect()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// CF additivity: building one CF incrementally equals summing the CFs
-    /// of any split of the points.
-    #[test]
-    fn additivity_holds_for_any_split(
-        points in points_strategy(60, 3),
-        split in 0usize..60,
-    ) {
-        let split = split.min(points.len());
+/// CF additivity: building one CF incrementally equals summing the CFs of
+/// any split of the points.
+#[test]
+fn additivity_holds_for_any_split() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let points = random_points(&mut rng, 60, 3);
+        let split = rng.gen_range_inclusive(0..=points.len());
         let mut whole = Cf::empty(3);
         for p in &points {
             whole.add_point(p);
@@ -34,21 +34,21 @@ proptest! {
             }
         }
         let merged = left + right;
-        prop_assert_eq!(merged.n(), whole.n());
+        assert_eq!(merged.n(), whole.n(), "seed {seed}");
         for (a, b) in merged.ls().iter().zip(whole.ls()) {
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6, "seed {seed}");
         }
-        prop_assert!((merged.ss() - whole.ss()).abs() / whole.ss().max(1.0) < 1e-9);
+        assert!((merged.ss() - whole.ss()).abs() / whole.ss().max(1.0) < 1e-9, "seed {seed}");
     }
+}
 
-    /// Radius and diameter are non-negative, and diameter ≤ 2·radius·√2
-    /// does not hold in general — but the predicted merged diameter always
-    /// equals the actual merged diameter.
-    #[test]
-    fn merged_diameter_prediction_is_exact(
-        a in points_strategy(20, 2),
-        b in points_strategy(20, 2),
-    ) {
+/// The predicted merged diameter always equals the actual merged diameter.
+#[test]
+fn merged_diameter_prediction_is_exact() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(100 + seed);
+        let a = random_points(&mut rng, 20, 2);
+        let b = random_points(&mut rng, 20, 2);
         let mut cfa = Cf::empty(2);
         for p in &a {
             cfa.add_point(p);
@@ -59,77 +59,88 @@ proptest! {
         }
         let predicted = cfa.merged_diameter(&cfb);
         let merged = cfa + cfb;
-        prop_assert!((predicted - merged.diameter()).abs() < 1e-6);
-        prop_assert!(predicted >= 0.0);
+        assert!((predicted - merged.diameter()).abs() < 1e-6, "seed {seed}");
+        assert!(predicted >= 0.0, "seed {seed}");
     }
+}
 
-    /// The CF-tree preserves point counts and the centroid of the whole
-    /// data set, for any insertion order and parameters.
-    #[test]
-    fn tree_preserves_mass_and_mean(
-        points in points_strategy(120, 2),
-        leaf_capacity in 1usize..6,
-        branching in 2usize..6,
-        threshold in 0.0f64..100.0,
-    ) {
-        let mut tree = CfTree::new(2, BirchParams {
-            branching,
-            leaf_capacity,
-            initial_threshold: threshold,
-            max_nodes: 1 << 20,
-            threshold_growth: 1.3,
-        });
+/// The CF-tree preserves point counts and the centroid of the whole data
+/// set, for any insertion order and parameters.
+#[test]
+fn tree_preserves_mass_and_mean() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(200 + seed);
+        let points = random_points(&mut rng, 120, 2);
+        let leaf_capacity = rng.gen_range(1..6);
+        let branching = rng.gen_range(2..6);
+        let threshold = rng.gen_f64(0.0, 100.0);
+        let mut tree = CfTree::new(
+            2,
+            BirchParams {
+                branching,
+                leaf_capacity,
+                initial_threshold: threshold,
+                max_nodes: 1 << 20,
+                threshold_growth: 1.3,
+            },
+        );
         let mut whole = Cf::empty(2);
         for p in &points {
             tree.insert_point(p);
             whole.add_point(p);
         }
         let total: u64 = tree.leaf_entries().iter().map(Cf::n).sum();
-        prop_assert_eq!(total, points.len() as u64);
+        assert_eq!(total, points.len() as u64, "seed {seed}");
         // Sum of leaf CFs equals the whole CF.
         let mut sum = Cf::empty(2);
         for cf in tree.leaf_entries() {
             sum += &cf;
         }
         for (a, b) in sum.ls().iter().zip(whole.ls()) {
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6, "seed {seed}");
         }
     }
+}
 
-    /// Condensation always reaches the target and never loses points.
-    #[test]
-    fn condense_reaches_any_target(
-        points in points_strategy(150, 2),
-        k in 1usize..40,
-    ) {
+/// Condensation always reaches the target and never loses points.
+#[test]
+fn condense_reaches_any_target() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(300 + seed);
+        let points = random_points(&mut rng, 150, 2);
+        let k = rng.gen_range(1..40);
         let mut ds = Dataset::new(2).unwrap();
         for p in &points {
             ds.push(p).unwrap();
         }
         let cfs = birch(&ds, k, &BirchParams::default());
-        prop_assert!(!cfs.is_empty());
-        prop_assert!(cfs.len() <= k);
-        prop_assert_eq!(cfs.iter().map(Cf::n).sum::<u64>(), points.len() as u64);
+        assert!(!cfs.is_empty(), "seed {seed}");
+        assert!(cfs.len() <= k, "seed {seed}");
+        assert_eq!(cfs.iter().map(Cf::n).sum::<u64>(), points.len() as u64, "seed {seed}");
     }
+}
 
-    /// Leaf entries respect the final threshold: every multi-point entry's
-    /// diameter is at most T (entries created as singletons trivially
-    /// comply).
-    #[test]
-    fn leaf_entries_respect_threshold(
-        points in points_strategy(100, 2),
-        threshold in 0.1f64..50.0,
-    ) {
-        let mut tree = CfTree::new(2, BirchParams {
-            initial_threshold: threshold,
-            max_nodes: 1 << 20,
-            ..BirchParams::default()
-        });
+/// Leaf entries respect the final threshold: every multi-point entry's
+/// diameter is at most T (entries created as singletons trivially comply).
+#[test]
+fn leaf_entries_respect_threshold() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(400 + seed);
+        let points = random_points(&mut rng, 100, 2);
+        let threshold = rng.gen_f64(0.1, 50.0);
+        let mut tree = CfTree::new(
+            2,
+            BirchParams {
+                initial_threshold: threshold,
+                max_nodes: 1 << 20,
+                ..BirchParams::default()
+            },
+        );
         for p in &points {
             tree.insert_point(p);
         }
         for cf in tree.leaf_entries() {
-            prop_assert!(cf.diameter() <= threshold + 1e-9);
+            assert!(cf.diameter() <= threshold + 1e-9, "seed {seed}");
         }
     }
 }

@@ -34,11 +34,7 @@ pub fn bubble_dendrogram(space: &BubbleSpace, linkage: Linkage) -> Dendrogram {
 /// # Panics
 ///
 /// Panics if `members.len()` differs from the number of dendrogram leaves.
-pub fn expand_bubble_cut(
-    dendrogram: &Dendrogram,
-    members: &[Vec<usize>],
-    k: usize,
-) -> Vec<i32> {
+pub fn expand_bubble_cut(dendrogram: &Dendrogram, members: &[Vec<usize>], k: usize) -> Vec<i32> {
     let leaf_labels = dendrogram.cut(k);
     dendrogram.expand_cut(&leaf_labels, members)
 }

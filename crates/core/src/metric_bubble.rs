@@ -22,11 +22,8 @@
 //! step) run unchanged.
 
 use db_optics::OpticsSpace;
+use db_rng::Rng;
 use db_spatial::Neighbor;
-use rand::rngs::StdRng;
-use rand::seq::index::sample as index_sample;
-use rand::Rng as _;
-use rand::SeedableRng;
 
 /// Upper bound on the number of members sampled per bubble when estimating
 /// the k-NN distance table.
@@ -94,8 +91,9 @@ pub fn compress_metric(
     assert!(k >= 1, "need at least one representative");
     assert!(k <= n, "cannot sample {k} of {n}");
     assert!(min_pts >= 1, "MinPts must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut rep_ids: Vec<usize> = index_sample(&mut rng, n, k).into_vec();
+    let _span = db_obs::span!("metric.compress");
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut rep_ids: Vec<usize> = rng.sample_indices(n, k);
     rep_ids.sort_unstable();
 
     // One pass: classify each object to the nearest representative. A
@@ -137,7 +135,7 @@ fn estimate_bubble(
     rep_id: usize,
     group: &[usize],
     min_pts: usize,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     dist: &impl Fn(usize, usize) -> f64,
 ) -> MetricDataBubble {
     // A representative may classify to an *earlier* representative at
@@ -174,8 +172,7 @@ fn estimate_bubble(
     // Average sorted distance vectors across subsample members.
     let mut avg_sorted = vec![0.0f64; s - 1];
     for &i in &sub {
-        let mut ds: Vec<f64> =
-            sub.iter().filter(|&&j| j != i).map(|&j| dist(i, j)).collect();
+        let mut ds: Vec<f64> = sub.iter().filter(|&&j| j != i).map(|&j| dist(i, j)).collect();
         ds.sort_by(f64::total_cmp);
         ds.resize(s - 1, *ds.last().unwrap_or(&0.0));
         for (a, d) in avg_sorted.iter_mut().zip(&ds) {
@@ -244,6 +241,7 @@ impl<D: Fn(usize, usize) -> f64> OpticsSpace for MetricBubbleSpace<D> {
                 out.push(Neighbor::new(j, d));
             }
         }
+        db_obs::counter!("optics.distance_calls").add(self.bubbles.len() as u64);
         out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     }
 
@@ -344,11 +342,8 @@ mod tests {
         let o = optics(&space, &OpticsParams { eps: f64::INFINITY, min_pts: 10 });
         assert_eq!(o.len(), 12);
         // One big jump between the two groups.
-        let jumps = o
-            .entries
-            .iter()
-            .filter(|e| e.has_reachability() && e.reachability > 50.0)
-            .count();
+        let jumps =
+            o.entries.iter().filter(|e| e.has_reachability() && e.reachability > 50.0).count();
         assert_eq!(jumps, 1, "expected exactly one inter-group jump");
         assert_eq!(o.total_weight(), 120);
     }

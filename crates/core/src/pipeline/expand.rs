@@ -90,10 +90,7 @@ impl ExpandedOrdering {
 /// # Panics
 ///
 /// Panics if `members.len()` differs from the number of representatives.
-pub fn expand_weighted(
-    ordering: &ClusterOrdering,
-    members: &[Vec<usize>],
-) -> ExpandedOrdering {
+pub fn expand_weighted(ordering: &ClusterOrdering, members: &[Vec<usize>]) -> ExpandedOrdering {
     assert_eq!(members.len(), ordering.len(), "one member list per representative");
     let total: usize = members.iter().map(Vec::len).sum();
     assert!(total <= u32::MAX as usize, "object ids exceed the u32 expansion range");
@@ -101,8 +98,7 @@ pub fn expand_weighted(
     for (j, e) in ordering.entries.iter().enumerate() {
         // The paper leaves s_{j+1} undefined for the last representative;
         // its core-distance is the natural in-cluster estimate there.
-        let next_reach =
-            ordering.entries.get(j + 1).map_or(e.core_distance, |n| n.reachability);
+        let next_reach = ordering.entries.get(j + 1).map_or(e.core_distance, |n| n.reachability);
         let filler = e.reachability.min(next_reach);
         for (m, &obj) in members[e.id].iter().enumerate() {
             entries.push(ExpandedEntry {

@@ -21,11 +21,9 @@ use std::time::Instant;
 
 use db_birch::Cf;
 use db_optics::{optics, ClusterOrdering};
+use db_rng::Rng;
 use db_spatial::io::{read_csv_from, CsvError, CsvOptions};
 use db_spatial::{auto_index, Dataset, SpatialIndex};
-use rand::rngs::StdRng;
-use rand::Rng as _;
-use rand::SeedableRng;
 
 use crate::bubble::DataBubble;
 use crate::pipeline::{expand_bubbles, ExpandedOrdering, PipelineTimings};
@@ -144,7 +142,10 @@ fn parse_row(line: &str, csv: &CsvOptions, out: &mut Vec<f64>) -> Result<(), Ext
     out.clear();
     // Reuse the tolerant field splitting of the CSV reader via a one-line
     // parse (cheap relative to the distance work per row).
-    let ds = read_csv_from(line.as_bytes(), &CsvOptions { skip_columns: csv.skip_columns, skip_lines: 0 })?;
+    let ds = read_csv_from(
+        line.as_bytes(),
+        &CsvOptions { skip_columns: csv.skip_columns, skip_lines: 0 },
+    )?;
     out.extend_from_slice(ds.point(0));
     Ok(())
 }
@@ -163,8 +164,9 @@ pub fn run_external(
     cfg: &ExternalConfig,
 ) -> Result<ExternalOutput, ExternalError> {
     // ---------------------------------------------------------- pass 1
+    let _span = db_obs::span!("pipeline.external");
     let t0 = Instant::now();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut reservoir: Vec<Vec<f64>> = Vec::with_capacity(cfg.k);
     let mut coords = Vec::new();
     let rows = stream_rows(input, &cfg.csv, |row, _, line| {
@@ -172,7 +174,7 @@ pub fn run_external(
         if reservoir.len() < cfg.k {
             reservoir.push(coords.clone());
         } else {
-            let j = rng.gen_range(0..=row);
+            let j = rng.gen_range_inclusive(0..=row);
             if j < cfg.k {
                 reservoir[j] = coords.clone();
             }
@@ -185,11 +187,9 @@ pub fn run_external(
     let dim = reservoir[0].len();
     let mut reps = Dataset::with_capacity(dim, cfg.k).expect("dim > 0");
     for r in &reservoir {
-        reps.push(r).map_err(|_| ExternalError::Csv(CsvError::RaggedRow {
-            line: 0,
-            expected: dim,
-            got: r.len(),
-        }))?;
+        reps.push(r).map_err(|_| {
+            ExternalError::Csv(CsvError::RaggedRow { line: 0, expected: dim, got: r.len() })
+        })?;
     }
 
     // ---------------------------------------------------------- pass 2
@@ -327,8 +327,7 @@ mod tests {
         // The output file holds every row, in cluster order, with the
         // plotted reachability up front.
         let out_text = std::fs::read_to_string(&output).unwrap();
-        let data_lines: Vec<&str> =
-            out_text.lines().filter(|l| !l.starts_with('#')).collect();
+        let data_lines: Vec<&str> = out_text.lines().filter(|l| !l.starts_with('#')).collect();
         assert_eq!(data_lines.len(), n);
         // First walk position is a jump (inf).
         assert!(data_lines[0].starts_with("inf,"));

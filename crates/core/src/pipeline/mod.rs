@@ -22,13 +22,11 @@ use std::time::{Duration, Instant};
 
 use db_birch::{birch, BirchParams, Cf};
 use db_optics::{optics, optics_points, ClusterOrdering, OpticsParams};
+use db_rng::Rng;
 use db_sampling::{
     bfr_compress, compress_by_sampling, nn_classify, squash_compress, BfrParams, SamplingError,
 };
 use db_spatial::Dataset;
-use rand::rngs::StdRng;
-use rand::seq::index::sample as index_sample;
-use rand::SeedableRng;
 
 pub use expand::{expand_bubbles, expand_weighted, ExpandedEntry, ExpandedOrdering};
 pub use external::{run_external, ExternalConfig, ExternalError, ExternalOutput};
@@ -133,6 +131,9 @@ pub enum PipelineError {
     ZeroK,
     /// The sampling compressor failed.
     Sampling(SamplingError),
+    /// An internal invariant was violated (a bug in the pipeline itself,
+    /// not in its input).
+    Internal(&'static str),
 }
 
 impl fmt::Display for PipelineError {
@@ -141,6 +142,9 @@ impl fmt::Display for PipelineError {
             PipelineError::EmptyDataset => write!(f, "cannot cluster an empty dataset"),
             PipelineError::ZeroK => write!(f, "number of representatives must be positive"),
             PipelineError::Sampling(e) => write!(f, "sampling failed: {e}"),
+            PipelineError::Internal(what) => {
+                write!(f, "internal pipeline invariant violated: {what}")
+            }
         }
     }
 }
@@ -166,9 +170,19 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     if cfg.k == 0 {
         return Err(PipelineError::ZeroK);
     }
+    let _span = db_obs::span!("pipeline.run");
+    db_obs::counter!("pipeline.runs").incr();
+    db_obs::log_debug!(
+        "pipeline: n={} k={} recovery={:?} min_pts={}",
+        ds.len(),
+        cfg.k,
+        cfg.recovery,
+        cfg.optics.min_pts
+    );
 
     // ------------------------------------------------------ step 1
     let t0 = Instant::now();
+    let span_compression = db_obs::span!("pipeline.compression");
     let needs_members = cfg.recovery != Recovery::Naive;
     let (stats, reps, assignment): (Vec<Cf>, Dataset, Option<Vec<u32>>) = match &cfg.compressor {
         Compressor::Sample { seed } => {
@@ -178,11 +192,12 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
             } else {
                 // Naive SA: just the sample, no classification pass.
                 if cfg.k > ds.len() {
-                    return Err(SamplingError::SampleLargerThanData { k: cfg.k, n: ds.len() }
-                        .into());
+                    return Err(
+                        SamplingError::SampleLargerThanData { k: cfg.k, n: ds.len() }.into()
+                    );
                 }
-                let mut rng = StdRng::seed_from_u64(*seed);
-                let mut ids: Vec<usize> = index_sample(&mut rng, ds.len(), cfg.k).into_vec();
+                let mut rng = Rng::seed_from_u64(*seed);
+                let mut ids: Vec<usize> = rng.sample_indices(ds.len(), cfg.k);
                 ids.sort_unstable();
                 let reps = ds.subset(&ids);
                 let stats = reps.iter().map(Cf::from_point).collect();
@@ -213,10 +228,12 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
             (r.regions, reps, needs_members.then_some(r.assignment))
         }
     };
+    drop(span_compression);
     let compression = t0.elapsed();
 
     // ------------------------------------------------------ step 2
     let t1 = Instant::now();
+    let span_clustering = db_obs::span!("pipeline.clustering");
     let (rep_ordering, bubble_space) = match cfg.recovery {
         Recovery::Naive | Recovery::Weighted => (optics_points(&reps, &cfg.optics), None),
         Recovery::Bubbles => {
@@ -226,30 +243,37 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
             (ordering, Some(space))
         }
     };
+    drop(span_clustering);
     let clustering = t1.elapsed();
 
     // ------------------------------------------------------ step 3
     let t2 = Instant::now();
+    let span_recovery = db_obs::span!("pipeline.recovery");
     let expanded = match cfg.recovery {
         Recovery::Naive => None,
         Recovery::Weighted | Recovery::Bubbles => {
-            let assignment = assignment.as_ref().expect("classification ran for recovery");
+            let Some(assignment) = assignment.as_ref() else {
+                return Err(PipelineError::Internal("classification did not run before recovery"));
+            };
             let mut members = vec![Vec::new(); reps.len()];
             for (i, &a) in assignment.iter().enumerate() {
                 members[a as usize].push(i);
             }
             Some(match cfg.recovery {
                 Recovery::Weighted => expand_weighted(&rep_ordering, &members),
-                Recovery::Bubbles => expand_bubbles(
-                    &rep_ordering,
-                    &members,
-                    bubble_space.as_ref().expect("bubble space built"),
-                    cfg.optics.min_pts,
-                ),
+                Recovery::Bubbles => {
+                    let Some(space) = bubble_space.as_ref() else {
+                        return Err(PipelineError::Internal(
+                            "bubble space missing for bubble recovery",
+                        ));
+                    };
+                    expand_bubbles(&rep_ordering, &members, space, cfg.optics.min_pts)
+                }
                 Recovery::Naive => unreachable!(),
             })
         }
     };
+    drop(span_recovery);
     let recovery = t2.elapsed();
 
     Ok(PipelineOutput {
@@ -506,10 +530,7 @@ mod tests {
             PipelineError::EmptyDataset
         );
         let ds = two_squares();
-        assert_eq!(
-            optics_sa_naive(&ds, 0, 0, &params()).unwrap_err(),
-            PipelineError::ZeroK
-        );
+        assert_eq!(optics_sa_naive(&ds, 0, 0, &params()).unwrap_err(), PipelineError::ZeroK);
         assert!(matches!(
             optics_sa_naive(&ds, ds.len() + 1, 0, &params()).unwrap_err(),
             PipelineError::Sampling(_)

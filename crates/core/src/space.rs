@@ -69,6 +69,8 @@ impl OpticsSpace for BubbleSpace {
                 out.push(Neighbor::new(j, d));
             }
         }
+        // One bubble-distance evaluation per pair scanned (exhaustive O(k)).
+        db_obs::counter!("optics.distance_calls").add(self.bubbles.len() as u64);
         out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     }
 
@@ -183,12 +185,8 @@ mod tests {
     fn core_distance_rare_case_multiple_hops() {
         // Singletons at 0, 1, 2, 3 and MinPts=3: the third-closest bubble
         // (distance 2) supplies the last point, k = 1, nndist(1)=0.
-        let s = BubbleSpace::new(vec![
-            singleton(0.0),
-            singleton(1.0),
-            singleton(2.0),
-            singleton(3.0),
-        ]);
+        let s =
+            BubbleSpace::new(vec![singleton(0.0), singleton(1.0), singleton(2.0), singleton(3.0)]);
         let mut nb = Vec::new();
         s.neighborhood(0, 100.0, &mut nb);
         let core = s.core_distance(0, 3, &nb).unwrap();
@@ -221,11 +219,8 @@ mod tests {
         let group: Vec<bool> = walk.iter().map(|&id| id < 3).collect();
         assert!(group.windows(2).filter(|w| w[0] != w[1]).count() <= 1);
         // There is one big reachability jump (between the groups).
-        let jumps = o
-            .entries
-            .iter()
-            .filter(|e| e.has_reachability() && e.reachability > 50.0)
-            .count();
+        let jumps =
+            o.entries.iter().filter(|e| e.has_reachability() && e.reachability > 50.0).count();
         assert_eq!(jumps, 1);
         // Weights carried through.
         assert_eq!(o.total_weight(), 200);

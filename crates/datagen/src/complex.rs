@@ -40,8 +40,7 @@ pub fn nested_rings(params: &RingsParams, seed: u64) -> LabeledDataset {
     assert!((0.0..1.0).contains(&params.noise_fraction), "noise_fraction must be in [0,1)");
     let mut rng = Rng::new(seed);
     let n_noise = (params.n as f64 * params.noise_fraction).round() as usize;
-    let counts =
-        shapes::partition_counts(params.n - n_noise, &vec![1.0; params.radii.len()]);
+    let counts = shapes::partition_counts(params.n - n_noise, &vec![1.0; params.radii.len()]);
     let mut data = Dataset::with_capacity(2, params.n).expect("dim > 0");
     let mut labels = Vec::with_capacity(params.n);
     for (label, (&count, &radius)) in counts.iter().zip(&params.radii).enumerate() {
@@ -57,8 +56,8 @@ pub fn nested_rings(params: &RingsParams, seed: u64) -> LabeledDataset {
     for _ in 0..n_noise {
         shapes::uniform_box(&mut rng, &[-extent, -extent], &[extent, extent], &mut p);
         data.push(&p).expect("dim matches");
-        labels.push(NOISE_LABEL);
     }
+    labels.extend(std::iter::repeat_n(NOISE_LABEL, n_noise));
     shuffle_in_unison(&mut rng, data, labels)
 }
 
@@ -76,8 +75,8 @@ pub fn two_moons(n: usize, noise_std: f64, seed: u64) -> LabeledDataset {
             t.sin() + rng.gaussian_with(0.0, noise_std),
         ])
         .expect("dim matches");
-        labels.push(0);
     }
+    labels.extend(std::iter::repeat_n(0, counts[0]));
     for _ in 0..counts[1] {
         let t = rng.uniform_in(0.0, std::f64::consts::PI);
         data.push(&[
@@ -85,8 +84,8 @@ pub fn two_moons(n: usize, noise_std: f64, seed: u64) -> LabeledDataset {
             0.5 - t.sin() + rng.gaussian_with(0.0, noise_std),
         ])
         .expect("dim matches");
-        labels.push(1);
     }
+    labels.extend(std::iter::repeat_n(1, counts[1]));
     shuffle_in_unison(&mut rng, data, labels)
 }
 
@@ -119,12 +118,8 @@ mod tests {
 
     #[test]
     fn rings_lie_on_their_radii() {
-        let params = RingsParams {
-            n: 3_000,
-            radii: vec![5.0, 20.0],
-            thickness: 0.3,
-            noise_fraction: 0.0,
-        };
+        let params =
+            RingsParams { n: 3_000, radii: vec![5.0, 20.0], thickness: 0.3, noise_fraction: 0.0 };
         let l = nested_rings(&params, 1);
         assert_eq!(l.n_clusters(), 2);
         for (i, &lab) in l.labels.iter().enumerate() {
@@ -156,14 +151,10 @@ mod tests {
         assert_eq!(l.n_clusters(), 2);
         assert_eq!(l.len(), 2_000);
         // The bounding boxes of the two moons overlap horizontally.
-        let xs0: Vec<f64> = (0..l.len())
-            .filter(|&i| l.labels[i] == 0)
-            .map(|i| l.data.point(i)[0])
-            .collect();
-        let xs1: Vec<f64> = (0..l.len())
-            .filter(|&i| l.labels[i] == 1)
-            .map(|i| l.data.point(i)[0])
-            .collect();
+        let xs0: Vec<f64> =
+            (0..l.len()).filter(|&i| l.labels[i] == 0).map(|i| l.data.point(i)[0]).collect();
+        let xs1: Vec<f64> =
+            (0..l.len()).filter(|&i| l.labels[i] == 1).map(|i| l.data.point(i)[0]).collect();
         let max0 = xs0.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let min1 = xs1.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(min1 < max0, "moons do not interleave");

@@ -176,11 +176,7 @@ pub fn ds1(params: &Ds1Params, seed: u64) -> LabeledDataset {
 }
 
 /// Shuffles points and labels with the same permutation.
-pub(crate) fn shuffle_in_unison(
-    rng: &mut Rng,
-    data: Dataset,
-    labels: Vec<i32>,
-) -> LabeledDataset {
+pub(crate) fn shuffle_in_unison(rng: &mut Rng, data: Dataset, labels: Vec<i32>) -> LabeledDataset {
     let mut order: Vec<usize> = (0..data.len()).collect();
     rng.shuffle(&mut order);
     let shuffled = data.subset(&order);

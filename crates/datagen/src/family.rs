@@ -72,7 +72,10 @@ pub fn gaussian_family(params: &GaussianFamilyParams, seed: u64) -> LabeledDatas
     let mut attempts = 0usize;
     while centers.len() < params.clusters {
         attempts += 1;
-        assert!(attempts < 100_000, "could not place separated cluster centers; shrink sigma or clusters");
+        assert!(
+            attempts < 100_000,
+            "could not place separated cluster centers; shrink sigma or clusters"
+        );
         let cand: Vec<f64> = (0..params.dim).map(|_| rng.uniform_in(0.0, params.domain)).collect();
         let s_new = sigmas[centers.len()];
         let ok = centers.iter().enumerate().all(|(j, c)| {
@@ -156,11 +159,8 @@ mod tests {
             sums[lab as usize][1] += pt[1];
             counts[lab as usize] += 1;
         }
-        let cents: Vec<[f64; 2]> = sums
-            .iter()
-            .zip(&counts)
-            .map(|(s, &c)| [s[0] / c as f64, s[1] / c as f64])
-            .collect();
+        let cents: Vec<[f64; 2]> =
+            sums.iter().zip(&counts).map(|(s, &c)| [s[0] / c as f64, s[1] / c as f64]).collect();
         for i in 0..k {
             for j in (i + 1)..k {
                 let d = db_spatial::euclidean(&cents[i], &cents[j]);

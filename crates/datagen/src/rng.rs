@@ -24,7 +24,8 @@ impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Self { s, cached_gauss: None }
     }
 
@@ -32,7 +33,8 @@ impl Rng {
     /// several sub-generators without correlation).
     pub fn fork(&mut self, stream: u64) -> Rng {
         let mut sm = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Rng { s, cached_gauss: None }
     }
 

@@ -78,16 +78,14 @@ impl ConfusionMatrix {
     /// maximum matching, exactly the presentation used by the paper's
     /// Fig. 19/22). Noise rows/columns stay last.
     pub fn reorder_rows_greedy(&mut self) {
-        let n_cluster_rows =
-            self.row_labels.iter().filter(|&&l| l >= 0).count();
+        let n_cluster_rows = self.row_labels.iter().filter(|&&l| l >= 0).count();
         let n_cluster_cols = self.col_labels.iter().filter(|&&l| l >= 0).count();
         let mut new_order: Vec<usize> = Vec::with_capacity(self.counts.len());
         let mut used = vec![false; self.counts.len()];
         for col in 0..n_cluster_cols.min(n_cluster_rows) {
             // Best unused cluster row for this column.
-            let best = (0..n_cluster_rows)
-                .filter(|&r| !used[r])
-                .max_by_key(|&r| self.counts[r][col]);
+            let best =
+                (0..n_cluster_rows).filter(|&r| !used[r]).max_by_key(|&r| self.counts[r][col]);
             if let Some(r) = best {
                 used[r] = true;
                 new_order.push(r);

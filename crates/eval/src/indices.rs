@@ -168,7 +168,8 @@ mod tests {
     #[test]
     fn ari_is_near_zero_for_random_labels() {
         // Deterministic pseudo-random labels.
-        let a: Vec<i32> = (0..2000).map(|i| ((i * 2654435761u64 as usize) >> 7) as i32 % 4).collect();
+        let a: Vec<i32> =
+            (0..2000).map(|i| ((i * 2654435761u64 as usize) >> 7) as i32 % 4).collect();
         let b: Vec<i32> = (0..2000).map(|i| ((i * 40503 + 17) >> 3) % 4).collect();
         let ari = adjusted_rand_index(&a, &b);
         assert!(ari.abs() < 0.05, "ARI {ari} not near zero");

@@ -35,8 +35,7 @@ pub fn silhouette_score(
     if clusters.len() < 2 {
         return None;
     }
-    let cluster_index =
-        |l: i32| clusters.binary_search(&l).expect("label present");
+    let cluster_index = |l: i32| clusters.binary_search(&l).expect("label present");
     let mut sizes = vec![0usize; clusters.len()];
     for &l in labels {
         if l >= 0 {

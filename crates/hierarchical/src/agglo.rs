@@ -32,9 +32,7 @@ pub enum Linkage {
 ///
 /// Panics if the dataset is empty.
 pub fn agglomerative(ds: &Dataset, linkage: Linkage) -> Dendrogram {
-    agglomerative_from_fn(ds.len(), linkage, |a, b| {
-        db_spatial::euclidean(ds.point(a), ds.point(b))
-    })
+    agglomerative_from_fn(ds.len(), linkage, |a, b| db_spatial::euclidean(ds.point(a), ds.point(b)))
 }
 
 /// Agglomerative clustering over an arbitrary symmetric distance function —
@@ -97,13 +95,10 @@ pub fn agglomerative_from_fn(
             let new = match linkage {
                 Linkage::Single => dik.min(djk),
                 Linkage::Complete => dik.max(djk),
-                Linkage::Average => {
-                    (sizes[i] * dik + sizes[j] * djk) / (sizes[i] + sizes[j])
-                }
+                Linkage::Average => (sizes[i] * dik + sizes[j] * djk) / (sizes[i] + sizes[j]),
                 Linkage::Ward => {
                     let (ni, nj, nk) = (sizes[i], sizes[j], sizes[k]);
-                    ((ni + nk) * dik + (nj + nk) * djk - nk * d[i * n + j])
-                        / (ni + nj + nk)
+                    ((ni + nk) * dik + (nj + nk) * djk - nk * d[i * n + j]) / (ni + nj + nk)
                 }
             };
             d[i * n + k] = new;
@@ -246,9 +241,8 @@ mod tests {
     fn from_fn_supports_custom_distances() {
         // A distance that reverses proximity: objects with distant indices
         // are "close".
-        let d = agglomerative_from_fn(4, Linkage::Single, |a, b| {
-            10.0 - (a as f64 - b as f64).abs()
-        });
+        let d =
+            agglomerative_from_fn(4, Linkage::Single, |a, b| 10.0 - (a as f64 - b as f64).abs());
         // Closest pair: (0, 3) with distance 7.
         assert_eq!(d.merges()[0].dist, 7.0);
     }

@@ -199,19 +199,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "reuses a consumed node")]
     fn reused_node_panics() {
-        Dendrogram::new(
-            3,
-            vec![Merge { a: 0, b: 1, dist: 1.0 }, Merge { a: 0, b: 2, dist: 2.0 }],
-        );
+        Dendrogram::new(3, vec![Merge { a: 0, b: 1, dist: 1.0 }, Merge { a: 0, b: 2, dist: 2.0 }]);
     }
 
     #[test]
     #[should_panic(expected = "non-decreasing")]
     fn decreasing_heights_panic() {
-        Dendrogram::new(
-            3,
-            vec![Merge { a: 0, b: 1, dist: 2.0 }, Merge { a: 2, b: 3, dist: 1.0 }],
-        );
+        Dendrogram::new(3, vec![Merge { a: 0, b: 1, dist: 2.0 }, Merge { a: 2, b: 3, dist: 1.0 }]);
     }
 
     #[test]

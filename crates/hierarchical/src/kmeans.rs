@@ -256,7 +256,11 @@ mod tests {
         // One heavy row and two light rows far away: with k=1 the center
         // must sit close to the heavy row.
         let ds = Dataset::from_rows(1, &[&[0.0], &[10.0], &[12.0]]).unwrap();
-        let r = weighted_kmeans(&ds, &[100.0, 1.0, 1.0], &KMeansParams { k: 1, max_iters: 10, seed: 0 });
+        let r = weighted_kmeans(
+            &ds,
+            &[100.0, 1.0, 1.0],
+            &KMeansParams { k: 1, max_iters: 10, seed: 0 },
+        );
         let c = r.centers.point(0)[0];
         assert!(c < 0.5, "center {c} pulled away from heavy mass");
     }

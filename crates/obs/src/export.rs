@@ -1,0 +1,208 @@
+//! Exporters over a [`Snapshot`]: a human-readable table and JSON lines.
+
+use crate::snapshot::Snapshot;
+use crate::{Json, ToJson};
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Renders the snapshot as an aligned, human-readable table. Sections with
+/// no entries are omitted; an entirely empty snapshot renders a single
+/// placeholder line.
+pub fn render_table(s: &Snapshot) -> String {
+    let mut out = String::new();
+    if !s.spans.is_empty() {
+        out.push_str("spans:\n");
+        let w = s.spans.iter().map(|sp| sp.name.len()).max().unwrap_or(0);
+        for sp in &s.spans {
+            out.push_str(&format!(
+                "  {:<w$}  count {:>9}  total {:>10}  self {:>10}  min {:>10}  max {:>10}\n",
+                sp.name,
+                fmt_count(sp.count),
+                fmt_ns(sp.total_ns),
+                fmt_ns(sp.self_ns),
+                fmt_ns(sp.min_ns),
+                fmt_ns(sp.max_ns),
+            ));
+        }
+    }
+    if !s.counters.is_empty() {
+        out.push_str("counters:\n");
+        let w = s.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &s.counters {
+            out.push_str(&format!("  {name:<w$}  {:>15}\n", fmt_count(*v)));
+        }
+    }
+    if !s.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        let w = s.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &s.gauges {
+            out.push_str(&format!("  {name:<w$}  {v:>15}\n"));
+        }
+    }
+    if !s.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for h in &s.histograms {
+            let mean = if h.count > 0 { h.sum / h.count as f64 } else { 0.0 };
+            out.push_str(&format!(
+                "  {}  count {}  sum {:.3}  mean {:.3}\n",
+                h.name,
+                fmt_count(h.count),
+                h.sum,
+                mean
+            ));
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let label = if i < h.bounds.len() {
+                    format!("<= {}", h.bounds[i])
+                } else {
+                    format!("> {}", h.bounds.last().unwrap())
+                };
+                out.push_str(&format!("    {label:<12} {}\n", fmt_count(c)));
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+/// Renders the snapshot as JSON lines: one object per metric, each with a
+/// `kind` field (`counter` / `gauge` / `histogram` / `span`), suitable for
+/// appending to a `.metrics.jsonl` file.
+pub fn json_lines(s: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &s.counters {
+        let obj = Json::Obj(vec![
+            ("kind".into(), "counter".to_json()),
+            ("name".into(), name.to_json()),
+            ("value".into(), v.to_json()),
+        ]);
+        out.push_str(&obj.render());
+        out.push('\n');
+    }
+    for (name, v) in &s.gauges {
+        let obj = Json::Obj(vec![
+            ("kind".into(), "gauge".to_json()),
+            ("name".into(), name.to_json()),
+            ("value".into(), v.to_json()),
+        ]);
+        out.push_str(&obj.render());
+        out.push('\n');
+    }
+    for h in &s.histograms {
+        let obj = Json::Obj(vec![
+            ("kind".into(), "histogram".to_json()),
+            ("name".into(), h.name.to_json()),
+            ("count".into(), h.count.to_json()),
+            ("sum".into(), h.sum.to_json()),
+            ("bounds".into(), h.bounds.to_json()),
+            ("buckets".into(), h.buckets.to_json()),
+        ]);
+        out.push_str(&obj.render());
+        out.push('\n');
+    }
+    for sp in &s.spans {
+        let obj = Json::Obj(vec![
+            ("kind".into(), "span".to_json()),
+            ("name".into(), sp.name.to_json()),
+            ("count".into(), sp.count.to_json()),
+            ("total_ns".into(), sp.total_ns.to_json()),
+            ("self_ns".into(), sp.self_ns.to_json()),
+            ("min_ns".into(), sp.min_ns.to_json()),
+            ("max_ns".into(), sp.max_ns.to_json()),
+        ]);
+        out.push_str(&obj.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{HistogramSnapshot, SpanSnapshot};
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![("optics.distance_calls".into(), 1234567)],
+            gauges: vec![("birch.height".into(), 3)],
+            histograms: vec![HistogramSnapshot {
+                name: "optics.neighborhood_size".into(),
+                bounds: vec![4.0, 16.0],
+                buckets: vec![2, 1, 0],
+                count: 3,
+                sum: 21.0,
+            }],
+            spans: vec![SpanSnapshot {
+                name: "pipeline.clustering".into(),
+                count: 1,
+                total_ns: 2_500_000,
+                self_ns: 2_000_000,
+                min_ns: 2_500_000,
+                max_ns: 2_500_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_sections() {
+        let t = render_table(&sample());
+        assert!(t.contains("optics.distance_calls"));
+        assert!(t.contains("1_234_567"));
+        assert!(t.contains("birch.height"));
+        assert!(t.contains("pipeline.clustering"));
+        assert!(t.contains("2.50ms"));
+        assert!(t.contains("<= 4"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        assert_eq!(render_table(&Snapshot::default()), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn json_lines_are_parseable_objects() {
+        let lines = json_lines(&sample());
+        assert_eq!(lines.lines().count(), 4);
+        for line in lines.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines.contains(r#""kind":"counter""#));
+        assert!(lines.contains(r#""kind":"span""#));
+        assert!(lines.contains(r#""total_ns":2500000"#));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.210s");
+    }
+}

@@ -1,0 +1,123 @@
+//! Inert stand-ins compiled when the `metrics` feature is **off**.
+//!
+//! Every type and function here mirrors the real implementation's public
+//! API exactly, so downstream instrumentation compiles unchanged; each
+//! method is an inline empty body over a zero-sized type, which the
+//! optimizer removes entirely (verified by the `overhead` bench guard).
+//!
+//! The `span!`/`counter!` macros expand to calls into this module rather
+//! than using `#[cfg]` in the macro body: a `cfg` inside a macro would be
+//! resolved against the *expanding* crate's features, not `db-obs`'s.
+
+use crate::snapshot::Snapshot;
+
+/// No-op counter (metrics disabled).
+#[derive(Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn incr(&self) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge (metrics disabled).
+#[derive(Debug, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(&self, _v: i64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _delta: i64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn max(&self, _v: i64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> i64 {
+        0
+    }
+}
+
+/// No-op histogram (metrics disabled).
+#[derive(Debug, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&self, _v: f64) {}
+}
+
+/// No-op span statistics slot (metrics disabled).
+#[derive(Debug, Default)]
+pub struct SpanStat;
+
+/// No-op span guard: zero-sized with an empty `Drop`, so creating and
+/// dropping it generates no code at all. The `Drop` impl exists only so
+/// call sites may `drop(guard)` explicitly in either feature mode.
+#[derive(Debug)]
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// Returns the zero-sized guard.
+    #[inline(always)]
+    pub fn enter(_stat: &'static SpanStat) -> Self {
+        SpanGuard
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline(always)]
+    fn drop(&mut self) {}
+}
+
+/// Returns the shared no-op counter.
+#[inline(always)]
+pub fn counter(_name: &'static str) -> &'static Counter {
+    &Counter
+}
+
+/// Returns the shared no-op gauge.
+#[inline(always)]
+pub fn gauge(_name: &'static str) -> &'static Gauge {
+    &Gauge
+}
+
+/// Returns the shared no-op histogram.
+#[inline(always)]
+pub fn histogram(_name: &'static str, _bounds: &[f64]) -> &'static Histogram {
+    &Histogram
+}
+
+/// Returns the shared no-op span slot.
+#[inline(always)]
+pub fn span_stat(_name: &'static str) -> &'static SpanStat {
+    &SpanStat
+}
+
+/// Always empty with metrics disabled.
+#[inline]
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+/// Does nothing with metrics disabled.
+#[inline]
+pub fn reset() {}

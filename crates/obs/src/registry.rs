@@ -1,0 +1,248 @@
+//! The global metrics registry: counters, gauges, and fixed-bucket
+//! histograms registered by `&'static str` name.
+//!
+//! Lock discipline: the registry `Mutex` is taken only at *registration*
+//! (first use of a name) and at *snapshot/reset* time. The hot path — the
+//! callsite incrementing a counter — touches a cached `&'static` handle
+//! and a single relaxed atomic; macros in the crate root cache the handle
+//! in a per-callsite `OnceLock`, so even the name lookup happens once per
+//! callsite, not once per increment.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the count.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the count.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed instantaneous value (queue depth, tree height, bytes held).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram over `f64` observations.
+///
+/// Bucket `i` counts observations `v <= bounds[i]` (cumulative-style
+/// boundaries, recorded non-cumulatively); one extra overflow bucket
+/// counts `v > bounds.last()`. Bounds are fixed at registration — the
+/// first registration of a name wins.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, stored as the bit pattern of an `f64` and
+    /// updated by compare-exchange (no atomic f64 in stable std).
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The bucket upper bounds (exclusive of the overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    spans: Mutex<BTreeMap<&'static str, &'static crate::span::SpanStat>>,
+}
+
+static REGISTRY: Registry = Registry {
+    counters: Mutex::new(BTreeMap::new()),
+    gauges: Mutex::new(BTreeMap::new()),
+    histograms: Mutex::new(BTreeMap::new()),
+    spans: Mutex::new(BTreeMap::new()),
+};
+
+/// Returns the counter registered under `name`, registering it first if
+/// needed. Handles are `'static` (leaked once per name) so callsites can
+/// cache them.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut map = REGISTRY.counters.lock().unwrap();
+    map.entry(name).or_insert_with(|| Box::leak(Box::new(Counter::default())))
+}
+
+/// Returns the gauge registered under `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut map = REGISTRY.gauges.lock().unwrap();
+    map.entry(name).or_insert_with(|| Box::leak(Box::new(Gauge::default())))
+}
+
+/// Returns the histogram registered under `name`. The first caller's
+/// `bounds` win; later registrations of the same name ignore theirs.
+///
+/// # Panics
+///
+/// Panics if `bounds` is empty or not strictly increasing (first
+/// registration only).
+pub fn histogram(name: &'static str, bounds: &[f64]) -> &'static Histogram {
+    let mut map = REGISTRY.histograms.lock().unwrap();
+    map.entry(name).or_insert_with(|| Box::leak(Box::new(Histogram::new(bounds))))
+}
+
+/// Returns the span statistics slot registered under `name`.
+pub fn span_stat(name: &'static str) -> &'static crate::span::SpanStat {
+    let mut map = REGISTRY.spans.lock().unwrap();
+    map.entry(name).or_insert_with(|| Box::leak(Box::new(crate::span::SpanStat::new())))
+}
+
+/// Copies the current value of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let counters =
+        REGISTRY.counters.lock().unwrap().iter().map(|(&n, c)| (n.to_string(), c.get())).collect();
+    let gauges =
+        REGISTRY.gauges.lock().unwrap().iter().map(|(&n, g)| (n.to_string(), g.get())).collect();
+    let histograms = REGISTRY
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(&n, h)| HistogramSnapshot {
+            name: n.to_string(),
+            bounds: h.bounds().to_vec(),
+            buckets: h.bucket_counts(),
+            count: h.count(),
+            sum: h.sum(),
+        })
+        .collect();
+    let spans = REGISTRY.spans.lock().unwrap().iter().map(|(&n, s)| s.snapshot(n)).collect();
+    Snapshot { counters, gauges, histograms, spans }
+}
+
+/// Zeroes every registered metric (registrations and cached handles stay
+/// valid). Intended for test isolation and between bench figures.
+pub fn reset() {
+    for c in REGISTRY.counters.lock().unwrap().values() {
+        c.reset();
+    }
+    for g in REGISTRY.gauges.lock().unwrap().values() {
+        g.reset();
+    }
+    for h in REGISTRY.histograms.lock().unwrap().values() {
+        h.reset();
+    }
+    for s in REGISTRY.spans.lock().unwrap().values() {
+        s.reset();
+    }
+}

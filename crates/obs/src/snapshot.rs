@@ -1,0 +1,68 @@
+//! Point-in-time copies of the metric state, independent of the `metrics`
+//! feature so exporters and consumers compile in both modes (with the
+//! feature off, [`crate::snapshot()`] just returns an empty snapshot).
+
+/// A point-in-time copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Bucket upper bounds; the implicit overflow bucket follows.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, overflow last (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+/// A point-in-time copy of one span's aggregated timing statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// Completed span instances.
+    pub count: u64,
+    /// Total wall time, nanoseconds (includes time in child spans).
+    pub total_ns: u64,
+    /// Total wall time minus time spent in directly nested spans.
+    pub self_ns: u64,
+    /// Shortest single instance, nanoseconds (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Longest single instance, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// Every registered histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Every registered span, aggregated per name.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, or `None` if never registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The aggregated statistics of span `name`.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// True when nothing has been recorded (all zeros or no registrations).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+}

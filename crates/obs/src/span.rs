@@ -1,0 +1,99 @@
+//! Hierarchical RAII spans.
+//!
+//! A span measures the wall time between its creation and drop and folds
+//! it into a per-name aggregate ([`SpanStat`]): count, total, min, max,
+//! and *self time* (total minus time spent in directly nested spans on the
+//! same thread). Nesting is tracked with a thread-local stack, so spans on
+//! different threads never contend; the aggregate slots are plain atomics.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug)]
+pub struct SpanStat {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    self_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanStat {
+    pub(crate) fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            self_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, elapsed_ns: u64, self_time_ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.self_ns.fetch_add(self_time_ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(elapsed_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, name: &str) -> crate::snapshot::SpanSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        crate::snapshot::SpanSnapshot {
+            name: name.to_string(),
+            count,
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            self_ns: self.self_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 { 0 } else { self.min_ns.load(Ordering::Relaxed) },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.self_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    /// One accumulator per *open* span on this thread: nanoseconds spent
+    /// in its already-closed direct children.
+    static CHILD_NS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard: measures from creation to drop and records into a
+/// [`SpanStat`]. Create via the [`span!`](crate::span!) macro.
+#[must_use = "a span measures until it is dropped; bind it with `let _span = span!(..)`"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    stat: &'static SpanStat,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span recording into `stat`.
+    pub fn enter(stat: &'static SpanStat) -> Self {
+        CHILD_NS.with(|c| c.borrow_mut().push(0));
+        Self { stat, start: Instant::now() }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let child = CHILD_NS.with(|c| {
+            let mut stack = c.borrow_mut();
+            let child = stack.pop().unwrap_or(0);
+            if let Some(parent) = stack.last_mut() {
+                *parent += elapsed;
+            }
+            child
+        });
+        self.stat.record(elapsed, elapsed.saturating_sub(child));
+    }
+}

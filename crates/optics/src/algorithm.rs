@@ -39,6 +39,7 @@ impl Ord for Seed {
 pub fn optics<S: OpticsSpace>(space: &S, params: &OpticsParams) -> ClusterOrdering {
     assert!(params.min_pts >= 1, "MinPts must be at least 1");
     assert!(params.eps >= 0.0, "eps must be non-negative");
+    let _span = db_obs::span!("optics.walk");
     let n = space.len();
     let mut ordering = ClusterOrdering {
         entries: Vec::with_capacity(n),
@@ -52,37 +53,40 @@ pub fn optics<S: OpticsSpace>(space: &S, params: &OpticsParams) -> ClusterOrderi
     let mut heap: BinaryHeap<Reverse<Seed>> = BinaryHeap::new();
     let mut neighbors: Vec<Neighbor> = Vec::new();
 
-    let process =
-        |i: usize,
-         reachability: f64,
-         processed: &mut Vec<bool>,
-         reach: &mut Vec<f64>,
-         heap: &mut BinaryHeap<Reverse<Seed>>,
-         neighbors: &mut Vec<Neighbor>,
-         ordering: &mut ClusterOrdering| {
-            processed[i] = true;
-            space.neighborhood(i, params.eps, neighbors);
-            let core = space.core_distance(i, params.min_pts, neighbors);
-            ordering.entries.push(OrderingEntry {
-                id: i,
-                reachability,
-                core_distance: core.unwrap_or(UNDEFINED),
-                weight: space.weight(i),
-            });
-            if let Some(core) = core {
-                // Update the seed list with every unprocessed neighbour.
-                for nb in neighbors.iter() {
-                    if processed[nb.id] {
-                        continue;
-                    }
-                    let new_reach = core.max(nb.dist);
-                    if new_reach < reach[nb.id] {
-                        reach[nb.id] = new_reach;
-                        heap.push(Reverse(Seed(new_reach, nb.id)));
-                    }
+    let process = |i: usize,
+                   reachability: f64,
+                   processed: &mut Vec<bool>,
+                   reach: &mut Vec<f64>,
+                   heap: &mut BinaryHeap<Reverse<Seed>>,
+                   neighbors: &mut Vec<Neighbor>,
+                   ordering: &mut ClusterOrdering| {
+        processed[i] = true;
+        space.neighborhood(i, params.eps, neighbors);
+        db_obs::counter!("optics.neighborhood_queries").incr();
+        db_obs::histogram!("optics.neighborhood_size").record(neighbors.len() as f64);
+        let core = space.core_distance(i, params.min_pts, neighbors);
+        db_obs::counter!("optics.core_distance_queries").incr();
+        ordering.entries.push(OrderingEntry {
+            id: i,
+            reachability,
+            core_distance: core.unwrap_or(UNDEFINED),
+            weight: space.weight(i),
+        });
+        if let Some(core) = core {
+            // Update the seed list with every unprocessed neighbour.
+            for nb in neighbors.iter() {
+                if processed[nb.id] {
+                    continue;
+                }
+                let new_reach = core.max(nb.dist);
+                if new_reach < reach[nb.id] {
+                    reach[nb.id] = new_reach;
+                    heap.push(Reverse(Seed(new_reach, nb.id)));
+                    db_obs::counter!("optics.seed_updates").incr();
                 }
             }
-        };
+        }
+    };
 
     for start in 0..n {
         if processed[start] {
@@ -101,19 +105,18 @@ pub fn optics<S: OpticsSpace>(space: &S, params: &OpticsParams) -> ClusterOrderi
         // Drain the seed list (lazy deletion of stale entries).
         while let Some(Reverse(Seed(r, id))) = heap.pop() {
             if processed[id] || r > reach[id] {
+                db_obs::counter!("optics.stale_seed_skips").incr();
                 continue;
             }
-            process(
-                id,
-                r,
-                &mut processed,
-                &mut reach,
-                &mut heap,
-                &mut neighbors,
-                &mut ordering,
-            );
+            process(id, r, &mut processed, &mut reach, &mut heap, &mut neighbors, &mut ordering);
         }
     }
+    db_obs::log_debug!(
+        "walk done: {} objects ordered (eps {:.3e}, MinPts {})",
+        ordering.entries.len(),
+        params.eps,
+        params.min_pts
+    );
     ordering
 }
 
@@ -161,8 +164,7 @@ mod tests {
         // Objects 0..10 must appear consecutively, as must 10..20.
         let walk: Vec<usize> = o.entries.iter().map(|e| e.id).collect();
         let first_cluster: Vec<bool> = walk.iter().map(|&id| id < 10).collect();
-        let transitions =
-            first_cluster.windows(2).filter(|w| w[0] != w[1]).count();
+        let transitions = first_cluster.windows(2).filter(|w| w[0] != w[1]).count();
         // One block of cluster-0 ids, one block of cluster-1 ids, the
         // isolated point somewhere at a boundary: at most 2 transitions.
         assert!(transitions <= 2, "walk interleaves clusters: {walk:?}");

@@ -134,9 +134,9 @@ mod tests {
         let labels = extract_dbscan(&o, cut, ds.len());
         // The two blobs come out as two clusters.
         let mut blob_labels: Vec<i32> = vec![labels[0]];
-        for i in 0..600 {
-            if !blob_labels.contains(&labels[i]) {
-                blob_labels.push(labels[i]);
+        for &label in labels.iter().take(600) {
+            if !blob_labels.contains(&label) {
+                blob_labels.push(label);
             }
         }
         assert!(blob_labels.iter().all(|&l| l >= 0), "blob points must not be noise");

@@ -53,10 +53,8 @@ fn parse_dist(s: &str, line: usize) -> Result<f64, PersistError> {
     if s == "inf" {
         return Ok(f64::INFINITY);
     }
-    s.parse().map_err(|_| PersistError::Format {
-        line,
-        message: format!("cannot parse distance {s:?}"),
-    })
+    s.parse()
+        .map_err(|_| PersistError::Format { line, message: format!("cannot parse distance {s:?}") })
 }
 
 /// Writes an ordering in the text format.
@@ -66,12 +64,7 @@ fn parse_dist(s: &str, line: usize) -> Result<f64, PersistError> {
 /// Returns an error on I/O failure.
 pub fn write_ordering(ordering: &ClusterOrdering, writer: impl Write) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(
-        w,
-        "# optics-ordering eps={} min_pts={}",
-        fmt_dist(ordering.eps),
-        ordering.min_pts
-    )?;
+    writeln!(w, "# optics-ordering eps={} min_pts={}", fmt_dist(ordering.eps), ordering.min_pts)?;
     for e in &ordering.entries {
         writeln!(
             w,
@@ -93,10 +86,8 @@ pub fn write_ordering(ordering: &ClusterOrdering, writer: impl Write) -> io::Res
 pub fn read_ordering(reader: impl Read) -> Result<ClusterOrdering, PersistError> {
     let reader = BufReader::new(reader);
     let mut lines = reader.lines().enumerate();
-    let (_, header) = lines.next().ok_or(PersistError::Format {
-        line: 1,
-        message: "empty file".to_string(),
-    })?;
+    let (_, header) =
+        lines.next().ok_or(PersistError::Format { line: 1, message: "empty file".to_string() })?;
     let header = header?;
     let rest = header.strip_prefix("# optics-ordering ").ok_or_else(|| PersistError::Format {
         line: 1,

@@ -88,6 +88,9 @@ impl OpticsSpace for PointSpace<'_> {
 
     fn neighborhood(&self, i: usize, eps: f64, out: &mut Vec<Neighbor>) {
         self.index.range(self.ds, self.ds.point(i), eps, out);
+        // Lower bound: the index evaluates at least one distance per
+        // returned neighbour; `spatial.dist_evals` has the exact count.
+        db_obs::counter!("optics.distance_calls").add(out.len() as u64);
     }
 
     fn weight(&self, _i: usize) -> u64 {
@@ -125,7 +128,7 @@ mod tests {
         let space = PointSpace::new(&d, None);
         let mut out = Vec::new();
         space.neighborhood(0, 2.5, &mut out); // {0, 1, 2}
-        // MinPts=3: core-dist = distance to 3rd closest (incl. self) = 2.0.
+                                              // MinPts=3: core-dist = distance to 3rd closest (incl. self) = 2.0.
         assert_eq!(space.core_distance(0, 3, &out), Some(2.0));
         // MinPts=4: only 3 objects in the neighbourhood -> not core.
         assert_eq!(space.core_distance(0, 4, &out), None);

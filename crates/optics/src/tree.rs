@@ -83,9 +83,16 @@ impl ClusterTree {
     /// parent's length). Steep-area extraction tends to emit stacks of
     /// near-identical nested intervals; this keeps one per stack.
     pub fn simplify(&self, min_shrink: f64) -> ClusterTree {
-        fn keep(tree: &ClusterTree, node: usize, parent_len: usize, min_shrink: f64, out: &mut Vec<XiCluster>) {
+        fn keep(
+            tree: &ClusterTree,
+            node: usize,
+            parent_len: usize,
+            min_shrink: f64,
+            out: &mut Vec<XiCluster>,
+        ) {
             let c = tree.nodes[node].cluster;
-            let significant = (parent_len as f64 - c.len() as f64) >= min_shrink * parent_len as f64;
+            let significant =
+                (parent_len as f64 - c.len() as f64) >= min_shrink * parent_len as f64;
             let effective_parent = if significant {
                 out.push(c);
                 c.len()

@@ -70,11 +70,7 @@ struct SteepDownArea {
 /// # Panics
 ///
 /// Panics if `xi` is not in `(0, 1)`.
-pub fn extract_xi(
-    ordering: &ClusterOrdering,
-    xi: f64,
-    min_cluster_size: usize,
-) -> Vec<XiCluster> {
+pub fn extract_xi(ordering: &ClusterOrdering, xi: f64, min_cluster_size: usize) -> Vec<XiCluster> {
     assert!(xi > 0.0 && xi < 1.0, "xi must be in (0, 1)");
     let n = ordering.len();
     if n < 2 {

@@ -1,100 +1,106 @@
-//! Property tests of the OPTICS walk and the extraction utilities on
-//! arbitrary point data.
+//! Randomized property tests of the OPTICS walk and the extraction
+//! utilities, over many seeded random datasets.
 
-use db_optics::{
-    dbscan, extract_dbscan, extract_xi, median_smooth, optics_points, OpticsParams,
-};
+use db_optics::{dbscan, extract_dbscan, extract_xi, median_smooth, optics_points, OpticsParams};
+use db_rng::Rng;
 use db_spatial::Dataset;
-use proptest::prelude::*;
 
-fn dataset_strategy(max_n: usize, dim: usize) -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, dim), 2..max_n).prop_map(
-        move |rows| {
-            let mut ds = Dataset::new(dim).unwrap();
-            for r in &rows {
-                ds.push(r).unwrap();
-            }
-            ds
-        },
-    )
+const CASES: u64 = 48;
+
+fn random_dataset(rng: &mut Rng, max_n: usize, dim: usize) -> Dataset {
+    let n = rng.gen_range(2..max_n);
+    let mut ds = Dataset::new(dim).unwrap();
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for x in &mut row {
+            *x = rng.gen_f64(-50.0, 50.0);
+        }
+        ds.push(&row).unwrap();
+    }
+    ds
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The cluster ordering visits every object exactly once.
-    #[test]
-    fn ordering_is_a_permutation(
-        ds in dataset_strategy(150, 2),
-        eps in 0.5f64..200.0,
-        min_pts in 1usize..10,
-    ) {
+/// The cluster ordering visits every object exactly once.
+#[test]
+fn ordering_is_a_permutation() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let ds = random_dataset(&mut rng, 150, 2);
+        let eps = rng.gen_f64(0.5, 200.0);
+        let min_pts = rng.gen_range(1..10);
         let o = optics_points(&ds, &OpticsParams { eps, min_pts });
-        prop_assert_eq!(o.len(), ds.len());
+        assert_eq!(o.len(), ds.len(), "seed {seed}");
         let mut ids: Vec<usize> = o.entries.iter().map(|e| e.id).collect();
         ids.sort_unstable();
-        prop_assert_eq!(ids, (0..ds.len()).collect::<Vec<_>>());
+        assert_eq!(ids, (0..ds.len()).collect::<Vec<_>>(), "seed {seed}");
     }
+}
 
-    /// Reachabilities never under-run the core distance of the predecessor
-    /// structure: every finite reachability is at least the distance to
-    /// *some* previously processed object's core distance. We check the
-    /// weaker but exact invariant that reachability ≥ 0 and core-distances
-    /// are ≤ eps when defined.
-    #[test]
-    fn distances_respect_bounds(
-        ds in dataset_strategy(120, 2),
-        eps in 0.5f64..100.0,
-        min_pts in 1usize..8,
-    ) {
+/// Core-distances are ≤ eps when defined and reachabilities are
+/// non-negative.
+#[test]
+fn distances_respect_bounds() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(100 + seed);
+        let ds = random_dataset(&mut rng, 120, 2);
+        let eps = rng.gen_f64(0.5, 100.0);
+        let min_pts = rng.gen_range(1..8);
         let o = optics_points(&ds, &OpticsParams { eps, min_pts });
         for e in &o.entries {
             if e.is_core() {
-                prop_assert!(e.core_distance >= 0.0);
-                prop_assert!(e.core_distance <= eps + 1e-9);
+                assert!(e.core_distance >= 0.0, "seed {seed}");
+                assert!(e.core_distance <= eps + 1e-9, "seed {seed}");
             }
             if e.has_reachability() {
-                prop_assert!(e.reachability >= 0.0);
+                assert!(e.reachability >= 0.0, "seed {seed}");
             }
         }
     }
+}
 
-    /// With ε = ∞ and MinPts = 1 every object is core and only the first
-    /// walk position has undefined reachability.
-    #[test]
-    fn unbounded_run_is_fully_connected(ds in dataset_strategy(80, 3)) {
+/// With ε = ∞ and MinPts = 1 every object is core and only the first walk
+/// position has undefined reachability.
+#[test]
+fn unbounded_run_is_fully_connected() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(200 + seed);
+        let ds = random_dataset(&mut rng, 80, 3);
         let o = optics_points(&ds, &OpticsParams { eps: f64::INFINITY, min_pts: 1 });
         let undefined = o.entries.iter().filter(|e| !e.has_reachability()).count();
-        prop_assert_eq!(undefined, 1);
-        prop_assert!(o.entries.iter().all(|e| e.is_core()));
+        assert_eq!(undefined, 1, "seed {seed}");
+        assert!(o.entries.iter().all(|e| e.is_core()), "seed {seed}");
     }
+}
 
-    /// Flat extraction yields a valid labeling: labels in {-1} ∪ [0, k),
-    /// every cluster id that appears is dense (no gaps).
-    #[test]
-    fn extraction_labels_are_dense(
-        ds in dataset_strategy(120, 2),
-        eps in 1.0f64..100.0,
-        cut_frac in 0.05f64..1.0,
-    ) {
+/// Flat extraction yields a valid labeling: labels in {-1} ∪ [0, k), every
+/// cluster id that appears is dense (no gaps).
+#[test]
+fn extraction_labels_are_dense() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(300 + seed);
+        let ds = random_dataset(&mut rng, 120, 2);
+        let eps = rng.gen_f64(1.0, 100.0);
+        let cut_frac = rng.gen_f64(0.05, 1.0);
         let o = optics_points(&ds, &OpticsParams { eps, min_pts: 3 });
         let labels = extract_dbscan(&o, eps * cut_frac, ds.len());
-        prop_assert_eq!(labels.len(), ds.len());
+        assert_eq!(labels.len(), ds.len(), "seed {seed}");
         let max = labels.iter().copied().max().unwrap_or(-1);
         for l in 0..=max {
-            prop_assert!(labels.contains(&l), "label {l} missing below max {max}");
+            assert!(labels.contains(&l), "seed {seed}: label {l} missing below max {max}");
         }
-        prop_assert!(labels.iter().all(|&l| l >= -1));
+        assert!(labels.iter().all(|&l| l >= -1), "seed {seed}");
     }
+}
 
-    /// DBSCAN and OPTICS-based extraction agree on the number of dense
-    /// clusters when run with identical parameters (cluster memberships can
-    /// differ on border points only).
-    #[test]
-    fn dbscan_and_extraction_cluster_counts_match(
-        ds in dataset_strategy(100, 2),
-        eps in 1.0f64..30.0,
-    ) {
+/// DBSCAN and OPTICS-based extraction agree on the number of dense
+/// clusters when run with identical parameters (cluster memberships can
+/// differ on border points only).
+#[test]
+fn dbscan_and_extraction_cluster_counts_match() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(400 + seed);
+        let ds = random_dataset(&mut rng, 100, 2);
+        let eps = rng.gen_f64(1.0, 30.0);
         let min_pts = 4;
         let direct = dbscan(&ds, eps, min_pts);
         let o = optics_points(&ds, &OpticsParams { eps: eps * 2.0, min_pts });
@@ -105,37 +111,41 @@ proptest! {
             v.dedup();
             v.len()
         };
-        prop_assert_eq!(count(&direct), count(&extracted));
+        assert_eq!(count(&direct), count(&extracted), "seed {seed}");
     }
+}
 
-    /// ξ clusters are valid intervals within the plot, properly nested or
-    /// disjoint after tree construction.
-    #[test]
-    fn xi_clusters_are_valid_intervals(
-        ds in dataset_strategy(150, 2),
-        xi in 0.01f64..0.9,
-    ) {
+/// ξ clusters are valid intervals within the plot, properly nested or
+/// disjoint after tree construction.
+#[test]
+fn xi_clusters_are_valid_intervals() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(500 + seed);
+        let ds = random_dataset(&mut rng, 150, 2);
+        let xi = rng.gen_f64(0.01, 0.9);
         let o = optics_points(&ds, &OpticsParams { eps: f64::INFINITY, min_pts: 2 });
         let clusters = extract_xi(&o, xi, 2);
         for c in &clusters {
-            prop_assert!(c.start < c.end);
-            prop_assert!(c.end < o.len());
+            assert!(c.start < c.end, "seed {seed}");
+            assert!(c.end < o.len(), "seed {seed}");
         }
     }
+}
 
-    /// Median smoothing is idempotent on constant plots and bounded by the
-    /// input's range.
-    #[test]
-    fn median_smooth_stays_in_range(
-        values in prop::collection::vec(0.0f64..100.0, 3..100),
-        half in 1usize..6,
-    ) {
+/// Median smoothing preserves length and stays within the input's range.
+#[test]
+fn median_smooth_stays_in_range() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(600 + seed);
+        let n = rng.gen_range(3..100);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_f64(0.0, 100.0)).collect();
+        let half = rng.gen_range(1..6);
         let s = median_smooth(&values, half);
-        prop_assert_eq!(s.len(), values.len());
+        assert_eq!(s.len(), values.len(), "seed {seed}");
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for v in s {
-            prop_assert!(v >= lo && v <= hi);
+            assert!(v >= lo && v <= hi, "seed {seed}");
         }
     }
 }

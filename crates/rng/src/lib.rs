@@ -1,0 +1,261 @@
+//! A small, deterministic, dependency-free random number generator for the
+//! workspace.
+//!
+//! Every stochastic step in the pipelines (sampling representatives,
+//! reservoir sampling, jittered data generation) needs *reproducible*
+//! randomness: identical seeds must give identical results across runs,
+//! platforms, and crate versions. This crate provides exactly that with a
+//! [xoshiro256\*\*](https://prng.di.unimi.it/) generator seeded through
+//! splitmix64, plus the handful of derived helpers the workspace uses
+//! (uniform ranges, floats, shuffles, and distinct index sampling).
+//!
+//! It intentionally implements nothing else — no distributions, no OS
+//! entropy, no traits — so it stays trivially auditable.
+
+/// The splitmix64 step; used to expand a 64-bit seed into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded xoshiro256\*\* generator.
+///
+/// Deterministic: the sequence depends only on the seed. Not
+/// cryptographically secure — this is a simulation/benchmark RNG.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (splitmix64 expansion, the
+    /// initialization the xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)` via Lemire's multiply-shift
+    /// rejection method (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below needs a positive bound");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range(&mut self, range: core::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range needs a non-empty range");
+        range.start + self.next_below((range.end - range.start) as u64) as usize
+    }
+
+    /// A uniform `usize` in `[lo, hi]` (inclusive; supports `hi = 0`).
+    pub fn gen_range_inclusive(&mut self, range: core::ops::RangeInclusive<usize>) -> usize {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "gen_range_inclusive needs lo <= hi");
+        lo + self.next_below((hi - lo) as u64 + 1) as usize
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` **distinct** indices from `0..n`, in random order.
+    ///
+    /// Uses Floyd's algorithm (O(k) memory, O(k) expected draws) so it is
+    /// cheap even when `k << n`; for dense draws (`k` close to `n`) it
+    /// falls back to a partial Fisher–Yates over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct of {n}");
+        if k == 0 {
+            return Vec::new();
+        }
+        if k * 4 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + self.next_below((n - i) as u64) as usize;
+                all.swap(i, j);
+            }
+            all.truncate(k);
+            return all;
+        }
+        // Floyd: for j in n-k..n, pick t in [0, j]; insert t unless taken,
+        // else insert j. Order of insertion is already random enough for
+        // our callers (who sort anyway), but we shuffle for parity with
+        // rand's `index::sample` contract of random order.
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        let mut set = std::collections::HashSet::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.next_below(j as u64 + 1) as usize;
+            let pick = if set.insert(t) { t } else { j };
+            if pick != t {
+                set.insert(j);
+            }
+            chosen.push(pick);
+        }
+        self.shuffle(&mut chosen);
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_clones_and_seeds() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_xoshiro_vector() {
+        // First output of xoshiro256** seeded via splitmix64(0) must be
+        // stable forever — pin it so refactors cannot silently change
+        // every downstream "seeded" result in the workspace.
+        let mut r = Rng::seed_from_u64(0);
+        let first = r.next_u64();
+        let mut again = Rng::seed_from_u64(0);
+        assert_eq!(first, again.next_u64());
+        assert_eq!(first, 11091344671253066420);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut r = Rng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[r.next_below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let x = r.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range_inclusive(0..=0);
+            assert_eq!(y, 0);
+            let z = r.gen_range_inclusive(5..=6);
+            assert!((5..=6).contains(&z));
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_complete() {
+        let mut r = Rng::seed_from_u64(3);
+        for (n, k) in [(100, 10), (50, 50), (1000, 3), (8, 6), (1, 1), (5, 0)] {
+            let s = r.sample_indices(n, k);
+            assert_eq!(s.len(), k, "n={n} k={k}");
+            let set: std::collections::HashSet<_> = s.iter().copied().collect();
+            assert_eq!(set.len(), k, "duplicates for n={n} k={k}");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn sample_indices_uniformish() {
+        // Each of 10 indices should appear in a size-5 sample roughly half
+        // the time over many trials.
+        let mut r = Rng::seed_from_u64(11);
+        let mut counts = [0u32; 10];
+        for _ in 0..2_000 {
+            for i in r.sample_indices(10, 5) {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "index {i} count {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut xs: Vec<usize> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversample_panics() {
+        Rng::seed_from_u64(0).sample_indices(3, 4);
+    }
+}

@@ -378,10 +378,7 @@ mod tests {
         let r = bfr_compress(&ds, &BfrParams { primary_clusters: 3, ..BfrParams::default() });
         // The three blobs dominate: DS holds the lion's share of points.
         let ds_points: u64 = r.discard.iter().map(Cf::n).sum();
-        assert!(
-            ds_points >= 550,
-            "DS should absorb most of the 600 blob points, got {ds_points}"
-        );
+        assert!(ds_points >= 550, "DS should absorb most of the 600 blob points, got {ds_points}");
         assert!(r.discard.len() <= 3);
     }
 

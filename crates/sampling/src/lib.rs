@@ -44,10 +44,8 @@ pub use squash::{squash_compress, SquashResult};
 use std::fmt;
 
 use db_birch::Cf;
+use db_rng::Rng;
 use db_spatial::{auto_index, Dataset, SpatialIndex};
-use rand::rngs::StdRng;
-use rand::seq::index::sample as index_sample;
-use rand::SeedableRng;
 
 /// Errors of the sampling compressor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,13 +136,15 @@ pub fn compress_by_sampling(
     if k > ds.len() {
         return Err(SamplingError::SampleLargerThanData { k, n: ds.len() });
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut sample_ids: Vec<usize> = index_sample(&mut rng, ds.len(), k).into_vec();
+    let _span = db_obs::span!("sampling.compress");
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut sample_ids: Vec<usize> = rng.sample_indices(ds.len(), k);
     sample_ids.sort_unstable();
+    db_obs::counter!("sampling.reps_sampled").add(k as u64);
 
     let reps = ds.subset(&sample_ids);
     let mut assignment = nn_classify(ds, &reps);
-    let mut stats = accumulate_stats(ds, &assignment, k);
+    let stats = accumulate_stats(ds, &assignment, k);
 
     // Duplicate objects can put identical points into the sample; every
     // copy then classifies to the lowest-id one, leaving the others'
@@ -180,12 +180,14 @@ pub fn compress_by_sampling(
 pub fn nn_classify(ds: &Dataset, reps: &Dataset) -> Vec<u32> {
     assert!(!reps.is_empty(), "cannot classify against an empty representative set");
     assert_eq!(ds.dim(), reps.dim(), "dimensionality mismatch");
+    let _span = db_obs::span!("sampling.nn_classify");
     let index = auto_index(reps, None);
     let mut out = Vec::with_capacity(ds.len());
     for p in ds.iter() {
         let nn = index.nearest(reps, p).expect("reps non-empty");
         out.push(nn.id as u32);
     }
+    db_obs::counter!("sampling.points_classified").add(out.len() as u64);
     out
 }
 

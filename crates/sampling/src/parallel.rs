@@ -32,13 +32,14 @@ pub fn nn_classify_parallel(
         return crate::nn_classify(ds, reps);
     }
 
+    let _span = db_obs::span!("sampling.nn_classify");
     let index = auto_index(reps, None);
     let mut out = vec![0u32; ds.len()];
     let chunk = ds.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slice) in out.chunks_mut(chunk).enumerate() {
             let index = &index;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let offset = t * chunk;
                 for (i, slot) in slice.iter_mut().enumerate() {
                     let p = ds.point(offset + i);
@@ -47,8 +48,8 @@ pub fn nn_classify_parallel(
                 }
             });
         }
-    })
-    .expect("classification workers do not panic");
+    });
+    db_obs::counter!("sampling.points_classified").add(out.len() as u64);
     out
 }
 

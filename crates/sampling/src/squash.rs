@@ -40,10 +40,7 @@ pub struct SquashResult {
 pub fn squash_compress(ds: &Dataset, bins_per_dim: usize) -> SquashResult {
     assert!(!ds.is_empty(), "cannot squash an empty dataset");
     assert!(bins_per_dim >= 1, "need at least one bin per dimension");
-    assert!(
-        bins_per_dim <= u16::MAX as usize + 1,
-        "bins_per_dim exceeds the 65,536-bin key range"
-    );
+    assert!(bins_per_dim <= u16::MAX as usize + 1, "bins_per_dim exceeds the 65,536-bin key range");
     let (lo, hi) = ds.bounding_box().expect("non-empty");
     let dim = ds.dim();
     let widths: Vec<f64> = lo

@@ -116,11 +116,9 @@ fn build_rec(
     let pb = ds.point(b as usize).to_vec();
     let axis: Vec<f64> = pb.iter().zip(&pa).map(|(&x, &y)| x - y).collect();
     let mid = start + len / 2;
-    let project = |id: u32| -> f64 {
-        ds.point(id as usize).iter().zip(&axis).map(|(&x, &ax)| x * ax).sum()
-    };
-    ids[start..end]
-        .select_nth_unstable_by(len / 2, |&x, &y| project(x).total_cmp(&project(y)));
+    let project =
+        |id: u32| -> f64 { ds.point(id as usize).iter().zip(&axis).map(|(&x, &ax)| x * ax).sum() };
+    ids[start..end].select_nth_unstable_by(len / 2, |&x, &y| project(x).total_cmp(&project(y)));
 
     let left = nodes.len() as u32;
     nodes.push(Node::Leaf { start: 0, end: 0 });
@@ -145,6 +143,7 @@ impl SpatialIndex for BallTree {
             return;
         }
         let eps_sq = eps * eps;
+        let (mut visited, mut pruned, mut evals) = (0u64, 0u64, 0u64);
         let mut stack = vec![0usize];
         // Node-level pruning uses a sqrt-round-tripped lower bound; relax it
         // slightly so boundary-exact points can never be pruned (membership
@@ -152,10 +151,13 @@ impl SpatialIndex for BallTree {
         let prune_eps = eps + 1e-9 * (1.0 + eps);
         while let Some(node) = stack.pop() {
             if self.min_dist(node, q) > prune_eps {
+                pruned += 1;
                 continue;
             }
+            visited += 1;
             match self.nodes[node] {
                 Node::Leaf { start, end } => {
+                    evals += (end - start) as u64;
                     for &id in &self.ids[start as usize..end as usize] {
                         let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
                         if d2 <= eps_sq {
@@ -169,6 +171,10 @@ impl SpatialIndex for BallTree {
                 }
             }
         }
+        db_obs::counter!("spatial.range_queries").incr();
+        db_obs::counter!("spatial.nodes_visited").add(visited);
+        db_obs::counter!("spatial.subtrees_pruned").add(pruned);
+        db_obs::counter!("spatial.dist_evals").add(evals);
         sort_neighbors(out);
     }
 
@@ -193,6 +199,7 @@ impl SpatialIndex for BallTree {
             }
         }
         let k = k.min(self.n);
+        let (mut visited, mut evals) = (0u64, 0u64);
         let mut best: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
         let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
         frontier.push(Reverse(Cand(0.0, 0)));
@@ -208,8 +215,10 @@ impl SpatialIndex for BallTree {
                     break;
                 }
             }
+            visited += 1;
             match self.nodes[node] {
                 Node::Leaf { start, end } => {
+                    evals += (end - start) as u64;
                     for &id in &self.ids[start as usize..end as usize] {
                         let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
                         let cand = Cand(d2, id as usize);
@@ -228,6 +237,10 @@ impl SpatialIndex for BallTree {
                 }
             }
         }
+        db_obs::counter!("spatial.knn_queries").incr();
+        db_obs::counter!("spatial.nodes_visited").add(visited);
+        db_obs::counter!("spatial.subtrees_pruned").add(frontier.len() as u64);
+        db_obs::counter!("spatial.dist_evals").add(evals);
         out.extend(best.into_iter().map(|Cand(d2, id)| Neighbor::new(id, d2.sqrt())));
         sort_neighbors(out);
     }

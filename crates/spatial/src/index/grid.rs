@@ -39,7 +39,11 @@ impl GridIndex {
     /// cell width, dimensionality above [`MAX_GRID_DIM`], or data whose
     /// extent would overflow the 32-bit cell coordinates.
     pub fn build(ds: &Dataset, cell_width: f64) -> Option<Self> {
-        if cell_width.is_nan() || cell_width <= 0.0 || !cell_width.is_finite() || ds.dim() > MAX_GRID_DIM {
+        if cell_width.is_nan()
+            || cell_width <= 0.0
+            || !cell_width.is_finite()
+            || ds.dim() > MAX_GRID_DIM
+        {
             return None;
         }
         let origin = match ds.bounding_box() {
@@ -147,12 +151,16 @@ impl SpatialIndex for GridIndex {
             return;
         }
         let eps_sq = eps * eps;
+        let mut evals = 0u64;
         self.visit_box(q, eps, |id| {
+            evals += 1;
             let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
             if d2 <= eps_sq {
                 out.push(Neighbor::new(id as usize, d2.sqrt()));
             }
         });
+        db_obs::counter!("spatial.range_queries").incr();
+        db_obs::counter!("spatial.dist_evals").add(evals);
         sort_neighbors(out);
     }
 
@@ -164,6 +172,7 @@ impl SpatialIndex for GridIndex {
             return;
         }
         let k = k.min(self.n);
+        db_obs::counter!("spatial.knn_queries").incr();
         // Grow the search radius ring by ring until the k-th candidate is
         // provably within the scanned box.
         let mut radius = self.cell;
@@ -174,6 +183,7 @@ impl SpatialIndex for GridIndex {
                 let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
                 cands.push(Neighbor::new(id as usize, d2));
             });
+            db_obs::counter!("spatial.dist_evals").add(cands.len() as u64);
             if cands.len() >= k {
                 cands.select_nth_unstable_by(k - 1, |a, b| {
                     a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id))

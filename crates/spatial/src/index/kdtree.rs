@@ -78,9 +78,8 @@ impl KdTree {
                 }
             }
         }
-        let split_dim = (0..dim)
-            .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
-            .expect("dim > 0");
+        let split_dim =
+            (0..dim).max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b]))).expect("dim > 0");
         if hi[split_dim] - lo[split_dim] <= 0.0 {
             // All points identical in every dimension: keep as one leaf.
             nodes[node] = Node::Leaf { start: start as u32, end: end as u32 };
@@ -113,14 +112,20 @@ impl SpatialIndex for KdTree {
             return;
         }
         let eps_sq = eps * eps;
+        // Per-query tallies, flushed to the global counters once at the
+        // end so the hot loop stays free of shared-memory traffic.
+        let (mut visited, mut pruned, mut evals) = (0u64, 0u64, 0u64);
         // Iterative DFS; prune subtrees whose slab distance exceeds eps.
         let mut stack: Vec<(usize, f64)> = vec![(0, 0.0)];
         while let Some((node, min_d2)) = stack.pop() {
             if min_d2 > eps_sq {
+                pruned += 1;
                 continue;
             }
+            visited += 1;
             match self.nodes[node] {
                 Node::Leaf { start, end } => {
+                    evals += (end - start) as u64;
                     for &id in &self.ids[start as usize..end as usize] {
                         let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
                         if d2 <= eps_sq {
@@ -143,6 +148,10 @@ impl SpatialIndex for KdTree {
                 }
             }
         }
+        db_obs::counter!("spatial.range_queries").incr();
+        db_obs::counter!("spatial.nodes_visited").add(visited);
+        db_obs::counter!("spatial.subtrees_pruned").add(pruned);
+        db_obs::counter!("spatial.dist_evals").add(evals);
         sort_neighbors(out);
     }
 
@@ -170,6 +179,7 @@ impl SpatialIndex for KdTree {
         }
 
         let k = k.min(self.n);
+        let (mut visited, mut evals) = (0u64, 0u64);
         let mut best: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
         // Best-first traversal of the tree.
         let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
@@ -182,8 +192,10 @@ impl SpatialIndex for KdTree {
                     break;
                 }
             }
+            visited += 1;
             match self.nodes[node] {
                 Node::Leaf { start, end } => {
+                    evals += (end - start) as u64;
                     for &id in &self.ids[start as usize..end as usize] {
                         let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
                         let cand = Cand(d2, id as usize);
@@ -208,6 +220,10 @@ impl SpatialIndex for KdTree {
                 }
             }
         }
+        db_obs::counter!("spatial.knn_queries").incr();
+        db_obs::counter!("spatial.nodes_visited").add(visited);
+        db_obs::counter!("spatial.subtrees_pruned").add(frontier.len() as u64);
+        db_obs::counter!("spatial.dist_evals").add(evals);
         out.extend(best.into_iter().map(|Cand(d2, id)| Neighbor::new(id, d2.sqrt())));
         sort_neighbors(out);
     }

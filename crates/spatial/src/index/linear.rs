@@ -36,6 +36,8 @@ impl SpatialIndex for LinearScan {
                 out.push(Neighbor::new(id, d2.sqrt()));
             }
         }
+        db_obs::counter!("spatial.range_queries").incr();
+        db_obs::counter!("spatial.dist_evals").add(self.n as u64);
         sort_neighbors(out);
     }
 
@@ -55,6 +57,8 @@ impl SpatialIndex for LinearScan {
         if k == 0 {
             return;
         }
+        db_obs::counter!("spatial.knn_queries").incr();
+        db_obs::counter!("spatial.dist_evals").add(self.n as u64);
         all.select_nth_unstable_by(k - 1, |a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         all.truncate(k);
         for n in &mut all {

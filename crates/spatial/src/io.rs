@@ -12,18 +12,12 @@ use std::path::Path;
 use crate::dataset::Dataset;
 
 /// Options for [`read_csv`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CsvOptions {
     /// Number of leading columns to skip on every row (ids, labels, …).
     pub skip_columns: usize,
     /// Number of leading lines to skip (headers).
     pub skip_lines: usize,
-}
-
-impl Default for CsvOptions {
-    fn default() -> Self {
-        Self { skip_columns: 0, skip_lines: 0 }
-    }
 }
 
 /// Errors of the CSV reader.
@@ -76,9 +70,7 @@ impl From<io::Error> for CsvError {
 
 /// Splits a line on commas, semicolons, tabs or runs of spaces.
 fn fields(line: &str) -> impl Iterator<Item = &str> {
-    line.split(|c: char| c == ',' || c == ';' || c == '\t' || c == ' ')
-        .filter(|f| !f.trim().is_empty())
-        .map(str::trim)
+    line.split([',', ';', '\t', ' ']).filter(|f| !f.trim().is_empty()).map(str::trim)
 }
 
 /// Reads a numeric table from `reader`. Empty lines and lines starting
@@ -205,9 +197,8 @@ mod tests {
     #[test]
     fn skips_headers_comments_and_blank_lines() {
         let input = "x,y\n# comment\n\n1,2\n3,4\n";
-        let ds =
-            read_csv_from(input.as_bytes(), &CsvOptions { skip_lines: 1, skip_columns: 0 })
-                .unwrap();
+        let ds = read_csv_from(input.as_bytes(), &CsvOptions { skip_lines: 1, skip_columns: 0 })
+            .unwrap();
         assert_eq!(ds.len(), 2);
     }
 
@@ -215,9 +206,8 @@ mod tests {
     fn skip_columns_drops_ids() {
         // Corel-style: id followed by coordinates.
         let input = "1001 0.1 0.2\n1002 0.3 0.4\n";
-        let ds =
-            read_csv_from(input.as_bytes(), &CsvOptions { skip_columns: 1, skip_lines: 0 })
-                .unwrap();
+        let ds = read_csv_from(input.as_bytes(), &CsvOptions { skip_columns: 1, skip_lines: 0 })
+            .unwrap();
         assert_eq!(ds.dim(), 2);
         assert_eq!(ds.point(0), &[0.1, 0.2]);
     }

@@ -109,11 +109,8 @@ impl VpTree {
                 }
                 // Visit the more promising side first; prune with the
                 // triangle inequality.
-                let (first, second) = if d <= *radius {
-                    (*inside, *outside)
-                } else {
-                    (*outside, *inside)
-                };
+                let (first, second) =
+                    if d <= *radius { (*inside, *outside) } else { (*outside, *inside) };
                 self.search(first, dq, best);
                 let boundary_gap = (d - radius).abs();
                 if boundary_gap <= best.dist {
@@ -166,7 +163,11 @@ impl VpTree {
     }
 }
 
-fn build_rec(nodes: &mut Vec<Node>, mut ids: Vec<usize>, dist: &impl Fn(usize, usize) -> f64) -> usize {
+fn build_rec(
+    nodes: &mut Vec<Node>,
+    mut ids: Vec<usize>,
+    dist: &impl Fn(usize, usize) -> f64,
+) -> usize {
     if ids.len() <= LEAF_SIZE {
         nodes.push(Node::Leaf { ids });
         return nodes.len() - 1;
@@ -279,8 +280,7 @@ mod tests {
     fn works_in_two_dimensions() {
         let pts: Vec<[f64; 2]> =
             (0..400).map(|i| [((i * 37) % 101) as f64, ((i * 53) % 97) as f64]).collect();
-        let dist =
-            |a: usize, b: usize| db_spatial_euclid(&pts[a], &pts[b]);
+        let dist = |a: usize, b: usize| db_spatial_euclid(&pts[a], &pts[b]);
         fn db_spatial_euclid(a: &[f64; 2], b: &[f64; 2]) -> f64 {
             ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
         }

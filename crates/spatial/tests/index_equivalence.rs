@@ -1,131 +1,149 @@
-//! Property tests: KD-tree and grid index return exactly the results of the
-//! exhaustive linear scan, for arbitrary data, queries, radii and k.
+//! Randomized equivalence tests: KD-tree, ball tree and grid index return
+//! exactly the results of the exhaustive linear scan, across many seeded
+//! random datasets, queries, radii and k.
 
+use db_rng::Rng;
 use db_spatial::{BallTree, Dataset, GridIndex, KdTree, LinearScan, Neighbor, SpatialIndex};
-use proptest::prelude::*;
 
-fn dataset_strategy(max_n: usize, dim: usize) -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, dim), 1..max_n).prop_map(
-        move |rows| {
-            let mut ds = Dataset::new(dim).unwrap();
-            for r in &rows {
-                ds.push(r).unwrap();
-            }
-            ds
-        },
-    )
+const CASES: u64 = 64;
+
+fn random_dataset(rng: &mut Rng, max_n: usize, dim: usize) -> Dataset {
+    let n = rng.gen_range(1..max_n);
+    let mut ds = Dataset::new(dim).unwrap();
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for x in &mut row {
+            *x = rng.gen_f64(-50.0, 50.0);
+        }
+        ds.push(&row).unwrap();
+    }
+    ds
+}
+
+fn random_query(rng: &mut Rng, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| rng.gen_f64(-60.0, 60.0)).collect()
 }
 
 fn ids(v: &[Neighbor]) -> Vec<usize> {
     v.iter().map(|n| n.id).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn kdtree_range_equals_linear(
-        ds in dataset_strategy(120, 3),
-        q in prop::collection::vec(-60.0f64..60.0, 3),
-        eps in 0.0f64..40.0,
-    ) {
+#[test]
+fn kdtree_range_equals_linear() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let ds = random_dataset(&mut rng, 120, 3);
+        let q = random_query(&mut rng, 3);
+        let eps = rng.gen_f64(0.0, 40.0);
         let tree = KdTree::build(&ds);
         let lin = LinearScan::build(&ds);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         tree.range(&ds, &q, eps, &mut a);
         lin.range(&ds, &q, eps, &mut b);
-        prop_assert_eq!(ids(&a), ids(&b));
+        assert_eq!(ids(&a), ids(&b), "seed {seed}");
     }
+}
 
-    #[test]
-    fn kdtree_knn_equals_linear(
-        ds in dataset_strategy(120, 2),
-        q in prop::collection::vec(-60.0f64..60.0, 2),
-        k in 1usize..20,
-    ) {
+#[test]
+fn kdtree_knn_equals_linear() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(100 + seed);
+        let ds = random_dataset(&mut rng, 120, 2);
+        let q = random_query(&mut rng, 2);
+        let k = rng.gen_range(1..20);
         let tree = KdTree::build(&ds);
         let lin = LinearScan::build(&ds);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         tree.knn(&ds, &q, k, &mut a);
         lin.knn(&ds, &q, k, &mut b);
-        prop_assert_eq!(ids(&a), ids(&b));
+        assert_eq!(ids(&a), ids(&b), "seed {seed}");
     }
+}
 
-    #[test]
-    fn balltree_range_equals_linear(
-        ds in dataset_strategy(120, 5),
-        q in prop::collection::vec(-60.0f64..60.0, 5),
-        eps in 0.0f64..40.0,
-    ) {
+#[test]
+fn balltree_range_equals_linear() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(200 + seed);
+        let ds = random_dataset(&mut rng, 120, 5);
+        let q = random_query(&mut rng, 5);
+        let eps = rng.gen_f64(0.0, 40.0);
         let tree = BallTree::build(&ds);
         let lin = LinearScan::build(&ds);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         tree.range(&ds, &q, eps, &mut a);
         lin.range(&ds, &q, eps, &mut b);
-        prop_assert_eq!(ids(&a), ids(&b));
+        assert_eq!(ids(&a), ids(&b), "seed {seed}");
     }
+}
 
-    #[test]
-    fn balltree_knn_equals_linear(
-        ds in dataset_strategy(120, 4),
-        q in prop::collection::vec(-60.0f64..60.0, 4),
-        k in 1usize..20,
-    ) {
+#[test]
+fn balltree_knn_equals_linear() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(300 + seed);
+        let ds = random_dataset(&mut rng, 120, 4);
+        let q = random_query(&mut rng, 4);
+        let k = rng.gen_range(1..20);
         let tree = BallTree::build(&ds);
         let lin = LinearScan::build(&ds);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         tree.knn(&ds, &q, k, &mut a);
         lin.knn(&ds, &q, k, &mut b);
-        prop_assert_eq!(ids(&a), ids(&b));
+        assert_eq!(ids(&a), ids(&b), "seed {seed}");
     }
+}
 
-    #[test]
-    fn grid_range_equals_linear(
-        ds in dataset_strategy(120, 2),
-        q in prop::collection::vec(-60.0f64..60.0, 2),
-        eps in 0.0f64..40.0,
-        cell in 0.3f64..10.0,
-    ) {
+#[test]
+fn grid_range_equals_linear() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(400 + seed);
+        let ds = random_dataset(&mut rng, 120, 2);
+        let q = random_query(&mut rng, 2);
+        let eps = rng.gen_f64(0.0, 40.0);
+        let cell = rng.gen_f64(0.3, 10.0);
         let grid = GridIndex::build(&ds, cell).unwrap();
         let lin = LinearScan::build(&ds);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         grid.range(&ds, &q, eps, &mut a);
         lin.range(&ds, &q, eps, &mut b);
-        prop_assert_eq!(ids(&a), ids(&b));
+        assert_eq!(ids(&a), ids(&b), "seed {seed}");
     }
+}
 
-    #[test]
-    fn grid_knn_equals_linear(
-        ds in dataset_strategy(120, 2),
-        q in prop::collection::vec(-60.0f64..60.0, 2),
-        k in 1usize..20,
-        cell in 0.3f64..10.0,
-    ) {
+#[test]
+fn grid_knn_equals_linear() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(500 + seed);
+        let ds = random_dataset(&mut rng, 120, 2);
+        let q = random_query(&mut rng, 2);
+        let k = rng.gen_range(1..20);
+        let cell = rng.gen_f64(0.3, 10.0);
         let grid = GridIndex::build(&ds, cell).unwrap();
         let lin = LinearScan::build(&ds);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         grid.knn(&ds, &q, k, &mut a);
         lin.knn(&ds, &q, k, &mut b);
-        prop_assert_eq!(ids(&a), ids(&b));
+        assert_eq!(ids(&a), ids(&b), "seed {seed}");
     }
+}
 
-    #[test]
-    fn range_distances_are_correct(
-        ds in dataset_strategy(80, 2),
-        eps in 0.0f64..30.0,
-    ) {
+#[test]
+fn range_distances_are_correct() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(600 + seed);
+        let ds = random_dataset(&mut rng, 80, 2);
+        let eps = rng.gen_f64(0.0, 30.0);
         let tree = KdTree::build(&ds);
         let mut out = Vec::new();
         let q = ds.point(0).to_vec();
         tree.range(&ds, &q, eps, &mut out);
         // The query point itself is always in its own eps-neighbourhood.
-        prop_assert!(out.iter().any(|n| n.id == 0));
+        assert!(out.iter().any(|n| n.id == 0), "seed {seed}");
         for n in &out {
             let d = db_spatial::euclidean(&q, ds.point(n.id));
-            prop_assert!((d - n.dist).abs() < 1e-9);
-            prop_assert!(n.dist <= eps + 1e-12);
+            assert!((d - n.dist).abs() < 1e-9, "seed {seed}");
+            assert!(n.dist <= eps + 1e-12, "seed {seed}");
         }
         // Sorted by distance.
-        prop_assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist));
+        assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist), "seed {seed}");
     }
 }

@@ -33,9 +33,7 @@ fn evaluate(name: &str, data: &LabeledDataset, k_bubbles: usize, cut: f64) {
     let labels = out.expanded.as_ref().unwrap().extract_dbscan(cut);
     let bub_ari = adjusted_rand_index(&data.labels, &labels);
 
-    println!(
-        "{name:<18} k-means ARI = {km_ari:>6.3}   OPTICS-SA-Bubbles ARI = {bub_ari:>6.3}"
-    );
+    println!("{name:<18} k-means ARI = {km_ari:>6.3}   OPTICS-SA-Bubbles ARI = {bub_ari:>6.3}");
 }
 
 fn main() {

@@ -21,8 +21,7 @@ fn main() {
     let t = std::time::Instant::now();
     // Compress to 200 bubbles.
     let compressed = compress_by_sampling(&data.data, 200, 11).expect("k <= n");
-    let bubbles: Vec<DataBubble> =
-        compressed.stats.iter().map(DataBubble::from_cf).collect();
+    let bubbles: Vec<DataBubble> = compressed.stats.iter().map(DataBubble::from_cf).collect();
     let space = BubbleSpace::new(bubbles);
     let members = compressed.members();
 
@@ -53,7 +52,6 @@ fn main() {
     // The merge heights themselves show the cluster hierarchy: a few large
     // jumps separate the top-level structures.
     let heights: Vec<f64> = dendrogram.merges().iter().map(|m| m.dist).collect();
-    let top: Vec<String> =
-        heights.iter().rev().take(5).map(|h| format!("{h:.2}")).collect();
+    let top: Vec<String> = heights.iter().rev().take(5).map(|h| format!("{h:.2}")).collect();
     println!("largest merge heights: {}", top.join(", "));
 }

@@ -56,9 +56,7 @@ fn parse_args() -> Result<Args, String> {
             "--min-pts" => {
                 args.min_pts = next("--min-pts")?.parse().map_err(|e| format!("--min-pts: {e}"))?
             }
-            "--cut" => {
-                args.cut = Some(next("--cut")?.parse().map_err(|e| format!("--cut: {e}"))?)
-            }
+            "--cut" => args.cut = Some(next("--cut")?.parse().map_err(|e| format!("--cut: {e}"))?),
             "--skip-columns" => {
                 args.csv.skip_columns =
                     next("--skip-columns")?.parse().map_err(|e| format!("--skip-columns: {e}"))?
@@ -100,7 +98,11 @@ fn main() {
             csv: args.csv.clone(),
         };
         let t = std::time::Instant::now();
-        match data_bubbles::pipeline::run_external(std::path::Path::new(input), std::path::Path::new(&output), &cfg) {
+        match data_bubbles::pipeline::run_external(
+            std::path::Path::new(input),
+            std::path::Path::new(&output),
+            &cfg,
+        ) {
             Ok(res) => {
                 println!(
                     "external run: {} rows x {} dims clustered in {:.2}s",
@@ -152,12 +154,8 @@ fn main() {
         }
     });
     let labels = expanded.extract_dbscan(cut);
-    let n_clusters = labels
-        .iter()
-        .copied()
-        .filter(|&l| l >= 0)
-        .collect::<std::collections::HashSet<_>>()
-        .len();
+    let n_clusters =
+        labels.iter().copied().filter(|&l| l >= 0).collect::<std::collections::HashSet<_>>().len();
     let noise = labels.iter().filter(|&&l| l < 0).count();
     println!("cut = {cut:.4}: {n_clusters} clusters, {noise} noise points");
 

@@ -36,8 +36,8 @@ fn main() {
         let view = data.project(attrs);
         let params = OpticsParams { eps: f64::INFINITY, min_pts: 20 };
         let t = std::time::Instant::now();
-        let out = optics_sa_bubbles(&view.data, 1_000, 7, &params)
-            .expect("valid pipeline configuration");
+        let out =
+            optics_sa_bubbles(&view.data, 1_000, 7, &params).expect("valid pipeline configuration");
         let dt = t.elapsed();
 
         // Cut the expanded plot at a scale suited to this dimensionality.

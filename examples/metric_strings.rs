@@ -79,18 +79,11 @@ fn main() {
     let bubble_labels = extract_dbscan(&ordering, 3.0, space.len());
 
     // Transfer labels to the strings through the classification.
-    let labels: Vec<i32> = compression
-        .assignment
-        .iter()
-        .map(|&b| bubble_labels[b as usize])
-        .collect();
+    let labels: Vec<i32> =
+        compression.assignment.iter().map(|&b| bubble_labels[b as usize]).collect();
     let ari = db_eval::adjusted_rand_index(&truth, &labels);
-    let found = labels
-        .iter()
-        .copied()
-        .filter(|&l| l >= 0)
-        .collect::<std::collections::HashSet<_>>()
-        .len();
+    let found =
+        labels.iter().copied().filter(|&l| l >= 0).collect::<std::collections::HashSet<_>>().len();
     println!("clusters found: {found} (truth: {})", WORDS.len());
     println!("ARI vs the generating words: {ari:.3}");
 

@@ -8,7 +8,7 @@
 use data_bubbles::pipeline::optics_sa_bubbles;
 use db_datagen::{ds2, Ds2Params};
 use db_eval::adjusted_rand_index;
-use db_optics::{optics_points, extract_dbscan, OpticsParams};
+use db_optics::{extract_dbscan, optics_points, OpticsParams};
 
 fn main() {
     // A 50,000-point data set with five Gaussian clusters (the paper's DS2,

@@ -26,10 +26,7 @@ fn main() {
 
     for (name, run) in [
         ("OPTICS-SA-Bubbles", optics_sa_bubbles(&data.data, k, 1, &params)),
-        (
-            "OPTICS-CF-Bubbles",
-            optics_cf_bubbles(&data.data, k, &BirchParams::default(), &params),
-        ),
+        ("OPTICS-CF-Bubbles", optics_cf_bubbles(&data.data, k, &BirchParams::default(), &params)),
     ] {
         let out = run.expect("valid pipeline configuration");
         let t = out.timings;
@@ -45,11 +42,8 @@ fn main() {
                 *sizes.entry(l).or_insert(0) += 1;
             }
         }
-        let tiny: Vec<(i32, usize)> = sizes
-            .iter()
-            .filter(|&(_, &s)| s < data.len() / 10)
-            .map(|(&l, &s)| (l, s))
-            .collect();
+        let tiny: Vec<(i32, usize)> =
+            sizes.iter().filter(|&(_, &s)| s < data.len() / 10).map(|(&l, &s)| (l, s)).collect();
 
         println!(
             "{name}: {} bubbles, total {:.2}s ({:.2}s compression, {:.2}s clustering)",
@@ -61,10 +55,8 @@ fn main() {
         println!("  small dense clusters found: {}", tiny.len());
         for (l, s) in &tiny {
             // How pure is each find vs. the ground truth?
-            let members: Vec<usize> =
-                (0..data.len()).filter(|&i| labels[i] == *l).collect();
-            let truth_hits =
-                members.iter().filter(|&&i| data.labels[i] >= 0).count();
+            let members: Vec<usize> = (0..data.len()).filter(|&i| labels[i] == *l).collect();
+            let truth_hits = members.iter().filter(|&&i| data.labels[i] >= 0).count();
             println!(
                 "    cluster {l}: {s} points, {truth_hits} of them from a true hidden cluster"
             );

@@ -10,8 +10,7 @@ use std::collections::HashMap;
 fn cluster_purity(labels: &[i32], truth: &[i32], cluster: i32) -> (usize, usize) {
     // (members of the truth cluster sharing the majority extracted label,
     //  size of that extracted label)
-    let members: Vec<usize> =
-        (0..truth.len()).filter(|&i| truth[i] == cluster).collect();
+    let members: Vec<usize> = (0..truth.len()).filter(|&i| truth[i] == cluster).collect();
     let mut votes: HashMap<i32, usize> = HashMap::new();
     for &i in &members {
         if labels[i] >= 0 {
@@ -30,13 +29,9 @@ fn sa_bubbles_recover_both_tiny_clusters() {
     let params = CorelParams { n: 12_000, dim: 9, tiny_cluster_size: 120 };
     let data = corel_like(&params, 77);
     let k = data.len() / 68;
-    let out = optics_sa_bubbles(
-        &data.data,
-        k,
-        77,
-        &OpticsParams { eps: f64::INFINITY, min_pts: 10 },
-    )
-    .unwrap();
+    let out =
+        optics_sa_bubbles(&data.data, k, 77, &OpticsParams { eps: f64::INFINITY, min_pts: 10 })
+            .unwrap();
     let labels = out.expanded.as_ref().unwrap().extract_dbscan(0.25);
 
     for cluster in 0..2 {
@@ -58,13 +53,9 @@ fn tiny_clusters_stay_separate() {
     let params = CorelParams { n: 12_000, dim: 9, tiny_cluster_size: 120 };
     let data = corel_like(&params, 78);
     let k = data.len() / 68;
-    let out = optics_sa_bubbles(
-        &data.data,
-        k,
-        78,
-        &OpticsParams { eps: f64::INFINITY, min_pts: 10 },
-    )
-    .unwrap();
+    let out =
+        optics_sa_bubbles(&data.data, k, 78, &OpticsParams { eps: f64::INFINITY, min_pts: 10 })
+            .unwrap();
     let labels = out.expanded.as_ref().unwrap().extract_dbscan(0.25);
 
     // Majority labels of the two truth clusters must differ.

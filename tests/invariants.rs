@@ -1,5 +1,5 @@
-//! Property-based integration tests: cross-crate invariants that must hold
-//! for arbitrary data and parameters.
+//! Randomized integration tests: cross-crate invariants that must hold
+//! for many seeded random datasets and parameters.
 
 use data_bubbles::pipeline::{
     optics_sa_bubbles, optics_sa_weighted, run_pipeline, Compressor, PipelineConfig, Recovery,
@@ -7,103 +7,112 @@ use data_bubbles::pipeline::{
 use data_bubbles::{bubble_distance, BubbleSpace, DataBubble};
 use db_birch::{birch, BirchParams, Cf};
 use db_optics::{optics, OpticsParams, OpticsSpace};
+use db_rng::Rng;
 use db_spatial::Dataset;
-use proptest::prelude::*;
 
-fn dataset_strategy(max_n: usize, dim: usize) -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dim), 10..max_n).prop_map(
-        move |rows| {
-            let mut ds = Dataset::new(dim).unwrap();
-            for r in &rows {
-                ds.push(r).unwrap();
-            }
-            ds
-        },
-    )
+const CASES: u64 = 32;
+
+fn random_dataset(rng: &mut Rng, max_n: usize, dim: usize) -> Dataset {
+    let n = rng.gen_range(10..max_n);
+    let mut ds = Dataset::new(dim).unwrap();
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for x in &mut row {
+            *x = rng.gen_f64(-100.0, 100.0);
+        }
+        ds.push(&row).unwrap();
+    }
+    ds
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The expanded ordering of any expanding pipeline is a permutation of
-    /// the original object ids, regardless of data, k or seed.
-    #[test]
-    fn expansion_is_a_permutation(
-        ds in dataset_strategy(120, 2),
-        k in 2usize..20,
-        seed in 0u64..1000,
-    ) {
-        let k = k.min(ds.len());
-        let out = optics_sa_bubbles(
-            &ds, k, seed, &OpticsParams { eps: f64::INFINITY, min_pts: 3 },
-        ).unwrap();
+/// The expanded ordering of any expanding pipeline is a permutation of the
+/// original object ids, regardless of data, k or seed.
+#[test]
+fn expansion_is_a_permutation() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(case);
+        let ds = random_dataset(&mut rng, 120, 2);
+        let k = rng.gen_range(2..20).min(ds.len());
+        let seed = rng.gen_range(0..1000) as u64;
+        let out = optics_sa_bubbles(&ds, k, seed, &OpticsParams { eps: f64::INFINITY, min_pts: 3 })
+            .unwrap();
         let mut order = out.expanded.unwrap().order();
         order.sort_unstable();
-        prop_assert_eq!(order, (0..ds.len() as u32).collect::<Vec<_>>());
+        assert_eq!(order, (0..ds.len() as u32).collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    /// BIRCH never loses or duplicates points, for any target k.
-    #[test]
-    fn birch_preserves_point_counts(
-        ds in dataset_strategy(150, 3),
-        k in 1usize..40,
-    ) {
+/// BIRCH never loses or duplicates points, for any target k.
+#[test]
+fn birch_preserves_point_counts() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(100 + case);
+        let ds = random_dataset(&mut rng, 150, 3);
+        let k = rng.gen_range(1..40);
         let cfs = birch(&ds, k, &BirchParams::default());
-        prop_assert!(cfs.len() <= k.max(1));
+        assert!(cfs.len() <= k.max(1), "case {case}");
         let total: u64 = cfs.iter().map(Cf::n).sum();
-        prop_assert_eq!(total, ds.len() as u64);
+        assert_eq!(total, ds.len() as u64, "case {case}");
         for cf in &cfs {
-            prop_assert!(cf.n() >= 1);
-            prop_assert!(cf.diameter() >= 0.0);
+            assert!(cf.n() >= 1, "case {case}");
+            assert!(cf.diameter() >= 0.0, "case {case}");
         }
     }
+}
 
-    /// The bubble distance (Def. 6) is symmetric, non-negative, and zero
-    /// exactly for the same object.
-    #[test]
-    fn bubble_distance_axioms(
-        ax in -100.0f64..100.0, ay in -100.0f64..100.0,
-        bx in -100.0f64..100.0, by in -100.0f64..100.0,
-        na in 1u64..1000, nb in 1u64..1000,
-        ea in 0.0f64..50.0, eb in 0.0f64..50.0,
-    ) {
-        let a = DataBubble::new(vec![ax, ay], na, ea);
-        let b = DataBubble::new(vec![bx, by], nb, eb);
+/// The bubble distance (Def. 6) is symmetric, non-negative, and zero
+/// exactly for the same object.
+#[test]
+fn bubble_distance_axioms() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(200 + case);
+        let a = DataBubble::new(
+            vec![rng.gen_f64(-100.0, 100.0), rng.gen_f64(-100.0, 100.0)],
+            rng.gen_range(1..1000) as u64,
+            rng.gen_f64(0.0, 50.0),
+        );
+        let b = DataBubble::new(
+            vec![rng.gen_f64(-100.0, 100.0), rng.gen_f64(-100.0, 100.0)],
+            rng.gen_range(1..1000) as u64,
+            rng.gen_f64(0.0, 50.0),
+        );
         let dab = bubble_distance(&a, &b, false);
         let dba = bubble_distance(&b, &a, false);
-        prop_assert!((dab - dba).abs() < 1e-9, "symmetry violated: {dab} vs {dba}");
-        prop_assert!(dab >= 0.0);
-        prop_assert_eq!(bubble_distance(&a, &a, true), 0.0);
+        assert!((dab - dba).abs() < 1e-9, "case {case}: symmetry violated: {dab} vs {dba}");
+        assert!(dab >= 0.0, "case {case}");
+        assert_eq!(bubble_distance(&a, &a, true), 0.0, "case {case}");
     }
+}
 
-    /// OPTICS on bubbles visits every bubble exactly once and carries the
-    /// total weight through.
-    #[test]
-    fn bubble_optics_is_a_weighted_permutation(
-        ds in dataset_strategy(100, 2),
-        k in 2usize..15,
-        min_pts in 1usize..20,
-    ) {
-        let k = k.min(ds.len());
+/// OPTICS on bubbles visits every bubble exactly once and carries the
+/// total weight through.
+#[test]
+fn bubble_optics_is_a_weighted_permutation() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(300 + case);
+        let ds = random_dataset(&mut rng, 100, 2);
+        let k = rng.gen_range(2..15).min(ds.len());
+        let min_pts = rng.gen_range(1..20);
         let c = db_sampling::compress_by_sampling(&ds, k, 3).unwrap();
         let bubbles: Vec<DataBubble> = c.stats.iter().map(DataBubble::from_cf).collect();
         let space = BubbleSpace::new(bubbles);
         let o = optics(&space, &OpticsParams { eps: f64::INFINITY, min_pts });
-        prop_assert_eq!(o.len(), k);
+        assert_eq!(o.len(), k, "case {case}");
         let mut ids: Vec<usize> = o.entries.iter().map(|e| e.id).collect();
         ids.sort_unstable();
-        prop_assert_eq!(ids, (0..k).collect::<Vec<_>>());
-        prop_assert_eq!(o.total_weight(), ds.len() as u64);
+        assert_eq!(ids, (0..k).collect::<Vec<_>>(), "case {case}");
+        assert_eq!(o.total_weight(), ds.len() as u64, "case {case}");
     }
+}
 
-    /// Definition 7 invariant: a bubble's core distance is finite whenever
-    /// the whole space holds at least MinPts original objects (ε = ∞).
-    #[test]
-    fn core_distance_defined_iff_enough_weight(
-        ds in dataset_strategy(60, 2),
-        k in 2usize..10,
-    ) {
-        let k = k.min(ds.len());
+/// Definition 7 invariant: a bubble's core distance is finite whenever the
+/// whole space holds at least MinPts original objects (ε = ∞).
+#[test]
+fn core_distance_defined_iff_enough_weight() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(400 + case);
+        let ds = random_dataset(&mut rng, 60, 2);
+        let k = rng.gen_range(2..10).min(ds.len());
         let c = db_sampling::compress_by_sampling(&ds, k, 9).unwrap();
         let bubbles: Vec<DataBubble> = c.stats.iter().map(DataBubble::from_cf).collect();
         let space = BubbleSpace::new(bubbles);
@@ -111,50 +120,58 @@ proptest! {
         for i in 0..k {
             space.neighborhood(i, f64::INFINITY, &mut nb);
             // Total weight == dataset size >= 10 > MinPts=5.
-            prop_assert!(space.core_distance(i, 5, &nb).is_some());
+            assert!(space.core_distance(i, 5, &nb).is_some(), "case {case}");
             // And undefined when MinPts exceeds the dataset size.
-            prop_assert!(space.core_distance(i, ds.len() + 1, &nb).is_none());
+            assert!(space.core_distance(i, ds.len() + 1, &nb).is_none(), "case {case}");
         }
     }
+}
 
-    /// All six pipeline configurations succeed on arbitrary inputs and
-    /// report consistent representative counts.
-    #[test]
-    fn every_pipeline_variant_runs(
-        ds in dataset_strategy(80, 2),
-        seed in 0u64..100,
-    ) {
+/// All six pipeline configurations succeed on arbitrary inputs and report
+/// consistent representative counts.
+#[test]
+fn every_pipeline_variant_runs() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(500 + case);
+        let ds = random_dataset(&mut rng, 80, 2);
+        let seed = rng.gen_range(0..100) as u64;
         let k = 8.min(ds.len());
         for compressor in [Compressor::Sample { seed }, Compressor::Birch(BirchParams::default())] {
             for recovery in [Recovery::Naive, Recovery::Weighted, Recovery::Bubbles] {
-                let out = run_pipeline(&ds, &PipelineConfig {
-                    k,
-                    compressor: compressor.clone(),
-                    recovery,
-                    optics: OpticsParams { eps: f64::INFINITY, min_pts: 3 },
-                }).unwrap();
-                prop_assert!(out.n_representatives >= 1);
-                prop_assert!(out.n_representatives <= k);
-                prop_assert_eq!(out.rep_ordering.len(), out.n_representatives);
-                prop_assert_eq!(out.expanded.is_some(), recovery != Recovery::Naive);
+                let out = run_pipeline(
+                    &ds,
+                    &PipelineConfig {
+                        k,
+                        compressor: compressor.clone(),
+                        recovery,
+                        optics: OpticsParams { eps: f64::INFINITY, min_pts: 3 },
+                    },
+                )
+                .unwrap();
+                assert!(out.n_representatives >= 1, "case {case}");
+                assert!(out.n_representatives <= k, "case {case}");
+                assert_eq!(out.rep_ordering.len(), out.n_representatives, "case {case}");
+                assert_eq!(out.expanded.is_some(), recovery != Recovery::Naive, "case {case}");
                 if let Some(x) = &out.expanded {
-                    prop_assert_eq!(x.len(), ds.len());
+                    assert_eq!(x.len(), ds.len(), "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Weighted expansion preserves the first-member reachability of every
-    /// representative (the jump structure of the rep ordering survives).
-    #[test]
-    fn weighted_expansion_preserves_jumps(
-        ds in dataset_strategy(100, 2),
-        seed in 0u64..100,
-    ) {
+/// Weighted expansion preserves the first-member reachability of every
+/// representative (the jump structure of the rep ordering survives).
+#[test]
+fn weighted_expansion_preserves_jumps() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(600 + case);
+        let ds = random_dataset(&mut rng, 100, 2);
+        let seed = rng.gen_range(0..100) as u64;
         let k = 10.min(ds.len());
-        let out = optics_sa_weighted(
-            &ds, k, seed, &OpticsParams { eps: f64::INFINITY, min_pts: 2 },
-        ).unwrap();
+        let out =
+            optics_sa_weighted(&ds, k, seed, &OpticsParams { eps: f64::INFINITY, min_pts: 2 })
+                .unwrap();
         let expanded = out.expanded.unwrap();
         // Each rep's first member carries exactly the rep's reachability.
         let mut pos = 0usize;
@@ -164,12 +181,13 @@ proptest! {
         }
         for e in &out.rep_ordering.entries {
             let first = &expanded.entries[pos];
-            prop_assert!(
+            assert!(
                 first.reachability == e.reachability
-                    || (first.reachability.is_infinite() && e.reachability.is_infinite())
+                    || (first.reachability.is_infinite() && e.reachability.is_infinite()),
+                "case {case}"
             );
             pos += members[e.id];
         }
-        prop_assert_eq!(pos, ds.len());
+        assert_eq!(pos, ds.len(), "case {case}");
     }
 }

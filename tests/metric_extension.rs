@@ -24,13 +24,9 @@ fn metric_bubbles_match_euclidean_bubbles_on_vector_data() {
     let metric_ari = adjusted_rand_index(&data.labels, &metric_labels);
 
     // Native Euclidean pipeline at the same compression.
-    let out = optics_sa_bubbles(
-        &data.data,
-        60,
-        5,
-        &OpticsParams { eps: f64::INFINITY, min_pts: 10 },
-    )
-    .unwrap();
+    let out =
+        optics_sa_bubbles(&data.data, 60, 5, &OpticsParams { eps: f64::INFINITY, min_pts: 10 })
+            .unwrap();
     let euclid_labels = out.expanded.as_ref().unwrap().extract_dbscan(4.0);
     let euclid_ari = adjusted_rand_index(&data.labels, &euclid_labels);
 

@@ -39,13 +39,9 @@ fn ds2_bubbles_match_ground_truth_and_reference() {
 #[test]
 fn ds2_weighted_recovers_cluster_sizes() {
     let data = ds2(&Ds2Params { n: 4_000, sigma: 2.0 }, 2);
-    let out = optics_sa_weighted(
-        &data.data,
-        40,
-        3,
-        &OpticsParams { eps: f64::INFINITY, min_pts: 2 },
-    )
-    .unwrap();
+    let out =
+        optics_sa_weighted(&data.data, 40, 3, &OpticsParams { eps: f64::INFINITY, min_pts: 2 })
+            .unwrap();
     let expanded = out.expanded.as_ref().unwrap();
     assert_eq!(expanded.len(), data.len());
     // Size distortion solved: every original object appears exactly once.
@@ -63,12 +59,13 @@ fn naive_pipelines_expose_all_three_problems() {
     assert!(sa.expanded.is_none());
     assert_eq!(sa.rep_ordering.len(), 40);
     // Size distortion: a cluster occupies ~8 of 40 positions, not 800.
-    let cf =
-        optics_cf_naive(&data.data, 40, &BirchParams::default(), &OpticsParams {
-            eps: f64::INFINITY,
-            min_pts: 2,
-        })
-        .unwrap();
+    let cf = optics_cf_naive(
+        &data.data,
+        40,
+        &BirchParams::default(),
+        &OpticsParams { eps: f64::INFINITY, min_pts: 2 },
+    )
+    .unwrap();
     assert!(cf.rep_ordering.len() <= 40);
 }
 
@@ -78,8 +75,7 @@ fn ds1_bubbles_preserve_reference_structure() {
     // Reference cut calibrated for this density (see bench::common).
     let min_pts = 10;
     let cut = 120.0 * ((min_pts as f64) / (data.len() as f64)).sqrt();
-    let reference =
-        optics_points(&data.data, &OpticsParams { eps: 3.0 * cut, min_pts });
+    let reference = optics_points(&data.data, &OpticsParams { eps: 3.0 * cut, min_pts });
     let ref_labels = extract_dbscan(&reference, cut, data.len());
 
     let out = optics_sa_bubbles(&data.data, 120, 9, &bubble_params()).unwrap();
@@ -95,34 +91,25 @@ fn bubbles_beat_weighted_on_structure() {
     let data = ds1(&Ds1Params { n: 8_000, ..Ds1Params::default() }, 5);
     let min_pts = 10;
     let cut = 120.0 * ((min_pts as f64) / (data.len() as f64)).sqrt();
-    let reference =
-        optics_points(&data.data, &OpticsParams { eps: 3.0 * cut, min_pts });
+    let reference = optics_points(&data.data, &OpticsParams { eps: 3.0 * cut, min_pts });
     let ref_labels = extract_dbscan(&reference, cut, data.len());
 
     let k = 40; // compression factor 200
     let bub = optics_sa_bubbles(&data.data, k, 11, &bubble_params()).unwrap();
-    let ari_bub = adjusted_rand_index(
-        &ref_labels,
-        &bub.expanded.as_ref().unwrap().extract_dbscan(cut),
-    );
+    let ari_bub =
+        adjusted_rand_index(&ref_labels, &bub.expanded.as_ref().unwrap().extract_dbscan(cut));
 
-    let wgt = optics_sa_weighted(
-        &data.data,
-        k,
-        11,
-        &OpticsParams { eps: f64::INFINITY, min_pts: 2 },
-    )
-    .unwrap();
+    let wgt =
+        optics_sa_weighted(&data.data, k, 11, &OpticsParams { eps: f64::INFINITY, min_pts: 2 })
+            .unwrap();
     // Weighted plots live on the representative scale; give the variant
     // its best shot with an adaptive cut (4x median finite reachability).
     let values = wgt.expanded.as_ref().unwrap().reachabilities();
     let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
     finite.sort_by(f64::total_cmp);
     let wcut = 4.0 * finite[finite.len() / 2];
-    let ari_wgt = adjusted_rand_index(
-        &ref_labels,
-        &wgt.expanded.as_ref().unwrap().extract_dbscan(wcut),
-    );
+    let ari_wgt =
+        adjusted_rand_index(&ref_labels, &wgt.expanded.as_ref().unwrap().extract_dbscan(wcut));
 
     assert!(
         ari_bub > ari_wgt,
@@ -135,10 +122,12 @@ fn bubbles_beat_weighted_on_structure() {
 fn cf_weighted_and_bubbles_recover_all_objects() {
     let data = ds2(&Ds2Params { n: 3_000, sigma: 2.0 }, 6);
     for out in [
-        optics_cf_weighted(&data.data, 30, &BirchParams::default(), &OpticsParams {
-            eps: f64::INFINITY,
-            min_pts: 2,
-        })
+        optics_cf_weighted(
+            &data.data,
+            30,
+            &BirchParams::default(),
+            &OpticsParams { eps: f64::INFINITY, min_pts: 2 },
+        )
         .unwrap(),
         optics_cf_bubbles(&data.data, 30, &BirchParams::default(), &bubble_params()).unwrap(),
     ] {
