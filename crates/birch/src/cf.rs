@@ -1,65 +1,266 @@
 //! Clustering Features (sufficient statistics) — Definition 1 of the Data
-//! Bubbles paper, originally from BIRCH.
+//! Bubbles paper, originally from BIRCH — in the numerically stable
+//! mean/sum-of-squared-deviations representation of BETULA (Lang &
+//! Schubert, "BETULA: Numerically Stable CF-Trees for BIRCH Clustering").
+//!
+//! The classic `(n, LS, ss)` triple computes radius and diameter through
+//! differences of large, nearly equal quantities (`ss − ‖LS‖²/n`), which
+//! suffers *catastrophic cancellation* for clusters far from the origin or
+//! with tiny variance: the radicand goes negative and the naive clamp to
+//! zero silently collapses extents and nndists. Storing the incrementally
+//! maintained **mean** and the **sum of squared deviations from the mean**
+//! (`ssd = Σ‖Xᵢ − mean‖²`) instead makes every derived quantity
+//! shift-invariant: translating all points by 1e8 changes `radius`,
+//! `diameter`, and `merged_diameter` by at most the input quantization
+//! error. The classic `LS`/`ss` views remain available as derived
+//! accessors for serialization compatibility.
+//!
+//! Residual clamps (which can still occur in the lossy
+//! [`Cf::from_parts`] conversion from the unstable triple, or from last-ulp
+//! noise in merges) are counted on the `cf.clamp_events` observability
+//! counter so instability is observable rather than silent.
 
+use std::fmt;
 use std::ops::{Add, AddAssign};
 
-/// A Clustering Feature `CF = (n, LS, ss)` summarizing a set of
-/// `d`-dimensional points: the count, the component-wise linear sum and the
-/// scalar square sum `ss = Σ‖Xᵢ‖²`.
+/// Errors of fallible CF construction and updates ([`Cf::try_empty`] and
+/// friends). Produced when *untrusted* data reaches a CF; the panicking
+/// constructors remain as thin wrappers for validated input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfError {
+    /// The dimensionality was zero.
+    ZeroDimension,
+    /// A point or CF of a different dimensionality was combined.
+    DimensionMismatch {
+        /// Dimensionality of the CF.
+        expected: usize,
+        /// Dimensionality of the offending point/CF.
+        got: usize,
+    },
+    /// A coordinate was NaN or ±∞.
+    NonFiniteCoordinate {
+        /// Index of the offending coordinate.
+        coord: usize,
+    },
+    /// A scalar statistic (`ss`) was NaN or ±∞.
+    NonFiniteStatistic,
+}
+
+impl fmt::Display for CfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfError::ZeroDimension => write!(f, "dimensionality must be positive"),
+            CfError::DimensionMismatch { expected, got } => {
+                write!(f, "dimensionality mismatch: expected {expected}, got {got}")
+            }
+            CfError::NonFiniteCoordinate { coord } => {
+                write!(f, "coordinate {coord} is not finite")
+            }
+            CfError::NonFiniteStatistic => write!(f, "square sum is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for CfError {}
+
+/// A Clustering Feature summarizing a set of `d`-dimensional points: the
+/// count `n`, the component-wise **mean**, and the scalar sum of squared
+/// deviations `ssd = Σ‖Xᵢ − mean‖²`.
+///
+/// This carries the same information as BIRCH's `CF = (n, LS, ss)` (both
+/// are recoverable via [`Cf::ls`] / [`Cf::ss`]) but is numerically stable;
+/// see the module documentation.
 ///
 /// CFs satisfy the additivity condition: `CF(S₁ ∪ S₂) = CF(S₁) + CF(S₂)`
-/// for disjoint sets, implemented via [`Add`]/[`AddAssign`].
+/// for disjoint sets, implemented via [`Add`]/[`AddAssign`] with the
+/// pairwise merge formula of Chan, Golub & LeVeque.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cf {
     n: u64,
-    ls: Vec<f64>,
-    ss: f64,
+    mean: Vec<f64>,
+    ssd: f64,
+}
+
+/// Clamps a radicand that must be non-negative, counting residual
+/// negative values (numerical noise) on the `cf.clamp_events` counter.
+#[inline]
+fn clamp_radicand(x: f64) -> f64 {
+    if x < 0.0 {
+        db_obs::counter!("cf.clamp_events").incr();
+        0.0
+    } else {
+        x
+    }
 }
 
 impl Cf {
     /// The CF of the empty set in `dim` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfError::ZeroDimension`] if `dim == 0`.
+    pub fn try_empty(dim: usize) -> Result<Self, CfError> {
+        if dim == 0 {
+            return Err(CfError::ZeroDimension);
+        }
+        Ok(Self { n: 0, mean: vec![0.0; dim], ssd: 0.0 })
+    }
+
+    /// The CF of the empty set in `dim` dimensions (validated input only).
     ///
     /// # Panics
     ///
     /// Panics if `dim == 0`.
     pub fn empty(dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        Self { n: 0, ls: vec![0.0; dim], ss: 0.0 }
+        Self { n: 0, mean: vec![0.0; dim], ssd: 0.0 }
     }
 
     /// The CF of a single point.
     ///
+    /// # Errors
+    ///
+    /// Returns an error if `point` is empty or contains a non-finite
+    /// coordinate.
+    pub fn try_from_point(point: &[f64]) -> Result<Self, CfError> {
+        let mut cf = Self::try_empty(point.len())?;
+        cf.try_add_point(point)?;
+        Ok(cf)
+    }
+
+    /// The CF of a single point (validated input only).
+    ///
     /// # Panics
     ///
-    /// Panics if `point` is empty.
+    /// Panics if `point` is empty or contains a non-finite coordinate.
     pub fn from_point(point: &[f64]) -> Self {
-        let mut cf = Self::empty(point.len());
-        cf.add_point(point);
-        cf
-    }
-
-    /// Reconstructs a CF from raw components (e.g. deserialized state).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `ls` is empty.
-    pub fn from_parts(n: u64, ls: Vec<f64>, ss: f64) -> Self {
-        assert!(!ls.is_empty(), "dimensionality must be positive");
-        Self { n, ls, ss }
-    }
-
-    /// Adds one point (the incremental update of BIRCH's insertion).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the point dimensionality differs.
-    pub fn add_point(&mut self, point: &[f64]) {
-        assert_eq!(point.len(), self.ls.len(), "dimensionality mismatch");
-        self.n += 1;
-        for (l, &x) in self.ls.iter_mut().zip(point) {
-            *l += x;
-            self.ss += x * x;
+        match Self::try_from_point(point) {
+            Ok(cf) => cf,
+            Err(CfError::ZeroDimension) => panic!("dimensionality must be positive"),
+            Err(e) => panic!("invalid point: {e}"),
         }
+    }
+
+    /// Reconstructs a CF from the classic raw components `(n, LS, ss)`
+    /// (e.g. deserialized state).
+    ///
+    /// This conversion inherits the cancellation of the unstable triple:
+    /// the derived `ssd = ss − ‖LS‖²/n` may dip below zero for
+    /// far-from-origin data, in which case it is clamped to zero (and
+    /// counted on `cf.clamp_events`). Prefer keeping CFs in their stable
+    /// form end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ls` is empty or any component is non-finite.
+    pub fn try_from_parts(n: u64, ls: Vec<f64>, ss: f64) -> Result<Self, CfError> {
+        if ls.is_empty() {
+            return Err(CfError::ZeroDimension);
+        }
+        if let Some(coord) = ls.iter().position(|x| !x.is_finite()) {
+            return Err(CfError::NonFiniteCoordinate { coord });
+        }
+        if !ss.is_finite() {
+            return Err(CfError::NonFiniteStatistic);
+        }
+        if n == 0 {
+            return Ok(Self { n: 0, mean: vec![0.0; ls.len()], ssd: 0.0 });
+        }
+        let nf = n as f64;
+        let mean: Vec<f64> = ls.iter().map(|&l| l / nf).collect();
+        let mean_norm_sq: f64 = mean.iter().map(|&m| m * m).sum();
+        let ssd = clamp_radicand(ss - nf * mean_norm_sq);
+        Ok(Self { n, mean, ssd })
+    }
+
+    /// Reconstructs a CF from classic raw components (validated input
+    /// only). See [`Cf::try_from_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ls` is empty or any component is non-finite.
+    pub fn from_parts(n: u64, ls: Vec<f64>, ss: f64) -> Self {
+        match Self::try_from_parts(n, ls, ss) {
+            Ok(cf) => cf,
+            Err(CfError::ZeroDimension) => panic!("dimensionality must be positive"),
+            Err(e) => panic!("invalid CF components: {e}"),
+        }
+    }
+
+    /// Adds one point (the incremental update of BIRCH's insertion),
+    /// using Welford's update for the mean and squared deviations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the dimensionality differs or a coordinate is
+    /// non-finite; the CF is unchanged on error.
+    pub fn try_add_point(&mut self, point: &[f64]) -> Result<(), CfError> {
+        if point.len() != self.mean.len() {
+            return Err(CfError::DimensionMismatch { expected: self.mean.len(), got: point.len() });
+        }
+        if let Some(coord) = point.iter().position(|x| !x.is_finite()) {
+            return Err(CfError::NonFiniteCoordinate { coord });
+        }
+        self.n += 1;
+        let inv = 1.0 / self.n as f64;
+        let mut ssd_inc = 0.0;
+        for (m, &x) in self.mean.iter_mut().zip(point) {
+            let delta = x - *m;
+            *m += delta * inv;
+            ssd_inc += delta * (x - *m);
+        }
+        self.ssd += ssd_inc;
+        Ok(())
+    }
+
+    /// Adds one point (validated input only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point dimensionality differs or a coordinate is
+    /// non-finite.
+    pub fn add_point(&mut self, point: &[f64]) {
+        match self.try_add_point(point) {
+            Ok(()) => {}
+            Err(CfError::DimensionMismatch { .. }) => panic!("dimensionality mismatch"),
+            Err(e) => panic!("invalid point: {e}"),
+        }
+    }
+
+    /// Merges another CF into this one (CF additivity), using the pairwise
+    /// update of Chan, Golub & LeVeque — stable for groups of any size and
+    /// location.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when dimensionalities differ; the CF is unchanged
+    /// on error.
+    pub fn try_merge(&mut self, rhs: &Cf) -> Result<(), CfError> {
+        if rhs.dim() != self.dim() {
+            return Err(CfError::DimensionMismatch { expected: self.dim(), got: rhs.dim() });
+        }
+        if rhs.n == 0 {
+            return Ok(());
+        }
+        if self.n == 0 {
+            self.n = rhs.n;
+            self.mean.copy_from_slice(&rhs.mean);
+            self.ssd = rhs.ssd;
+            return Ok(());
+        }
+        let n1 = self.n as f64;
+        let n2 = rhs.n as f64;
+        let n = n1 + n2;
+        let frac = n2 / n;
+        let mut delta_sq = 0.0;
+        for (m, &m2) in self.mean.iter_mut().zip(&rhs.mean) {
+            let delta = m2 - *m;
+            delta_sq += delta * delta;
+            *m += delta * frac;
+        }
+        self.ssd += rhs.ssd + delta_sq * (n1 * frac);
+        self.n += rhs.n;
+        Ok(())
     }
 
     /// Number of points summarized.
@@ -68,22 +269,34 @@ impl Cf {
         self.n
     }
 
-    /// The linear sum `LS`.
-    #[inline]
-    pub fn ls(&self) -> &[f64] {
-        &self.ls
+    /// The classic linear sum `LS = n · mean` (derived; allocates).
+    pub fn ls(&self) -> Vec<f64> {
+        let nf = self.n as f64;
+        self.mean.iter().map(|&m| m * nf).collect()
     }
 
-    /// The square sum `ss`.
-    #[inline]
+    /// The classic square sum `ss = Σ‖Xᵢ‖² = ssd + n·‖mean‖²` (derived).
     pub fn ss(&self) -> f64 {
-        self.ss
+        let mean_norm_sq: f64 = self.mean.iter().map(|&m| m * m).sum();
+        self.ssd + self.n as f64 * mean_norm_sq
+    }
+
+    /// The stored mean vector (zero vector for an empty CF).
+    #[inline]
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The stored sum of squared deviations `Σ‖Xᵢ − mean‖²`.
+    #[inline]
+    pub fn ssd(&self) -> f64 {
+        self.ssd
     }
 
     /// Dimensionality of the summarized points.
     #[inline]
     pub fn dim(&self) -> usize {
-        self.ls.len()
+        self.mean.len()
     }
 
     /// Whether the CF summarizes no points.
@@ -92,15 +305,14 @@ impl Cf {
         self.n == 0
     }
 
-    /// The centroid `LS / n`.
+    /// The centroid (the stored mean).
     ///
     /// # Panics
     ///
     /// Panics if the CF is empty.
     pub fn centroid(&self) -> Vec<f64> {
         assert!(self.n > 0, "centroid of empty CF");
-        let inv = 1.0 / self.n as f64;
-        self.ls.iter().map(|&l| l * inv).collect()
+        self.mean.clone()
     }
 
     /// Writes the centroid into `out` without allocating.
@@ -111,37 +323,32 @@ impl Cf {
     pub fn centroid_into(&self, out: &mut Vec<f64>) {
         assert!(self.n > 0, "centroid of empty CF");
         out.clear();
-        let inv = 1.0 / self.n as f64;
-        out.extend(self.ls.iter().map(|&l| l * inv));
+        out.extend_from_slice(&self.mean);
     }
 
     /// BIRCH's radius: root-mean-squared distance of the points to the
-    /// centroid, `R = sqrt(ss/n − ‖LS/n‖²)`. Zero for singletons.
+    /// centroid, `R = sqrt(ssd/n)`. Zero for singletons. Shift-invariant.
     ///
     /// # Panics
     ///
     /// Panics if the CF is empty.
     pub fn radius(&self) -> f64 {
         assert!(self.n > 0, "radius of empty CF");
-        let n = self.n as f64;
-        let centroid_norm_sq: f64 = self.ls.iter().map(|&l| (l / n) * (l / n)).sum();
-        // Clamp: floating point cancellation can dip slightly below zero.
-        (self.ss / n - centroid_norm_sq).max(0.0).sqrt()
+        (clamp_radicand(self.ssd) / self.n as f64).sqrt()
     }
 
     /// BIRCH's diameter: average pairwise distance
-    /// `D = sqrt((2n·ss − 2‖LS‖²) / (n(n−1)))`. Zero for `n ≤ 1`.
+    /// `D = sqrt(2·ssd/(n−1))`. Zero for `n ≤ 1`. Shift-invariant.
     ///
-    /// This is the same closed form as the Data Bubble `extent`
-    /// (Corollary 1 of the Data Bubbles paper).
+    /// This is the same quantity as the Data Bubble `extent`
+    /// (Corollary 1 of the Data Bubbles paper, whose published closed form
+    /// `sqrt((2n·ss − 2‖LS‖²)/(n(n−1)))` is algebraically identical but
+    /// cancels catastrophically far from the origin).
     pub fn diameter(&self) -> f64 {
         if self.n <= 1 {
             return 0.0;
         }
-        let n = self.n as f64;
-        let ls_norm_sq: f64 = self.ls.iter().map(|&l| l * l).sum();
-        let num = 2.0 * n * self.ss - 2.0 * ls_norm_sq;
-        (num / (n * (n - 1.0))).max(0.0).sqrt()
+        (2.0 * clamp_radicand(self.ssd) / (self.n as f64 - 1.0)).sqrt()
     }
 
     /// Euclidean distance between the centroids of two CFs.
@@ -152,10 +359,9 @@ impl Cf {
     pub fn centroid_distance(&self, other: &Cf) -> f64 {
         assert!(self.n > 0 && other.n > 0, "centroid distance of empty CF");
         assert_eq!(self.dim(), other.dim(), "dimensionality mismatch");
-        let (na, nb) = (self.n as f64, other.n as f64);
         let mut acc = 0.0;
-        for (&a, &b) in self.ls.iter().zip(&other.ls) {
-            let d = a / na - b / nb;
+        for (&a, &b) in self.mean.iter().zip(&other.mean) {
+            let d = a - b;
             acc += d * d;
         }
         acc.sqrt()
@@ -163,16 +369,32 @@ impl Cf {
 
     /// The diameter the merged CF `self + other` would have, without
     /// building the merge. Used by the absorption test of the CF-tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ.
     pub fn merged_diameter(&self, other: &Cf) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimensionality mismatch");
         let n = self.n + other.n;
         if n <= 1 {
             return 0.0;
         }
-        let nf = n as f64;
-        let ss = self.ss + other.ss;
-        let ls_norm_sq: f64 = self.ls.iter().zip(&other.ls).map(|(&a, &b)| (a + b) * (a + b)).sum();
-        let num = 2.0 * nf * ss - 2.0 * ls_norm_sq;
-        (num / (nf * (nf - 1.0))).max(0.0).sqrt()
+        if self.n == 0 {
+            return other.diameter();
+        }
+        if other.n == 0 {
+            return self.diameter();
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let nf = n1 + n2;
+        let mut delta_sq = 0.0;
+        for (&a, &b) in self.mean.iter().zip(&other.mean) {
+            let d = b - a;
+            delta_sq += d * d;
+        }
+        let ssd = self.ssd + other.ssd + delta_sq * (n1 * n2 / nf);
+        (2.0 * clamp_radicand(ssd) / (nf - 1.0)).sqrt()
     }
 }
 
@@ -193,12 +415,10 @@ impl AddAssign for Cf {
 
 impl AddAssign<&Cf> for Cf {
     fn add_assign(&mut self, rhs: &Cf) {
-        assert_eq!(self.dim(), rhs.dim(), "dimensionality mismatch");
-        self.n += rhs.n;
-        for (l, &r) in self.ls.iter_mut().zip(&rhs.ls) {
-            *l += r;
+        match self.try_merge(rhs) {
+            Ok(()) => {}
+            Err(_) => panic!("dimensionality mismatch"),
         }
-        self.ss += rhs.ss;
     }
 }
 
@@ -226,6 +446,41 @@ mod tests {
     }
 
     #[test]
+    fn try_constructors_reject_bad_input() {
+        assert_eq!(Cf::try_empty(0).unwrap_err(), CfError::ZeroDimension);
+        assert_eq!(Cf::try_from_point(&[]).unwrap_err(), CfError::ZeroDimension);
+        assert_eq!(
+            Cf::try_from_point(&[1.0, f64::NAN]).unwrap_err(),
+            CfError::NonFiniteCoordinate { coord: 1 }
+        );
+        assert_eq!(
+            Cf::try_from_point(&[f64::INFINITY]).unwrap_err(),
+            CfError::NonFiniteCoordinate { coord: 0 }
+        );
+        let mut cf = Cf::empty(2);
+        assert_eq!(
+            cf.try_add_point(&[1.0]).unwrap_err(),
+            CfError::DimensionMismatch { expected: 2, got: 1 }
+        );
+        // Failed updates leave the CF untouched.
+        assert!(cf.try_add_point(&[1.0, f64::NEG_INFINITY]).is_err());
+        assert!(cf.is_empty());
+        assert_eq!(
+            Cf::try_from_parts(2, vec![1.0, f64::NAN], 3.0).unwrap_err(),
+            CfError::NonFiniteCoordinate { coord: 1 }
+        );
+        assert_eq!(
+            Cf::try_from_parts(2, vec![1.0, 1.0], f64::NAN).unwrap_err(),
+            CfError::NonFiniteStatistic
+        );
+        // Display impls.
+        assert!(CfError::ZeroDimension.to_string().contains("positive"));
+        assert!(CfError::DimensionMismatch { expected: 2, got: 1 }.to_string().contains('2'));
+        assert!(CfError::NonFiniteCoordinate { coord: 3 }.to_string().contains('3'));
+        assert!(CfError::NonFiniteStatistic.to_string().contains("finite"));
+    }
+
+    #[test]
     fn additivity_matches_incremental() {
         let pts: [&[f64]; 4] = [&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[4.0, 4.0]];
         let mut whole = Cf::empty(2);
@@ -236,8 +491,11 @@ mod tests {
         let right = Cf::from_point(pts[2]) + Cf::from_point(pts[3]);
         let merged = left + right;
         assert_eq!(merged.n(), whole.n());
-        assert_eq!(merged.ls(), whole.ls());
+        for (a, b) in merged.ls().iter().zip(whole.ls()) {
+            assert!((a - b).abs() < 1e-12);
+        }
         assert!((merged.ss() - whole.ss()).abs() < 1e-12);
+        assert!((merged.ssd() - whole.ssd()).abs() < 1e-12);
     }
 
     #[test]
@@ -285,6 +543,15 @@ mod tests {
     }
 
     #[test]
+    fn merged_diameter_handles_empty_sides() {
+        let a = Cf::from_point(&[0.0]) + Cf::from_point(&[2.0]);
+        let e = Cf::empty(1);
+        assert!((a.merged_diameter(&e) - a.diameter()).abs() < 1e-15);
+        assert!((e.merged_diameter(&a) - a.diameter()).abs() < 1e-15);
+        assert_eq!(e.merged_diameter(&Cf::empty(1)), 0.0);
+    }
+
+    #[test]
     fn centroid_distance_hand_checked() {
         let a = Cf::from_point(&[0.0, 0.0]);
         let b = Cf::from_point(&[3.0, 4.0]);
@@ -293,13 +560,38 @@ mod tests {
 
     #[test]
     fn radius_never_negative_under_cancellation() {
-        // Large coordinates provoke catastrophic cancellation in ss − ‖c‖².
+        // Large coordinates provoked catastrophic cancellation in the old
+        // ss − ‖c‖² form; the stable form is exact here.
         let mut cf = Cf::empty(1);
         for _ in 0..1000 {
             cf.add_point(&[1e8]);
         }
-        assert!(cf.radius() >= 0.0);
-        assert!(cf.diameter() >= 0.0);
+        assert_eq!(cf.radius(), 0.0);
+        assert_eq!(cf.diameter(), 0.0);
+    }
+
+    #[test]
+    fn shift_invariance_of_extent() {
+        // The defining property of the stable representation: a cluster
+        // translated by 1e8 keeps its diameter. The old closed form
+        // collapsed it to 0 (radicand ≈ −1e16 clamped).
+        for offset in [0.0, 1e6, 1e8] {
+            let mut cf = Cf::empty(2);
+            for i in 0..100 {
+                cf.add_point(&[offset + (i % 10) as f64 * 0.1, offset + (i / 10) as f64 * 0.1]);
+            }
+            let mut origin = Cf::empty(2);
+            for i in 0..100 {
+                origin.add_point(&[(i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1]);
+            }
+            assert!(
+                (cf.diameter() - origin.diameter()).abs() < 1e-6,
+                "offset {offset}: {} vs {}",
+                cf.diameter(),
+                origin.diameter()
+            );
+            assert!((cf.radius() - origin.radius()).abs() < 1e-6);
+        }
     }
 
     #[test]
@@ -316,9 +608,37 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Cf::from_point(&[1.0, 2.0]);
+        let before = a.clone();
+        a += &Cf::empty(2);
+        assert_eq!(a, before);
+        let mut e = Cf::empty(2);
+        e += &before;
+        assert_eq!(e, before);
+    }
+
+    #[test]
     fn from_parts_round_trip() {
         let cf = Cf::from_parts(2, vec![2.0, 2.0], 4.0);
         assert_eq!(cf.n(), 2);
         assert_eq!(cf.centroid(), vec![1.0, 1.0]);
+        // ls/ss derived views reproduce the inputs.
+        assert_eq!(cf.ls(), vec![2.0, 2.0]);
+        assert!((cf.ss() - 4.0).abs() < 1e-12);
+        // Degenerate: n = 0 parts yield the empty CF.
+        let z = Cf::from_parts(0, vec![0.0], 0.0);
+        assert!(z.is_empty());
+        assert_eq!(z.merged_diameter(&z), 0.0);
+    }
+
+    #[test]
+    fn from_parts_clamps_cancelled_ssd_to_zero() {
+        // ss slightly below n·‖mean‖² (cancellation in the unstable
+        // source): the derived ssd clamps to 0 instead of going NaN.
+        let cf = Cf::from_parts(2, vec![2e8], 2e16 - 1.0);
+        assert_eq!(cf.ssd(), 0.0);
+        assert_eq!(cf.diameter(), 0.0);
+        assert!(cf.radius() >= 0.0);
     }
 }

@@ -39,5 +39,5 @@
 mod cf;
 mod tree;
 
-pub use cf::Cf;
+pub use cf::{Cf, CfError};
 pub use tree::{birch, BirchParams, CfTree};

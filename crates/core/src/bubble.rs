@@ -2,8 +2,70 @@
 //! vector data per Definition 10, with the expected k-NN distance of
 //! Lemma 1 and the sufficient-statistics construction of Corollary 1.
 
+use std::fmt;
+
 use db_birch::Cf;
 use db_spatial::Dataset;
+
+/// Errors of fallible Data Bubble construction (the `try_*` constructors).
+/// Produced when *untrusted* summaries reach the bubble layer; the
+/// panicking constructors remain as thin wrappers for validated input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BubbleError {
+    /// The representative vector was empty.
+    ZeroDimension,
+    /// The bubble claimed to summarize zero points.
+    ZeroCount,
+    /// A representative coordinate was NaN or ±∞.
+    NonFiniteRepresentative {
+        /// Index of the offending coordinate.
+        coord: usize,
+    },
+    /// The extent was negative, NaN or ±∞.
+    InvalidExtent,
+    /// A bubble was requested from an empty CF or an empty id set.
+    EmptySummary,
+    /// Bubbles of inconsistent dimensionality were combined into one space.
+    MixedDimensions {
+        /// Dimensionality of the first bubble.
+        expected: usize,
+        /// Dimensionality of the offending bubble.
+        got: usize,
+    },
+    /// An operation needed at least one bubble.
+    EmptyBubbleSet,
+}
+
+impl fmt::Display for BubbleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BubbleError::ZeroDimension => {
+                write!(f, "representative must have positive dimension")
+            }
+            BubbleError::ZeroCount => {
+                write!(f, "a Data Bubble must summarize at least one point")
+            }
+            BubbleError::NonFiniteRepresentative { coord } => {
+                write!(f, "representative coordinate {coord} is not finite")
+            }
+            BubbleError::InvalidExtent => {
+                write!(f, "extent must be non-negative and finite")
+            }
+            BubbleError::EmptySummary => {
+                write!(f, "cannot build a Data Bubble from an empty summary")
+            }
+            BubbleError::MixedDimensions { expected, got } => {
+                write!(
+                    f,
+                    "all bubbles must share one dimensionality (got {got}, expected {expected})"
+                )
+            }
+            BubbleError::EmptyBubbleSet => write!(f, "cannot cluster an empty bubble set"),
+        }
+    }
+}
+
+impl std::error::Error for BubbleError {}
 
 /// A Data Bubble `B = (rep, n, extent, nndist)` over Euclidean vector data:
 ///
@@ -21,21 +83,71 @@ pub struct DataBubble {
 }
 
 impl DataBubble {
-    /// Builds a bubble from raw components.
+    /// Fallible construction from raw components: validates dimensionality,
+    /// point count, representative finiteness and extent sanity. This is the
+    /// entry point for *untrusted* summaries (e.g. anything produced from
+    /// external input); [`DataBubble::new`] is a thin panicking wrapper for
+    /// already-validated input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BubbleError`] describing the first violated invariant.
+    pub fn try_new(rep: Vec<f64>, n: u64, extent: f64) -> Result<Self, BubbleError> {
+        if rep.is_empty() {
+            return Err(BubbleError::ZeroDimension);
+        }
+        if n == 0 {
+            return Err(BubbleError::ZeroCount);
+        }
+        if let Some(coord) = rep.iter().position(|x| !x.is_finite()) {
+            return Err(BubbleError::NonFiniteRepresentative { coord });
+        }
+        if !(extent >= 0.0 && extent.is_finite()) {
+            return Err(BubbleError::InvalidExtent);
+        }
+        Ok(Self { rep, n, extent })
+    }
+
+    /// Builds a bubble from raw components. **Validated input only** — use
+    /// [`DataBubble::try_new`] for data that crossed a trust boundary.
     ///
     /// # Panics
     ///
     /// Panics if `rep` is empty, `n == 0`, or `extent` is negative/NaN.
     pub fn new(rep: Vec<f64>, n: u64, extent: f64) -> Self {
-        assert!(!rep.is_empty(), "representative must have positive dimension");
-        assert!(n > 0, "a Data Bubble must summarize at least one point");
-        assert!(extent >= 0.0, "extent must be non-negative");
-        Self { rep, n, extent }
+        match Self::try_new(rep, n, extent) {
+            Ok(b) => b,
+            Err(BubbleError::ZeroDimension) => {
+                panic!("representative must have positive dimension")
+            }
+            Err(BubbleError::ZeroCount) => {
+                panic!("a Data Bubble must summarize at least one point")
+            }
+            Err(BubbleError::InvalidExtent) => panic!("extent must be non-negative and finite"),
+            Err(e) => panic!("invalid Data Bubble: {e}"),
+        }
+    }
+
+    /// Fallible form of [`DataBubble::from_cf`]: Corollary 1 from sufficient
+    /// statistics, rejecting empty CFs and non-finite derived quantities
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BubbleError::EmptySummary`] for an empty CF, or the error
+    /// from [`DataBubble::try_new`] when the centroid/diameter are degenerate.
+    pub fn try_from_cf(cf: &Cf) -> Result<Self, BubbleError> {
+        if cf.is_empty() {
+            return Err(BubbleError::EmptySummary);
+        }
+        Self::try_new(cf.centroid(), cf.n(), cf.diameter())
     }
 
     /// Corollary 1: builds a bubble from sufficient statistics `(n, LS, ss)`
-    /// with `rep = LS/n` and
-    /// `extent = sqrt((2·n·ss − 2·|LS|²)/(n·(n−1)))`.
+    /// with `rep = LS/n` and `extent = sqrt(2·ssd/(n−1))` (the numerically
+    /// stable equivalent of `sqrt((2·n·ss − 2·|LS|²)/(n·(n−1)))`).
+    /// **Validated input only** — use [`DataBubble::try_from_cf`] for CFs
+    /// built from untrusted data.
     ///
     /// # Panics
     ///
@@ -45,8 +157,25 @@ impl DataBubble {
         Self { rep: cf.centroid(), n: cf.n(), extent: cf.diameter() }
     }
 
+    /// Fallible form of [`DataBubble::from_points`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BubbleError::EmptySummary`] when `ids` is empty.
+    pub fn try_from_points(ds: &Dataset, ids: &[usize]) -> Result<Self, BubbleError> {
+        if ids.is_empty() {
+            return Err(BubbleError::EmptySummary);
+        }
+        let mut cf = Cf::empty(ds.dim());
+        for &i in ids {
+            cf.add_point(ds.point(i));
+        }
+        Self::try_from_cf(&cf)
+    }
+
     /// Builds a bubble directly from a set of points (the "straight
-    /// forward" computation mentioned after Definition 10).
+    /// forward" computation mentioned after Definition 10). **Validated
+    /// input only** — use [`DataBubble::try_from_points`] for untrusted ids.
     ///
     /// # Panics
     ///
@@ -173,6 +302,48 @@ mod tests {
         assert_eq!(b.nndist(1), 0.0);
         assert_eq!(b.nndist(5), 0.0);
         assert_eq!(b.extent(), 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_each_bad_component() {
+        assert_eq!(DataBubble::try_new(vec![], 1, 0.0), Err(BubbleError::ZeroDimension));
+        assert_eq!(DataBubble::try_new(vec![0.0], 0, 0.0), Err(BubbleError::ZeroCount));
+        assert_eq!(
+            DataBubble::try_new(vec![0.0, f64::NAN], 1, 0.0),
+            Err(BubbleError::NonFiniteRepresentative { coord: 1 })
+        );
+        assert_eq!(DataBubble::try_new(vec![0.0], 1, -1.0), Err(BubbleError::InvalidExtent));
+        assert_eq!(DataBubble::try_new(vec![0.0], 1, f64::NAN), Err(BubbleError::InvalidExtent));
+        assert_eq!(
+            DataBubble::try_new(vec![0.0], 1, f64::INFINITY),
+            Err(BubbleError::InvalidExtent)
+        );
+        assert!(DataBubble::try_new(vec![0.0], 1, 0.0).is_ok());
+    }
+
+    #[test]
+    fn try_from_cf_matches_panicking_form() {
+        let cf = Cf::from_point(&[0.0]) + Cf::from_point(&[2.0]);
+        assert_eq!(DataBubble::try_from_cf(&cf).unwrap(), DataBubble::from_cf(&cf));
+        assert_eq!(DataBubble::try_from_cf(&Cf::empty(2)), Err(BubbleError::EmptySummary));
+    }
+
+    #[test]
+    fn try_from_points_rejects_empty_ids() {
+        let ds = Dataset::from_rows(2, &[&[0.0, 0.0], &[1.0, 0.0]]).unwrap();
+        assert_eq!(DataBubble::try_from_points(&ds, &[]), Err(BubbleError::EmptySummary));
+        assert_eq!(
+            DataBubble::try_from_points(&ds, &[0, 1]).unwrap(),
+            DataBubble::from_points(&ds, &[0, 1])
+        );
+    }
+
+    #[test]
+    fn bubble_error_display_is_informative() {
+        assert!(BubbleError::ZeroCount.to_string().contains("at least one point"));
+        assert!(BubbleError::NonFiniteRepresentative { coord: 3 }.to_string().contains('3'));
+        assert!(BubbleError::MixedDimensions { expected: 2, got: 5 }.to_string().contains('5'));
+        assert!(BubbleError::EmptyBubbleSet.to_string().contains("empty bubble set"));
     }
 
     #[test]

@@ -7,21 +7,40 @@
 
 use db_hierarchical::{agglomerative_from_fn, Dendrogram, Linkage};
 
+use crate::bubble::BubbleError;
 use crate::distance::bubble_distance;
 use crate::space::BubbleSpace;
 
+/// Fallible form of [`bubble_dendrogram`] for bubble sets of unknown size.
+///
+/// # Errors
+///
+/// Returns [`BubbleError::EmptyBubbleSet`] when the space is empty.
+pub fn try_bubble_dendrogram(
+    space: &BubbleSpace,
+    linkage: Linkage,
+) -> Result<Dendrogram, BubbleError> {
+    let bubbles = space.bubbles();
+    if bubbles.is_empty() {
+        return Err(BubbleError::EmptyBubbleSet);
+    }
+    Ok(agglomerative_from_fn(bubbles.len(), linkage, |a, b| {
+        bubble_distance(&bubbles[a], &bubbles[b], a == b)
+    }))
+}
+
 /// Builds the hierarchical clustering of a bubble set under the given
-/// linkage, using the Definition 6 distance.
+/// linkage, using the Definition 6 distance. **Validated input only** —
+/// use [`try_bubble_dendrogram`] when the space may be empty.
 ///
 /// # Panics
 ///
 /// Panics if the space is empty.
 pub fn bubble_dendrogram(space: &BubbleSpace, linkage: Linkage) -> Dendrogram {
-    let bubbles = space.bubbles();
-    assert!(!bubbles.is_empty(), "cannot cluster an empty bubble set");
-    agglomerative_from_fn(bubbles.len(), linkage, |a, b| {
-        bubble_distance(&bubbles[a], &bubbles[b], a == b)
-    })
+    match try_bubble_dendrogram(space, linkage) {
+        Ok(d) => d,
+        Err(_) => panic!("cannot cluster an empty bubble set"),
+    }
 }
 
 /// Cuts a bubble dendrogram into `k` clusters and assigns every original
@@ -90,5 +109,12 @@ mod tests {
     #[should_panic(expected = "empty bubble set")]
     fn empty_space_panics() {
         bubble_dendrogram(&BubbleSpace::new(vec![]), Linkage::Single);
+    }
+
+    #[test]
+    fn try_form_returns_typed_error_on_empty_space() {
+        use crate::bubble::BubbleError;
+        let err = try_bubble_dendrogram(&BubbleSpace::new(vec![]), Linkage::Single).unwrap_err();
+        assert_eq!(err, BubbleError::EmptyBubbleSet);
     }
 }

@@ -59,8 +59,8 @@ pub mod metric_bubble;
 pub mod pipeline;
 mod space;
 
-pub use bubble::DataBubble;
+pub use bubble::{BubbleError, DataBubble};
 pub use distance::{bubble_distance, virtual_reachability};
-pub use hierarchy::{bubble_dendrogram, expand_bubble_cut};
+pub use hierarchy::{bubble_dendrogram, expand_bubble_cut, try_bubble_dendrogram};
 pub use metric_bubble::{compress_metric, MetricBubbleSpace, MetricCompression, MetricDataBubble};
 pub use space::BubbleSpace;

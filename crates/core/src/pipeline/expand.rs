@@ -55,11 +55,15 @@ impl ExpandedOrdering {
     /// Flat cluster extraction at cut level `eps_cut`, returning one label
     /// per *original object id* (`-1` = noise). Same jump logic as
     /// [`db_optics::extract_dbscan`].
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must take the jump branch
     pub fn extract_dbscan(&self, eps_cut: f64) -> Vec<i32> {
         let mut labels = vec![-1i32; self.entries.len()];
         let mut cluster = -1i32;
         for e in &self.entries {
-            if e.reachability > eps_cut {
+            // `!(r <= cut)` so a NaN reachability reads as a jump instead of
+            // silently attaching to the current cluster (see the db-optics
+            // version for the full rationale).
+            if !(e.reachability <= eps_cut) {
                 if e.core_estimate <= eps_cut {
                     cluster += 1;
                     labels[e.object as usize] = cluster;

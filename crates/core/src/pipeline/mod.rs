@@ -26,12 +26,12 @@ use db_rng::Rng;
 use db_sampling::{
     bfr_compress, compress_by_sampling, nn_classify, squash_compress, BfrParams, SamplingError,
 };
-use db_spatial::Dataset;
+use db_spatial::{Dataset, SpatialError};
 
 pub use expand::{expand_bubbles, expand_weighted, ExpandedEntry, ExpandedOrdering};
 pub use external::{run_external, ExternalConfig, ExternalError, ExternalOutput};
 
-use crate::bubble::DataBubble;
+use crate::bubble::{BubbleError, DataBubble};
 use crate::space::BubbleSpace;
 
 /// How the database is compressed into representative objects (step 1).
@@ -131,6 +131,12 @@ pub enum PipelineError {
     ZeroK,
     /// The sampling compressor failed.
     Sampling(SamplingError),
+    /// The dataset violated the ingest invariants (e.g. a non-finite
+    /// coordinate smuggled past validation); checked defensively before
+    /// any compression runs.
+    Spatial(SpatialError),
+    /// A summary stage produced or received an invalid Data Bubble.
+    Bubble(BubbleError),
     /// An internal invariant was violated (a bug in the pipeline itself,
     /// not in its input).
     Internal(&'static str),
@@ -142,6 +148,8 @@ impl fmt::Display for PipelineError {
             PipelineError::EmptyDataset => write!(f, "cannot cluster an empty dataset"),
             PipelineError::ZeroK => write!(f, "number of representatives must be positive"),
             PipelineError::Sampling(e) => write!(f, "sampling failed: {e}"),
+            PipelineError::Spatial(e) => write!(f, "invalid dataset: {e}"),
+            PipelineError::Bubble(e) => write!(f, "invalid bubble summary: {e}"),
             PipelineError::Internal(what) => {
                 write!(f, "internal pipeline invariant violated: {what}")
             }
@@ -157,12 +165,27 @@ impl From<SamplingError> for PipelineError {
     }
 }
 
+impl From<SpatialError> for PipelineError {
+    fn from(e: SpatialError) -> Self {
+        PipelineError::Spatial(e)
+    }
+}
+
+impl From<BubbleError> for PipelineError {
+    fn from(e: BubbleError) -> Self {
+        PipelineError::Bubble(e)
+    }
+}
+
 /// Runs one of the six pipelines.
 ///
 /// # Errors
 ///
-/// Returns an error when the dataset is empty, `k == 0`, or sampling is
-/// impossible (`k` larger than the dataset).
+/// Returns an error when the dataset is empty, `k == 0`, sampling is
+/// impossible (`k` larger than the dataset), the dataset contains
+/// non-finite coordinates (possible only through
+/// [`Dataset::from_flat_unchecked`]), or a compression stage yields a
+/// degenerate summary.
 pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
     if ds.is_empty() {
         return Err(PipelineError::EmptyDataset);
@@ -170,6 +193,11 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     if cfg.k == 0 {
         return Err(PipelineError::ZeroK);
     }
+    // Defensive re-validation: `Dataset` constructors reject non-finite
+    // coordinates, but the `from_flat_unchecked` escape hatch (and any
+    // future zero-copy ingest) can bypass that. A NaN here would silently
+    // poison every distance downstream, so fail with a typed error instead.
+    ds.validate()?;
     let _span = db_obs::span!("pipeline.run");
     db_obs::counter!("pipeline.runs").incr();
     db_obs::log_debug!(
@@ -206,7 +234,7 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
         }
         Compressor::Birch(params) => {
             let cfs = birch(ds, cfg.k, params);
-            let reps = centroids_of(ds.dim(), &cfs);
+            let reps = centroids_of(ds.dim(), &cfs)?;
             // Step 4 of Fig. 13 / step 4 of Fig. 8: the CF variants must
             // classify the original objects to recover them. The bubbles
             // themselves always come from the CFs (Fig. 13 step 2), not
@@ -216,7 +244,7 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
         }
         Compressor::Bfr(params) => {
             let cfs = bfr_compress(ds, params).all_cfs();
-            let reps = centroids_of(ds.dim(), &cfs);
+            let reps = centroids_of(ds.dim(), &cfs)?;
             let assignment = needs_members.then(|| nn_classify(ds, &reps));
             (cfs, reps, assignment)
         }
@@ -224,7 +252,7 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
             // Squashing knows the exact region membership of every point;
             // no re-classification pass is needed.
             let r = squash_compress(ds, *bins_per_dim);
-            let reps = centroids_of(ds.dim(), &r.regions);
+            let reps = centroids_of(ds.dim(), &r.regions)?;
             (r.regions, reps, needs_members.then_some(r.assignment))
         }
     };
@@ -237,8 +265,9 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     let (rep_ordering, bubble_space) = match cfg.recovery {
         Recovery::Naive | Recovery::Weighted => (optics_points(&reps, &cfg.optics), None),
         Recovery::Bubbles => {
-            let bubbles: Vec<DataBubble> = stats.iter().map(DataBubble::from_cf).collect();
-            let space = BubbleSpace::new(bubbles);
+            let bubbles: Vec<DataBubble> =
+                stats.iter().map(DataBubble::try_from_cf).collect::<Result<_, _>>()?;
+            let space = BubbleSpace::try_new(bubbles)?;
             let ordering = optics(&space, &cfg.optics);
             (ordering, Some(space))
         }
@@ -284,15 +313,17 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     })
 }
 
-/// Centroid dataset of a CF collection.
-fn centroids_of(dim: usize, cfs: &[Cf]) -> Dataset {
-    let mut reps = Dataset::with_capacity(dim, cfs.len()).expect("dim > 0");
+/// Centroid dataset of a CF collection. Fallible: a compressor handed
+/// degenerate statistics would surface here as a non-finite centroid,
+/// which the `Dataset` ingest boundary rejects.
+fn centroids_of(dim: usize, cfs: &[Cf]) -> Result<Dataset, PipelineError> {
+    let mut reps = Dataset::with_capacity(dim, cfs.len())?;
     let mut buf = Vec::with_capacity(dim);
     for cf in cfs {
         cf.centroid_into(&mut buf);
-        reps.push(&buf).expect("dim matches");
+        reps.push(&buf)?;
     }
-    reps
+    Ok(reps)
 }
 
 /// `OPTICS-SA naive` (Fig. 5): OPTICS on a plain random sample.
@@ -538,6 +569,29 @@ mod tests {
         // Display impls.
         assert!(PipelineError::EmptyDataset.to_string().contains("empty"));
         assert!(PipelineError::ZeroK.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn smuggled_nan_yields_typed_spatial_error() {
+        // `from_flat_unchecked` bypasses the ingest validation; the
+        // pipeline's defensive re-check must catch the NaN for every
+        // compressor instead of poisoning distances or panicking.
+        let ds = Dataset::from_flat_unchecked(2, vec![0.0, 0.0, 1.0, f64::NAN, 2.0, 0.0]);
+        for compressor in [
+            Compressor::Sample { seed: 0 },
+            Compressor::Birch(BirchParams::default()),
+            Compressor::GridSquash { bins_per_dim: 4 },
+        ] {
+            let err = run_pipeline(
+                &ds,
+                &PipelineConfig { k: 2, compressor, recovery: Recovery::Bubbles, optics: params() },
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                PipelineError::Spatial(SpatialError::NonFiniteCoordinate { point: 1, coord: 1 })
+            );
+        }
     }
 
     #[test]

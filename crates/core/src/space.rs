@@ -4,7 +4,7 @@
 use db_optics::OpticsSpace;
 use db_spatial::Neighbor;
 
-use crate::bubble::DataBubble;
+use crate::bubble::{BubbleError, DataBubble};
 use crate::distance::bubble_distance;
 
 /// A set of Data Bubbles viewed as an OPTICS object space.
@@ -19,20 +19,34 @@ pub struct BubbleSpace {
 }
 
 impl BubbleSpace {
-    /// Creates the space.
+    /// Fallible form of [`BubbleSpace::new`] for bubble sets assembled from
+    /// untrusted summaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BubbleError::MixedDimensions`] when bubbles disagree on
+    /// dimensionality. An empty set is a valid (empty) space.
+    pub fn try_new(bubbles: Vec<DataBubble>) -> Result<Self, BubbleError> {
+        if let Some(first) = bubbles.first() {
+            let dim = first.dim();
+            if let Some(bad) = bubbles.iter().find(|b| b.dim() != dim) {
+                return Err(BubbleError::MixedDimensions { expected: dim, got: bad.dim() });
+            }
+        }
+        Ok(Self { bubbles })
+    }
+
+    /// Creates the space. **Validated input only** — use
+    /// [`BubbleSpace::try_new`] for untrusted bubble sets.
     ///
     /// # Panics
     ///
     /// Panics if bubbles have inconsistent dimensionality.
     pub fn new(bubbles: Vec<DataBubble>) -> Self {
-        if let Some(first) = bubbles.first() {
-            let dim = first.dim();
-            assert!(
-                bubbles.iter().all(|b| b.dim() == dim),
-                "all bubbles must share one dimensionality"
-            );
+        match Self::try_new(bubbles) {
+            Ok(s) => s,
+            Err(_) => panic!("all bubbles must share one dimensionality"),
         }
-        Self { bubbles }
     }
 
     /// The bubbles, in id order.
@@ -239,5 +253,16 @@ mod tests {
     fn empty_space_is_fine() {
         let s = BubbleSpace::new(vec![]);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn try_new_reports_mixed_dimensions() {
+        let err = BubbleSpace::try_new(vec![
+            DataBubble::new(vec![0.0], 1, 0.0),
+            DataBubble::new(vec![0.0, 0.0], 1, 0.0),
+        ])
+        .unwrap_err();
+        assert_eq!(err, BubbleError::MixedDimensions { expected: 1, got: 2 });
+        assert!(BubbleSpace::try_new(vec![]).is_ok());
     }
 }

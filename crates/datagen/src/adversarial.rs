@@ -1,0 +1,190 @@
+//! Fault-injection corpora for the chaos suite: deterministic generators
+//! of hostile inputs that real deployments produce — sensor glitches
+//! (NaN/±∞), far-from-origin data that breaks sum-of-squares statistics,
+//! zero-variance duplicates, singleton floods and ragged rows.
+//!
+//! Each corpus is a raw row collection, *not* a [`Dataset`]: several are
+//! deliberately invalid, and the point of the suite is to observe where
+//! the ingest boundary (or the pipeline's defensive re-validation)
+//! rejects them with a typed error rather than panicking or producing
+//! poisoned output.
+
+use db_spatial::{Dataset, SpatialError};
+
+use crate::rng::Rng;
+
+/// A named adversarial input: raw rows that may violate every dataset
+/// invariant (non-finite values, ragged lengths, emptiness).
+#[derive(Debug, Clone)]
+pub struct AdversarialCorpus {
+    /// Stable name for test diagnostics.
+    pub name: &'static str,
+    /// Nominal dimensionality (rows may disagree in the ragged corpus).
+    pub dim: usize,
+    /// The raw rows.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl AdversarialCorpus {
+    /// Attempts to assemble the rows into a [`Dataset`] through the
+    /// validating ingest boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SpatialError`] of the first rejected row — the
+    /// expected outcome for the invalid corpora.
+    pub fn build(&self) -> Result<Dataset, SpatialError> {
+        let mut ds = Dataset::new(self.dim)?;
+        for row in &self.rows {
+            ds.push(row)?;
+        }
+        Ok(ds)
+    }
+
+    /// Whether any row contains a NaN or ±∞ coordinate.
+    pub fn has_non_finite(&self) -> bool {
+        self.rows.iter().any(|r| r.iter().any(|x| !x.is_finite()))
+    }
+
+    /// Whether any row disagrees with the nominal dimensionality.
+    pub fn has_ragged_rows(&self) -> bool {
+        self.rows.iter().any(|r| r.len() != self.dim)
+    }
+}
+
+/// Two clean Gaussian blobs with NaN coordinates sprinkled into ~5% of
+/// the rows (a stuck sensor channel).
+pub fn nan_injected(seed: u64) -> AdversarialCorpus {
+    let mut rows = two_blobs(seed, 200, 0.0);
+    let mut rng = Rng::new(seed ^ 0x5eed_0001);
+    for _ in 0..rows.len() / 20 {
+        let i = rng.below(rows.len());
+        let j = rng.below(rows[i].len());
+        rows[i][j] = f64::NAN;
+    }
+    AdversarialCorpus { name: "nan_injected", dim: 2, rows }
+}
+
+/// Two clean blobs with ±∞ coordinates in ~5% of the rows (overflowed
+/// upstream aggregation).
+pub fn inf_injected(seed: u64) -> AdversarialCorpus {
+    let mut rows = two_blobs(seed, 200, 0.0);
+    let mut rng = Rng::new(seed ^ 0x5eed_0002);
+    for k in 0..rows.len() / 20 {
+        let i = rng.below(rows.len());
+        let j = rng.below(rows[i].len());
+        rows[i][j] = if k % 2 == 0 { f64::INFINITY } else { f64::NEG_INFINITY };
+    }
+    AdversarialCorpus { name: "inf_injected", dim: 2, rows }
+}
+
+/// Valid but numerically hostile: two tight blobs offset by 1e8 from the
+/// origin. The naive sum-of-squares clustering feature loses all extent
+/// precision here (catastrophic cancellation); the stable representation
+/// must not.
+pub fn far_offset_clusters(seed: u64) -> AdversarialCorpus {
+    AdversarialCorpus { name: "far_offset_clusters", dim: 2, rows: two_blobs(seed, 300, 1.0e8) }
+}
+
+/// Valid but degenerate: every point is one of two exact duplicates
+/// (zero within-cluster variance → zero extents, zero nndist).
+pub fn zero_variance_duplicates(_seed: u64) -> AdversarialCorpus {
+    let mut rows = Vec::with_capacity(240);
+    for i in 0..240 {
+        rows.push(if i % 2 == 0 { vec![1.0, 2.0] } else { vec![50.0, -3.0] });
+    }
+    AdversarialCorpus { name: "zero_variance_duplicates", dim: 2, rows }
+}
+
+/// Valid but pathological for compression: every point is far from every
+/// other (a flood of singletons — n=1 bubbles with extent 0 everywhere).
+pub fn singleton_flood(seed: u64) -> AdversarialCorpus {
+    let mut rng = Rng::new(seed ^ 0x5eed_0003);
+    let rows = (0..150)
+        .map(|i| vec![i as f64 * 1000.0 + rng.uniform(), (i % 13) as f64 * 777.0 + rng.uniform()])
+        .collect();
+    AdversarialCorpus { name: "singleton_flood", dim: 2, rows }
+}
+
+/// Structurally broken: rows of inconsistent length (a truncated record
+/// mid-stream). Must be rejected at ingest with a dimension mismatch.
+pub fn dim_mismatch(seed: u64) -> AdversarialCorpus {
+    let mut rows = two_blobs(seed, 60, 0.0);
+    rows.insert(30, vec![1.0]); // truncated row
+    rows.push(vec![1.0, 2.0, 3.0]); // over-long row
+    AdversarialCorpus { name: "dim_mismatch", dim: 2, rows }
+}
+
+/// No rows at all: the pipeline must answer with its empty-dataset error.
+pub fn empty(_seed: u64) -> AdversarialCorpus {
+    AdversarialCorpus { name: "empty", dim: 2, rows: Vec::new() }
+}
+
+/// Every adversarial corpus, for exhaustive chaos sweeps.
+pub fn all_corpora(seed: u64) -> Vec<AdversarialCorpus> {
+    vec![
+        nan_injected(seed),
+        inf_injected(seed),
+        far_offset_clusters(seed),
+        zero_variance_duplicates(seed),
+        singleton_flood(seed),
+        dim_mismatch(seed),
+        empty(seed),
+    ]
+}
+
+/// Two 2-d Gaussian blobs (at `offset` and `offset + 60`), `n` rows total.
+fn two_blobs(seed: u64, n: usize, offset: f64) -> Vec<Vec<f64>> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            let c = if i % 2 == 0 { offset } else { offset + 60.0 };
+            vec![rng.gaussian_with(c, 1.0), rng.gaussian_with(c, 1.0)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        // Bitwise comparison: `==` on the rows would be false at every
+        // injected NaN even for identical corpora.
+        let bits = |c: &AdversarialCorpus| -> Vec<Vec<u64>> {
+            c.rows.iter().map(|r| r.iter().map(|x| x.to_bits()).collect()).collect()
+        };
+        for (a, b) in all_corpora(7).iter().zip(all_corpora(7).iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(bits(a), bits(b));
+        }
+    }
+
+    #[test]
+    fn corpora_have_the_advertised_defects() {
+        assert!(nan_injected(1).has_non_finite());
+        assert!(inf_injected(1).has_non_finite());
+        assert!(dim_mismatch(1).has_ragged_rows());
+        assert!(!far_offset_clusters(1).has_non_finite());
+        assert!(!zero_variance_duplicates(1).has_non_finite());
+        assert!(empty(1).rows.is_empty());
+    }
+
+    #[test]
+    fn build_accepts_valid_and_rejects_invalid() {
+        assert!(far_offset_clusters(3).build().is_ok());
+        assert!(zero_variance_duplicates(3).build().is_ok());
+        assert!(singleton_flood(3).build().is_ok());
+        assert!(matches!(nan_injected(3).build(), Err(SpatialError::NonFiniteCoordinate { .. })));
+        assert!(matches!(dim_mismatch(3).build(), Err(SpatialError::DimensionMismatch { .. })));
+        // Empty builds fine — it fails later, at the pipeline boundary.
+        assert_eq!(empty(3).build().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn far_offset_blobs_are_tight_and_far() {
+        let c = far_offset_clusters(5);
+        assert!(c.rows.iter().all(|r| r.iter().all(|&x| x > 9.0e7)));
+    }
+}

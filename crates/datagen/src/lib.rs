@@ -15,6 +15,10 @@
 //!   two tiny dense clusters embedded (see DESIGN.md §4 for the
 //!   substitution rationale).
 //!
+//! The [`adversarial`] module provides the fault-injection corpora of the
+//! chaos suite (NaN/∞ injection, 1e8-offset clusters, zero-variance
+//! duplicates, singleton floods, ragged rows).
+//!
 //! All generators take an explicit `u64` seed and are fully deterministic.
 //!
 //! # Example
@@ -29,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 mod complex;
 mod corel;
 mod ds1;
@@ -38,6 +43,7 @@ mod labeled;
 pub mod rng;
 pub mod shapes;
 
+pub use adversarial::{all_corpora, AdversarialCorpus};
 pub use complex::{nested_rings, two_moons, two_spirals, RingsParams};
 pub use corel::{corel_like, CorelParams};
 pub use ds1::{ds1, Ds1Params, DS1_COMPONENTS};

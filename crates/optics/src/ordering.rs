@@ -135,13 +135,18 @@ pub fn median_smooth(values: &[f64], half: usize) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if `n_objects != ordering.len()` or an id is out of range.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must take the jump branch
 pub fn extract_dbscan(ordering: &ClusterOrdering, eps_cut: f64, n_objects: usize) -> Vec<i32> {
     assert_eq!(n_objects, ordering.len(), "id space must match ordering length");
     let mut labels = vec![-1i32; n_objects];
     let mut cluster = -1i32;
     for e in &ordering.entries {
         assert!(e.id < n_objects, "object id out of range");
-        if e.reachability > eps_cut {
+        // `!(r <= cut)` rather than `r > cut`: a NaN reachability must read
+        // as a jump (and below, a NaN core-distance as non-core → noise),
+        // otherwise one poisoned value silently glues unrelated walk
+        // segments into the current cluster.
+        if !(e.reachability <= eps_cut) {
             // Jump: either a new cluster starts here (if the object itself
             // is dense enough at eps_cut) or the object is noise.
             if e.core_distance <= eps_cut {
@@ -251,6 +256,22 @@ mod tests {
     #[should_panic(expected = "id space must match")]
     fn extract_dbscan_checks_length() {
         extract_dbscan(&two_cluster_ordering(), 1.0, 5);
+    }
+
+    #[test]
+    fn extract_dbscan_treats_nan_as_jump_not_glue() {
+        // A NaN reachability in the middle of cluster 0 must not silently
+        // attach to the cluster (NaN > cut and NaN <= cut are both false).
+        let mut o = two_cluster_ordering();
+        o.entries[2].reachability = f64::NAN;
+        o.entries[2].core_distance = 0.5; // dense at the cut: opens a cluster
+        let labels = extract_dbscan(&o, 1.0, 6);
+        assert_eq!(labels, vec![0, 0, 1, 2, 2, 2]);
+        // NaN core-distance at a jump reads as non-core → noise.
+        let mut o = two_cluster_ordering();
+        o.entries[3].core_distance = f64::NAN;
+        let labels = extract_dbscan(&o, 1.0, 6);
+        assert_eq!(labels[3], -1);
     }
 
     #[test]

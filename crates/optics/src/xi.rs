@@ -82,6 +82,10 @@ pub fn extract_xi(ordering: &ClusterOrdering, xi: f64, min_cluster_size: usize) 
     let ixi = 1.0 - xi;
     // On an infinite plateau (r[i]=r[i+1]=∞), neither steep-down nor
     // steep-up should trigger; ∞·(1−ξ) ≥ ∞ is true in IEEE, so guard.
+    // NaN reachabilities are likewise inert by construction: every
+    // comparison below is false for NaN (and `f64::max` in the mib update
+    // ignores NaN), so a poisoned value can neither open nor close an
+    // area — it just breaks the plateau it sits in.
     let steep_down = |i: usize| {
         let (a, b) = (rv(i), rv(i + 1));
         a.is_finite() && (b == 0.0 || a * ixi >= b) && a > b || (a.is_infinite() && b.is_finite())
@@ -307,6 +311,23 @@ mod tests {
     fn rejects_bad_xi() {
         let o = ordering_from(&[1.0, 2.0], 2);
         extract_xi(&o, 1.5, 2);
+    }
+
+    #[test]
+    fn nan_reachability_does_not_poison_extraction() {
+        // A NaN inside a plateau must not crash or manufacture clusters out
+        // of flat regions; the two real dents must still be found.
+        let mut r = two_dents();
+        r[5] = f64::NAN; // inside the leading plateau
+        let o = ordering_from(&r, 3);
+        let clusters = extract_xi(&o, 0.3, 5);
+        assert!(
+            clusters.iter().any(|c| (24..=26).contains(&c.end)),
+            "first dent missing under NaN: {clusters:?}"
+        );
+        // An all-NaN plot yields nothing rather than panicking.
+        let o = ordering_from(&[f64::NAN; 20], 3);
+        assert!(extract_xi(&o, 0.3, 5).is_empty());
     }
 
     #[test]

@@ -5,6 +5,12 @@ use crate::error::SpatialError;
 /// Storage is a single flat `Vec<f64>`, point `i` occupying
 /// `data[i*dim .. (i+1)*dim]`. This layout keeps range scans and distance
 /// computations cache friendly and avoids one allocation per point.
+///
+/// Every fallible constructor and [`Dataset::push`] validate that
+/// coordinates are finite, so a `Dataset` built through the safe API never
+/// contains NaN or ±∞ — the distance kernels and everything above them can
+/// rely on it. [`Dataset::from_flat_unchecked`] is the only way to bypass
+/// the check (fault injection, pre-validated buffers).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dim: usize,
@@ -53,8 +59,8 @@ impl Dataset {
     ///
     /// # Errors
     ///
-    /// Returns an error if `dim == 0` or `flat.len()` is not a multiple of
-    /// `dim`.
+    /// Returns an error if `dim == 0`, `flat.len()` is not a multiple of
+    /// `dim`, or any coordinate is non-finite.
     pub fn from_flat(dim: usize, flat: Vec<f64>) -> Result<Self, SpatialError> {
         if dim == 0 {
             return Err(SpatialError::ZeroDimension);
@@ -62,19 +68,62 @@ impl Dataset {
         if !flat.len().is_multiple_of(dim) {
             return Err(SpatialError::RaggedBuffer { len: flat.len(), dim });
         }
+        if let Some(pos) = flat.iter().position(|x| !x.is_finite()) {
+            return Err(SpatialError::NonFiniteCoordinate { point: pos / dim, coord: pos % dim });
+        }
         Ok(Self { dim, data: flat })
+    }
+
+    /// Builds a dataset from a flat row-major buffer **without** the
+    /// finiteness validation of [`Dataset::from_flat`]. Intended for
+    /// pre-validated buffers and for fault-injection tests that need to
+    /// smuggle NaN/∞ past the ingest boundary on purpose; consumers such as
+    /// `run_pipeline` re-validate defensively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the buffer is ragged (programmer errors, not
+    /// data errors).
+    pub fn from_flat_unchecked(dim: usize, flat: Vec<f64>) -> Self {
+        assert!(dim > 0, "dataset dimensionality must be non-zero");
+        assert!(flat.len().is_multiple_of(dim), "flat buffer is ragged");
+        Self { dim, data: flat }
     }
 
     /// Appends a point.
     ///
     /// # Errors
     ///
-    /// Returns [`SpatialError::DimensionMismatch`] if `point.len() != dim`.
+    /// Returns [`SpatialError::DimensionMismatch`] if `point.len() != dim`,
+    /// or [`SpatialError::NonFiniteCoordinate`] if a coordinate is NaN/±∞.
     pub fn push(&mut self, point: &[f64]) -> Result<(), SpatialError> {
         if point.len() != self.dim {
             return Err(SpatialError::DimensionMismatch { expected: self.dim, got: point.len() });
         }
+        if let Some(coord) = point.iter().position(|x| !x.is_finite()) {
+            return Err(SpatialError::NonFiniteCoordinate { point: self.len(), coord });
+        }
         self.data.extend_from_slice(point);
+        Ok(())
+    }
+
+    /// Checks that every stored coordinate is finite.
+    ///
+    /// Datasets built through the safe constructors always pass; this
+    /// exists so consumers can cheaply re-validate data that may have come
+    /// through [`Dataset::from_flat_unchecked`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::NonFiniteCoordinate`] for the first
+    /// offending coordinate.
+    pub fn validate(&self) -> Result<(), SpatialError> {
+        if let Some(pos) = self.data.iter().position(|x| !x.is_finite()) {
+            return Err(SpatialError::NonFiniteCoordinate {
+                point: pos / self.dim,
+                coord: pos % self.dim,
+            });
+        }
         Ok(())
     }
 
@@ -315,6 +364,34 @@ mod tests {
 
         let c = Dataset::new(3).unwrap();
         assert!(a.extend_from(&c).is_err());
+    }
+
+    #[test]
+    fn non_finite_coordinates_are_rejected_at_ingest() {
+        let mut ds = Dataset::new(2).unwrap();
+        ds.push(&[0.0, 1.0]).unwrap();
+        let err = ds.push(&[f64::NAN, 1.0]).unwrap_err();
+        assert_eq!(err, SpatialError::NonFiniteCoordinate { point: 1, coord: 0 });
+        let err = ds.push(&[1.0, f64::INFINITY]).unwrap_err();
+        assert_eq!(err, SpatialError::NonFiniteCoordinate { point: 1, coord: 1 });
+        // A failed push leaves the dataset unchanged.
+        assert_eq!(ds.len(), 1);
+        assert!(ds.validate().is_ok());
+
+        let err = Dataset::from_flat(2, vec![0.0, 0.0, 1.0, f64::NEG_INFINITY]).unwrap_err();
+        assert_eq!(err, SpatialError::NonFiniteCoordinate { point: 1, coord: 1 });
+        let err = Dataset::from_rows(1, &[&[1.0], &[f64::NAN]]).unwrap_err();
+        assert_eq!(err, SpatialError::NonFiniteCoordinate { point: 1, coord: 0 });
+    }
+
+    #[test]
+    fn unchecked_constructor_bypasses_validation() {
+        let ds = Dataset::from_flat_unchecked(2, vec![0.0, f64::NAN]);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(
+            ds.validate().unwrap_err(),
+            SpatialError::NonFiniteCoordinate { point: 0, coord: 1 }
+        );
     }
 
     #[test]

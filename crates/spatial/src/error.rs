@@ -19,6 +19,16 @@ pub enum SpatialError {
         /// Dimensionality of the dataset.
         dim: usize,
     },
+    /// A coordinate was NaN or ±∞. Non-finite coordinates poison every
+    /// distance computation downstream, so they are rejected at the
+    /// dataset ingest boundary.
+    NonFiniteCoordinate {
+        /// Index of the offending point (the dataset length at the time of
+        /// the rejected push, or the row index for bulk constructors).
+        point: usize,
+        /// Index of the offending coordinate within the point.
+        coord: usize,
+    },
 }
 
 impl fmt::Display for SpatialError {
@@ -30,6 +40,9 @@ impl fmt::Display for SpatialError {
             }
             SpatialError::RaggedBuffer { len, dim } => {
                 write!(f, "flat buffer of length {len} is not a multiple of dimension {dim}")
+            }
+            SpatialError::NonFiniteCoordinate { point, coord } => {
+                write!(f, "point {point}, coordinate {coord} is not finite (NaN or infinite)")
             }
         }
     }
@@ -48,5 +61,7 @@ mod tests {
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
         let e = SpatialError::RaggedBuffer { len: 7, dim: 2 };
         assert!(e.to_string().contains('7') && e.to_string().contains('2'));
+        let e = SpatialError::NonFiniteCoordinate { point: 4, coord: 1 };
+        assert!(e.to_string().contains('4') && e.to_string().contains("finite"));
     }
 }

@@ -10,6 +10,7 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::dataset::Dataset;
+use crate::error::SpatialError;
 
 /// Options for [`read_csv`].
 #[derive(Debug, Clone, Default)]
@@ -41,6 +42,16 @@ pub enum CsvError {
         /// Found coordinates.
         got: usize,
     },
+    /// A field parsed as `f64` but was NaN or ±∞, which the dataset ingest
+    /// boundary rejects (see [`SpatialError::NonFiniteCoordinate`]).
+    NonFinite {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: String,
+    },
+    /// The assembled row was rejected by the [`Dataset`] ingest validation.
+    Spatial(SpatialError),
     /// No data rows were found.
     Empty,
 }
@@ -55,6 +66,10 @@ impl std::fmt::Display for CsvError {
             CsvError::RaggedRow { line, expected, got } => {
                 write!(f, "line {line}: expected {expected} coordinates, found {got}")
             }
+            CsvError::NonFinite { line, field } => {
+                write!(f, "line {line}: non-finite coordinate {field:?} rejected")
+            }
+            CsvError::Spatial(e) => write!(f, "dataset rejected input: {e}"),
             CsvError::Empty => write!(f, "no data rows found"),
         }
     }
@@ -65,6 +80,12 @@ impl std::error::Error for CsvError {}
 impl From<io::Error> for CsvError {
     fn from(e: io::Error) -> Self {
         CsvError::Io(e)
+    }
+}
+
+impl From<SpatialError> for CsvError {
+    fn from(e: SpatialError) -> Self {
+        CsvError::Spatial(e)
     }
 }
 
@@ -101,9 +122,10 @@ pub fn read_csv_from(reader: impl Read, options: &CsvOptions) -> Result<Dataset,
                 .map_err(|_| CsvError::BadNumber { line: idx + 1, field: field.to_string() })?;
             // Rust parses "NaN"/"inf" successfully, but non-finite
             // coordinates poison every distance downstream — reject them
-            // here, where the line number is still known.
+            // here, where the line number is still known (the Dataset
+            // ingest boundary would reject them anyway, without the line).
             if !v.is_finite() {
-                return Err(CsvError::BadNumber { line: idx + 1, field: field.to_string() });
+                return Err(CsvError::NonFinite { line: idx + 1, field: field.to_string() });
             }
             row.push(v);
         }
@@ -115,8 +137,8 @@ pub fn read_csv_from(reader: impl Read, options: &CsvOptions) -> Result<Dataset,
                         field: String::from("<no numeric columns>"),
                     });
                 }
-                let mut d = Dataset::new(row.len()).expect("non-empty row");
-                d.push(&row).expect("dimensions match");
+                let mut d = Dataset::new(row.len())?;
+                d.push(&row)?;
                 ds = Some(d);
             }
             Some(d) => {
@@ -127,7 +149,7 @@ pub fn read_csv_from(reader: impl Read, options: &CsvOptions) -> Result<Dataset,
                         got: row.len(),
                     });
                 }
-                d.push(&row).expect("dimensions match");
+                d.push(&row)?;
             }
         }
     }
@@ -237,9 +259,11 @@ mod tests {
 
     #[test]
     fn non_finite_values_are_rejected() {
-        for bad in ["1.0,NaN\n", "inf,2.0\n", "1.0,-inf\n"] {
+        let cases =
+            [("1.0,NaN\n", 1), ("inf,2.0\n", 1), ("1.0,-inf\n", 1), ("1.0,2.0\nnan,4.0\n", 2)];
+        for (bad, want_line) in cases {
             match read_csv_from(bad.as_bytes(), &CsvOptions::default()) {
-                Err(CsvError::BadNumber { line: 1, .. }) => {}
+                Err(CsvError::NonFinite { line, .. }) => assert_eq!(line, want_line),
                 other => panic!("{bad:?} must be rejected, got {other:?}"),
             }
         }

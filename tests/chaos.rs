@@ -1,0 +1,162 @@
+//! Chaos suite: every adversarial corpus through every compression
+//! backend, asserting the robustness contract — no panics, typed errors
+//! for invalid input, fully finite output (no NaN anywhere; the ∞
+//! UNDEFINED sentinel for walk starts and non-core objects is legitimate)
+//! for valid input.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use data_bubbles::pipeline::{
+    run_pipeline, Compressor, PipelineConfig, PipelineError, PipelineOutput, Recovery,
+};
+use db_birch::BirchParams;
+use db_datagen::adversarial::all_corpora;
+use db_optics::OpticsParams;
+use db_spatial::{Dataset, SpatialError};
+
+fn compressors() -> Vec<(&'static str, Compressor)> {
+    vec![
+        ("sample", Compressor::Sample { seed: 17 }),
+        ("birch", Compressor::Birch(BirchParams::default())),
+    ]
+}
+
+const RECOVERIES: [Recovery; 3] = [Recovery::Naive, Recovery::Weighted, Recovery::Bubbles];
+
+/// No NaN may survive anywhere in a successful output; reachability and
+/// core-distance may be the ∞ sentinel, everything else must be finite.
+fn assert_output_finite(out: &PipelineOutput, ctx: &str, failures: &mut Vec<String>) {
+    for e in &out.rep_ordering.entries {
+        if e.reachability.is_nan() || e.core_distance.is_nan() {
+            failures.push(format!("{ctx}: NaN in representative ordering entry {}", e.id));
+        }
+    }
+    if let Some(expanded) = &out.expanded {
+        for e in &expanded.entries {
+            if e.reachability.is_nan() || e.core_estimate.is_nan() {
+                failures.push(format!("{ctx}: NaN in expanded entry for object {}", e.object));
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_corpora_never_panic_and_never_emit_nan() {
+    let mut failures: Vec<String> = Vec::new();
+    for corpus in all_corpora(42) {
+        // Stage 1: the ingest boundary. Invalid corpora must be rejected
+        // here with a typed SpatialError; that is the graceful outcome.
+        let ds = match corpus.build() {
+            Ok(ds) => ds,
+            Err(SpatialError::NonFiniteCoordinate { .. }) if corpus.has_non_finite() => continue,
+            Err(SpatialError::DimensionMismatch { .. }) if corpus.has_ragged_rows() => continue,
+            Err(e) => {
+                failures.push(format!("{}: unexpected ingest rejection {e}", corpus.name));
+                continue;
+            }
+        };
+        if corpus.has_non_finite() || corpus.has_ragged_rows() {
+            failures.push(format!("{}: invalid corpus passed ingest validation", corpus.name));
+            continue;
+        }
+        // Stage 2: the pipeline itself, over both backends and all three
+        // recovery modes. Typed errors are acceptable; panics and NaN are not.
+        let k = (ds.len() / 4).clamp(1, 32);
+        for (cname, compressor) in compressors() {
+            for recovery in RECOVERIES {
+                let ctx = format!("{} x {cname} x {recovery:?}", corpus.name);
+                let cfg = PipelineConfig {
+                    k,
+                    compressor: compressor.clone(),
+                    recovery,
+                    optics: OpticsParams { eps: f64::INFINITY, min_pts: 5 },
+                };
+                match catch_unwind(AssertUnwindSafe(|| run_pipeline(&ds, &cfg))) {
+                    Err(_) => failures.push(format!("{ctx}: PANICKED")),
+                    Ok(Ok(out)) => assert_output_finite(&out, &ctx, &mut failures),
+                    Ok(Err(PipelineError::Internal(what))) => {
+                        failures.push(format!("{ctx}: internal invariant violated: {what}"))
+                    }
+                    Ok(Err(_typed)) => {} // graceful typed rejection
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "chaos failures:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn empty_corpus_gets_the_empty_dataset_error() {
+    let ds = db_datagen::adversarial::empty(0).build().unwrap();
+    for (_, compressor) in compressors() {
+        let err = run_pipeline(
+            &ds,
+            &PipelineConfig {
+                k: 4,
+                compressor,
+                recovery: Recovery::Bubbles,
+                optics: OpticsParams { eps: f64::INFINITY, min_pts: 5 },
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, PipelineError::EmptyDataset);
+    }
+}
+
+#[test]
+fn nan_smuggled_past_ingest_is_caught_by_the_pipeline() {
+    // `from_flat_unchecked` deliberately bypasses ingest validation; the
+    // pipeline's defensive re-check must produce a typed error, not a
+    // panic or NaN-poisoned output.
+    let mut flat = Vec::new();
+    for i in 0..40 {
+        flat.extend_from_slice(&[i as f64, (i % 7) as f64]);
+    }
+    flat[13] = f64::NAN;
+    let ds = Dataset::from_flat_unchecked(2, flat);
+    for (_, compressor) in compressors() {
+        for recovery in RECOVERIES {
+            let err = run_pipeline(
+                &ds,
+                &PipelineConfig {
+                    k: 8,
+                    compressor: compressor.clone(),
+                    recovery,
+                    optics: OpticsParams { eps: f64::INFINITY, min_pts: 5 },
+                },
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                PipelineError::Spatial(SpatialError::NonFiniteCoordinate { point: 6, coord: 1 })
+            );
+        }
+    }
+}
+
+#[test]
+fn far_offset_corpus_keeps_finite_nonzero_structure() {
+    // The 1e8-offset corpus is the catastrophic-cancellation trap: with
+    // sum-of-squares statistics the extents collapse or go NaN. The stable
+    // representation must keep both blobs' bubbles finite, and at least
+    // one multi-point bubble must report a strictly positive extent.
+    let ds = db_datagen::adversarial::far_offset_clusters(42).build().unwrap();
+    for (cname, compressor) in compressors() {
+        let out = run_pipeline(
+            &ds,
+            &PipelineConfig {
+                k: 16,
+                compressor,
+                recovery: Recovery::Bubbles,
+                optics: OpticsParams { eps: f64::INFINITY, min_pts: 5 },
+            },
+        )
+        .unwrap();
+        let mut failures = Vec::new();
+        assert_output_finite(&out, cname, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+        let finite_reach =
+            out.rep_ordering.entries.iter().filter(|e| e.reachability.is_finite()).count();
+        assert!(finite_reach > 0, "{cname}: no finite reachabilities at 1e8 offset");
+    }
+}

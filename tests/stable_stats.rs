@@ -1,0 +1,135 @@
+//! Shift-invariance regression tests for the stable sufficient statistics:
+//! the BETULA-style (n, mean, ssd) representation must report the same
+//! extent/diameter for a cluster translated by 1e8 as for its
+//! origin-centered copy, where the classical (n, LS, ss) closed form
+//! loses every significant digit to catastrophic cancellation.
+
+use data_bubbles::DataBubble;
+use db_birch::Cf;
+
+/// The classical diameter closed form the paper states (Definition 10 /
+/// Corollary 1): `sqrt((2·n·ss − 2·|LS|²) / (n·(n−1)))`, computed exactly
+/// as an implementation over raw (n, LS, ss) sums would.
+fn naive_diameter(points: &[[f64; 2]]) -> f64 {
+    let n = points.len() as f64;
+    let mut ls = [0.0f64; 2];
+    let mut ss = 0.0f64;
+    for p in points {
+        ls[0] += p[0];
+        ls[1] += p[1];
+        ss += p[0] * p[0] + p[1] * p[1];
+    }
+    let ls_sq = ls[0] * ls[0] + ls[1] * ls[1];
+    let radicand = (2.0 * n * ss - 2.0 * ls_sq) / (n * (n - 1.0));
+    radicand.max(0.0).sqrt()
+}
+
+fn cf_of(points: &[[f64; 2]]) -> Cf {
+    let mut cf = Cf::empty(2);
+    for p in points {
+        cf.add_point(p);
+    }
+    cf
+}
+
+fn shifted(points: &[[f64; 2]], offset: f64) -> Vec<[f64; 2]> {
+    points.iter().map(|p| [p[0] + offset, p[1] + offset]).collect()
+}
+
+/// Two points one unit apart: true diameter (avg pairwise distance) is 1.
+const PAIR: [[f64; 2]; 2] = [[0.0, 0.0], [1.0, 0.0]];
+
+#[test]
+fn two_point_cluster_extent_is_shift_invariant_at_1e8() {
+    let origin = DataBubble::from_cf(&cf_of(&PAIR));
+    let far = DataBubble::from_cf(&cf_of(&shifted(&PAIR, 1.0e8)));
+    assert!(
+        (origin.extent() - far.extent()).abs() < 1e-6,
+        "extent drifted under 1e8 shift: {} vs {}",
+        origin.extent(),
+        far.extent()
+    );
+    assert!((origin.extent() - 1.0).abs() < 1e-12, "origin extent wrong: {}", origin.extent());
+}
+
+#[test]
+fn naive_closed_form_collapses_where_stable_form_does_not() {
+    // Documents WHY the representation changed: at 1e8 offset the naive
+    // sum-of-squares diameter is pure cancellation noise (typically 0),
+    // while the stable form stays within 1e-6 of the true value 1.
+    let far = shifted(&PAIR, 1.0e8);
+    let naive = naive_diameter(&far);
+    assert!(
+        (naive - 1.0).abs() > 0.5,
+        "naive closed form unexpectedly survived the 1e8 offset: {naive}"
+    );
+    let stable = cf_of(&far).diameter();
+    assert!((stable - 1.0).abs() < 1e-6, "stable diameter off at 1e8: {stable}");
+}
+
+#[test]
+fn diameter_stays_stable_across_offset_sweep() {
+    // A 40-point blob with known spread, translated progressively further
+    // out. The stable diameter must agree with the origin value at every
+    // offset; the naive form must have failed by 1e8.
+    let blob: Vec<[f64; 2]> =
+        (0..40).map(|i| [(i % 8) as f64 * 0.25, (i / 8) as f64 * 0.25]).collect();
+    let reference = cf_of(&blob).diameter();
+    assert!(reference > 0.5, "blob should have nontrivial spread: {reference}");
+    for offset in [0.0, 1.0e4, 1.0e6, 1.0e8] {
+        let d = cf_of(&shifted(&blob, offset)).diameter();
+        assert!(
+            (d - reference).abs() < 1e-6,
+            "diameter at offset {offset:e}: {d} vs reference {reference}"
+        );
+    }
+    let naive_far = naive_diameter(&shifted(&blob, 1.0e8));
+    assert!(
+        (naive_far - reference).abs() > 0.1,
+        "naive form unexpectedly accurate at 1e8: {naive_far} vs {reference}"
+    );
+}
+
+#[test]
+fn nndist_is_monotone_in_k_under_extreme_offset() {
+    // Lemma 1 monotonicity must survive the translation: nndist(k) is
+    // nondecreasing in k for a far-from-origin bubble, with no NaN.
+    let blob: Vec<[f64; 2]> =
+        (0..64).map(|i| [(i % 8) as f64 * 0.5, (i / 8) as f64 * 0.5]).collect();
+    let bubble = DataBubble::from_cf(&cf_of(&shifted(&blob, 1.0e8)));
+    let mut prev = 0.0;
+    for k in 1..=80 {
+        let d = bubble.nndist(k);
+        assert!(d.is_finite(), "nndist({k}) not finite: {d}");
+        assert!(d >= prev, "nndist not monotone at k={k}: {d} < {prev}");
+        prev = d;
+    }
+    // And it matches the origin-centered bubble's nndist exactly in shape.
+    let origin = DataBubble::from_cf(&cf_of(&blob));
+    for k in [1, 8, 32, 64] {
+        assert!(
+            (bubble.nndist(k) - origin.nndist(k)).abs() < 1e-6,
+            "nndist({k}) drifted under shift"
+        );
+    }
+}
+
+#[test]
+fn merged_diameter_is_shift_invariant() {
+    // The pairwise-merge path (Chan/Golub/LeVeque) must be as stable as
+    // the incremental path: merging two half-blobs far from the origin
+    // gives the same diameter as merging them at the origin.
+    let left: Vec<[f64; 2]> = (0..20).map(|i| [i as f64 * 0.1, 0.0]).collect();
+    let right: Vec<[f64; 2]> = (0..20).map(|i| [i as f64 * 0.1 + 5.0, 0.0]).collect();
+    let at_origin = {
+        let mut cf = cf_of(&left);
+        cf += &cf_of(&right);
+        cf.diameter()
+    };
+    let far = {
+        let mut cf = cf_of(&shifted(&left, 1.0e8));
+        cf += &cf_of(&shifted(&right, 1.0e8));
+        cf.diameter()
+    };
+    assert!((at_origin - far).abs() < 1e-6, "merged diameter drifted: {at_origin} vs {far}");
+}
