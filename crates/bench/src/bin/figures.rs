@@ -1,7 +1,7 @@
 //! Regenerates the paper's evaluation figures.
 //!
 //! ```text
-//! figures [--scale quick|default|paper] [--out DIR] [--seed N] <figure>...|all
+//! figures [--scale quick|default|paper] [--out DIR] [--seed N] [--threads N] <figure>...|all
 //! ```
 //!
 //! Reports are written to `<out>/<figure>.txt` (+ `.json` series) and
@@ -17,7 +17,8 @@ use db_bench::{run_figure, ALL_FIGURES};
 
 fn usage() -> String {
     format!(
-        "usage: figures [--scale quick|default|paper] [--out DIR] [--seed N] <figure>...|all\n\
+        "usage: figures [--scale quick|default|paper] [--out DIR] [--seed N] [--threads N] \
+         <figure>...|all\n\
          figures: {}",
         ALL_FIGURES.join(", ")
     )
@@ -49,6 +50,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 cfg.seed = v;
+            }
+            "--threads" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--threads needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                cfg.threads = Some(v);
             }
             "--help" | "-h" => {
                 println!("{}", usage());

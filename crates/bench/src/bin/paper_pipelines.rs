@@ -1,26 +1,181 @@
-fn main() {
-    use data_bubbles::pipeline::{optics_cf_bubbles, optics_sa_bubbles};
-    use db_bench::config::{RunConfig, Scale};
-    use db_bench::experiments::common::ds1_setup;
-    let cfg = RunConfig { scale: Scale::Paper, ..Default::default() };
-    db_obs::log_info!(target: "bench", "generating DS1 @ 1M...");
+//! Thread-scaling benchmark over the paper-scale pipelines.
+//!
+//! ```text
+//! paper_pipelines [--scale quick|default|paper] [--factor N] [--seed N]
+//! ```
+//!
+//! Runs `OPTICS-SA-Bubbles` (the paper's headline pipeline) on DS1 at the
+//! chosen scale and compression factor with 1, 2 and 4 worker threads and
+//! with the thread count left to available parallelism, verifying that
+//! every run produces the identical output, and writes the measured phase
+//! timings as machine-readable JSON to `BENCH_pr3.json` in the working
+//! directory. `OPTICS-CF-Bubbles` is run once as a cross-check that the
+//! BIRCH branch also benefits from the threaded classification.
+
+use std::num::NonZeroUsize;
+use std::process::ExitCode;
+
+use data_bubbles::pipeline::{run_pipeline, Compressor, PipelineConfig, PipelineOutput, Recovery};
+use db_bench::config::{RunConfig, Scale};
+use db_bench::experiments::common::ds1_setup;
+use db_obs::Json;
+
+fn run(
+    data: &db_datagen::LabeledDataset,
+    cfg: &PipelineConfig,
+    threads: Option<NonZeroUsize>,
+) -> PipelineOutput {
+    let mut cfg = cfg.clone();
+    cfg.threads = threads;
+    run_pipeline(&data.data, &cfg).expect("pipeline run failed")
+}
+
+fn timing_row(threads: Option<NonZeroUsize>, out: &PipelineOutput) -> Json {
+    Json::Obj(vec![
+        ("threads".into(), threads.map_or(Json::Null, |t| Json::Int(t.get() as i64))),
+        ("compression_s".into(), Json::Num(out.timings.compression.as_secs_f64())),
+        ("clustering_s".into(), Json::Num(out.timings.clustering.as_secs_f64())),
+        ("recovery_s".into(), Json::Num(out.timings.recovery.as_secs_f64())),
+        ("total_s".into(), Json::Num(out.timings.total().as_secs_f64())),
+        ("n_representatives".into(), Json::Int(out.n_representatives as i64)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Default;
+    let mut factor = 100usize;
+    let mut seed = 2001u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().and_then(|v| Scale::parse(&v)) {
+                Some(v) => scale = v,
+                None => {
+                    eprintln!("--scale needs one of quick|default|paper");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--factor" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => factor = v,
+                _ => {
+                    eprintln!("--factor needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: paper_pipelines [--scale quick|default|paper] [--factor N] [--seed N]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cfg = RunConfig { scale, seed, ..Default::default() };
+    db_obs::log_info!(target: "bench", "generating DS1 @ {}...", scale.ds1_n());
     let data = cfg.make_ds1();
     let setup = ds1_setup(data.len());
-    for factor in [100usize, 1000, 5000] {
-        let k = (data.len() / factor).max(20);
-        let sa = optics_sa_bubbles(&data.data, k, cfg.seed, &setup.bubble_optics()).unwrap();
-        let cf = optics_cf_bubbles(
-            &data.data,
-            k,
-            &db_birch::BirchParams::default(),
-            &setup.bubble_optics(),
-        )
-        .unwrap();
+    let k = (data.len() / factor).max(20);
+    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    println!("DS1 n={} k={k} (factor {factor}), available parallelism = {available}", data.len());
+
+    let sa_cfg = PipelineConfig::new(
+        k,
+        Compressor::Sample { seed: cfg.seed },
+        Recovery::Bubbles,
+        setup.bubble_optics(),
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline: Option<PipelineOutput> = None;
+    let mut speedup4 = None;
+    for threads in [NonZeroUsize::new(1), NonZeroUsize::new(2), NonZeroUsize::new(4), None] {
+        let out = run(&data, &sa_cfg, threads);
+        let label = threads.map_or("max".into(), |t| t.to_string());
         println!(
-            "factor {factor}: k={k} SA={:.2}s CF={:.2}s (CF k_actual={})",
-            sa.timings.total().as_secs_f64(),
-            cf.timings.total().as_secs_f64(),
-            cf.n_representatives
+            "SA-Bubbles threads={label:>3}: compression {:.3}s  clustering {:.3}s  recovery {:.3}s  total {:.3}s",
+            out.timings.compression.as_secs_f64(),
+            out.timings.clustering.as_secs_f64(),
+            out.timings.recovery.as_secs_f64(),
+            out.timings.total().as_secs_f64(),
         );
+        rows.push(timing_row(threads, &out));
+        match &baseline {
+            None => baseline = Some(out),
+            Some(base) => {
+                // The threaded paths must be bit-for-bit identical to the
+                // single-threaded run — this is the determinism contract,
+                // enforced here on the real benchmark workload too.
+                let identical = base.rep_ordering == out.rep_ordering
+                    && base.expanded == out.expanded
+                    && base.n_representatives == out.n_representatives;
+                assert!(identical, "threads={label}: output differs from the 1-thread run");
+                if threads == NonZeroUsize::new(4) {
+                    let combined = |o: &PipelineOutput| {
+                        o.timings.compression.as_secs_f64() + o.timings.clustering.as_secs_f64()
+                    };
+                    speedup4 = Some(combined(base) / combined(&out));
+                }
+            }
+        }
     }
+    let speedup4 = speedup4.expect("4-thread run present");
+    println!("combined compression+clustering speedup at 4 threads: {speedup4:.2}x");
+
+    // CF cross-check: one run through the BIRCH branch with full threading.
+    let cf_cfg = PipelineConfig::new(
+        k,
+        Compressor::Birch(db_birch::BirchParams::default()),
+        Recovery::Bubbles,
+        setup.bubble_optics(),
+    );
+    let cf = run(&data, &cf_cfg, None);
+    println!(
+        "CF-Bubbles threads=max: total {:.3}s (k_actual = {})",
+        cf.timings.total().as_secs_f64(),
+        cf.n_representatives
+    );
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("pr3_threaded_pipelines".into())),
+        (
+            "dataset".into(),
+            Json::Obj(vec![
+                ("name".into(), Json::Str("DS1".into())),
+                ("n".into(), Json::Int(data.len() as i64)),
+                ("dim".into(), Json::Int(data.data.dim() as i64)),
+            ]),
+        ),
+        ("k".into(), Json::Int(k as i64)),
+        ("compression_factor".into(), Json::Int(factor as i64)),
+        ("seed".into(), Json::Int(cfg.seed as i64)),
+        ("available_parallelism".into(), Json::Int(available as i64)),
+        ("pipeline".into(), Json::Str("OPTICS-SA-Bubbles".into())),
+        ("runs".into(), Json::Arr(rows)),
+        ("identical_outputs".into(), Json::Bool(true)),
+        ("speedup_4_threads_compression_clustering".into(), Json::Num(speedup4)),
+        (
+            "cf_bubbles_crosscheck".into(),
+            Json::Obj(vec![
+                ("threads".into(), Json::Null),
+                ("total_s".into(), Json::Num(cf.timings.total().as_secs_f64())),
+                ("n_representatives".into(), Json::Int(cf.n_representatives as i64)),
+            ]),
+        ),
+    ]);
+    let path = "BENCH_pr3.json";
+    if let Err(e) = std::fs::write(path, doc.render_pretty() + "\n") {
+        eprintln!("could not write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
 }

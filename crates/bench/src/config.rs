@@ -1,5 +1,6 @@
 //! Workload scales and shared experiment configuration.
 
+use std::num::NonZeroUsize;
 use std::path::PathBuf;
 
 use db_datagen::{
@@ -92,11 +93,15 @@ pub struct RunConfig {
     pub out_dir: PathBuf,
     /// Base RNG seed (generators fork from it deterministically).
     pub seed: u64,
+    /// Worker threads for the parallel pipeline paths (`None` = available
+    /// parallelism). Results are identical for every setting; only the
+    /// wall-clock changes.
+    pub threads: Option<NonZeroUsize>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { scale: Scale::Default, out_dir: PathBuf::from("results"), seed: 2001 }
+        Self { scale: Scale::Default, out_dir: PathBuf::from("results"), seed: 2001, threads: None }
     }
 }
 

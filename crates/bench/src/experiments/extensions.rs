@@ -65,16 +65,10 @@ pub fn run_compressors(cfg: &RunConfig) -> io::Result<()> {
 
     let mut rows = Vec::new();
     for (name, compressor) in variants {
-        let out = run_pipeline(
-            &data.data,
-            &PipelineConfig {
-                k,
-                compressor,
-                recovery: Recovery::Bubbles,
-                optics: setup.bubble_optics(),
-            },
-        )
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let mut pcfg = PipelineConfig::new(k, compressor, Recovery::Bubbles, setup.bubble_optics());
+        pcfg.threads = cfg.threads;
+        let out = run_pipeline(&data.data, &pcfg)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let expanded = out.expanded.as_ref().expect("bubble pipelines expand");
         let q = expanded_quality(expanded, &data, setup.cut);
         rep.line(format!(
@@ -168,16 +162,15 @@ pub fn run_hierarchy(cfg: &RunConfig) -> io::Result<()> {
         ref_tree.n_leaves()
     ));
 
-    let out = run_pipeline(
-        &data.data,
-        &PipelineConfig {
-            k: k_for(data.len(), 100),
-            compressor: Compressor::Sample { seed: cfg.seed },
-            recovery: Recovery::Bubbles,
-            optics: setup.bubble_optics(),
-        },
-    )
-    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let mut pcfg = PipelineConfig::new(
+        k_for(data.len(), 100),
+        Compressor::Sample { seed: cfg.seed },
+        Recovery::Bubbles,
+        setup.bubble_optics(),
+    );
+    pcfg.threads = cfg.threads;
+    let out = run_pipeline(&data.data, &pcfg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     // Extract the hierarchy from the *bubble ordering* itself (each
     // position stands for ~factor original objects); the expanded plot is
     // piecewise constant and would fragment into plateau artifacts.

@@ -55,6 +55,7 @@
 mod bubble;
 mod distance;
 pub mod hierarchy;
+mod matrix;
 pub mod metric_bubble;
 pub mod pipeline;
 mod space;
@@ -62,5 +63,6 @@ mod space;
 pub use bubble::{BubbleError, DataBubble};
 pub use distance::{bubble_distance, virtual_reachability};
 pub use hierarchy::{bubble_dendrogram, expand_bubble_cut, try_bubble_dendrogram};
+pub use matrix::{BubbleDistanceMatrix, DEFAULT_MAX_MATRIX_K};
 pub use metric_bubble::{compress_metric, MetricBubbleSpace, MetricCompression, MetricDataBubble};
 pub use space::BubbleSpace;

@@ -1,0 +1,248 @@
+//! [`BubbleDistanceMatrix`]: the symmetric k×k bubble-distance matrix,
+//! computed once (in parallel row blocks) and served as sorted rows.
+//!
+//! The OPTICS walk over bubbles asks for the ε-neighbourhood of every
+//! bubble at least once, and sub-MinPts expansion may ask for unbounded
+//! neighbourhoods again — each query an exhaustive O(k) scan plus an
+//! O(k log k) sort. [`bubble_distance`] is exactly symmetric in IEEE
+//! floats ((x−y)² == (y−x)², commutative additions, `max`), so the whole
+//! matrix can be evaluated once up front; every later query is then a
+//! binary search for the ε prefix of a pre-sorted row.
+//!
+//! # Determinism contract
+//!
+//! Rows are independent: each worker thread fills a pre-assigned
+//! contiguous block of rows, and the per-row content (distances and the
+//! `(dist, id)` sort) never depends on the thread layout. The build is
+//! therefore bit-for-bit identical for every thread count, and a
+//! matrix-served neighbourhood is bit-for-bit identical to the on-the-fly
+//! scan in [`crate::BubbleSpace`] (same distances, same comparator, and
+//! the ε filter `d <= eps` selects exactly the sorted row's prefix).
+
+use std::num::NonZeroUsize;
+
+use db_spatial::Neighbor;
+
+use crate::bubble::DataBubble;
+use crate::distance::bubble_distance;
+
+/// Default cap on the number of bubbles for which the matrix is
+/// precomputed. A row costs 12 bytes per entry (`u32` id + `f64`
+/// distance), so the cap bounds the matrix at ~3 GiB; the paper's
+/// operating point is k ≤ a few thousand (§8: "the purpose of our
+/// approach is to make k very small"), far below it. Above the cap the
+/// space falls back to on-the-fly evaluation with identical results.
+pub const DEFAULT_MAX_MATRIX_K: usize = 16_384;
+
+/// A precomputed symmetric bubble-distance matrix with each row sorted
+/// ascending by `(distance, id)` — the neighbourhood order of
+/// [`crate::BubbleSpace`].
+#[derive(Debug, Clone)]
+pub struct BubbleDistanceMatrix {
+    k: usize,
+    /// Row-major bubble ids, row `i` sorted by `(dists[i][j], id)`.
+    ids: Vec<u32>,
+    /// Row-major distances, each row ascending.
+    dists: Vec<f64>,
+}
+
+impl BubbleDistanceMatrix {
+    /// Builds the matrix over `bubbles` with `threads` workers (`None` =
+    /// available parallelism). The k² distance evaluations are counted
+    /// under `optics.distance_calls`, exactly as the on-the-fly scans they
+    /// replace would have been.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bubbles` is empty or `k * k` entries would overflow
+    /// `usize`.
+    pub fn build(bubbles: &[DataBubble], threads: Option<NonZeroUsize>) -> Self {
+        let k = bubbles.len();
+        assert!(k > 0, "cannot build a distance matrix over zero bubbles");
+        let cells = k.checked_mul(k).expect("k * k overflows usize");
+        let _span = db_obs::span!("optics.matrix_build");
+        let threads = resolve_threads(threads, k);
+        db_obs::gauge!("optics.matrix_threads").set(threads as i64);
+
+        let mut ids = vec![0u32; cells];
+        let mut dists = vec![0f64; cells];
+        let fill_row = |i: usize, id_row: &mut [u32], dist_row: &mut [f64]| {
+            let b = &bubbles[i];
+            let mut row: Vec<(f64, u32)> = bubbles
+                .iter()
+                .enumerate()
+                // Lossless: `j < k` and the compressors cap k at the
+                // dataset length, which `Dataset` bounds by `u32` ids.
+                .map(|(j, c)| (bubble_distance(b, c, i == j), j as u32))
+                .collect();
+            // Same comparator as the on-the-fly neighbourhood sort.
+            row.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (slot, (d, j)) in id_row.iter_mut().zip(dist_row.iter_mut()).zip(row) {
+                *slot.0 = j;
+                *slot.1 = d;
+            }
+        };
+
+        if threads <= 1 {
+            for i in 0..k {
+                fill_row(i, &mut ids[i * k..(i + 1) * k], &mut dists[i * k..(i + 1) * k]);
+            }
+        } else {
+            // Contiguous row blocks per thread; rows are independent, so
+            // the result cannot depend on this schedule.
+            let rows_per_thread = k.div_ceil(threads);
+            let fill_row = &fill_row;
+            std::thread::scope(|scope| {
+                let id_blocks = ids.chunks_mut(rows_per_thread * k);
+                let dist_blocks = dists.chunks_mut(rows_per_thread * k);
+                for (t, (id_block, dist_block)) in id_blocks.zip(dist_blocks).enumerate() {
+                    scope.spawn(move || {
+                        let first = t * rows_per_thread;
+                        let rows = id_block.len() / k;
+                        for r in 0..rows {
+                            fill_row(
+                                first + r,
+                                &mut id_block[r * k..(r + 1) * k],
+                                &mut dist_block[r * k..(r + 1) * k],
+                            );
+                        }
+                    });
+                }
+            });
+        }
+        // One evaluation per (row, column) pair — the same count the
+        // replaced exhaustive scans would have reported.
+        db_obs::counter!("optics.distance_calls").add(cells as u64);
+        Self { k, ids, dists }
+    }
+
+    /// Number of bubbles (the matrix is `k × k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Row `i` as parallel `(ids, distances)` slices, sorted ascending by
+    /// `(distance, id)`; entry 0 is the bubble itself at distance 0.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = i * self.k;
+        let hi = lo + self.k;
+        (&self.ids[lo..hi], &self.dists[lo..hi])
+    }
+
+    /// Appends the ε-neighbourhood of bubble `i` to `out`, identical to
+    /// the exhaustive scan-and-sort (the row prefix with `d <= eps`).
+    pub fn neighborhood_into(&self, i: usize, eps: f64, out: &mut Vec<Neighbor>) {
+        let (ids, dists) = self.row(i);
+        let end = dists.partition_point(|&d| d <= eps);
+        out.extend(
+            ids[..end].iter().zip(&dists[..end]).map(|(&id, &d)| Neighbor::new(id as usize, d)),
+        );
+    }
+
+    /// Matrix memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.ids.len() * std::mem::size_of::<u32>() + self.dists.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Resolves a thread-count knob: `None` means available parallelism,
+/// clamped to `[1, work_items]`.
+pub(crate) fn resolve_threads(threads: Option<NonZeroUsize>, work_items: usize) -> usize {
+    threads
+        .or_else(|| std::thread::available_parallelism().ok())
+        .map_or(1, NonZeroUsize::get)
+        .min(work_items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bubbles(n: usize) -> Vec<DataBubble> {
+        (0..n)
+            .map(|i| {
+                DataBubble::new(
+                    vec![(i % 37) as f64, ((i * 13) % 29) as f64],
+                    (i as u64 % 9) + 1,
+                    0.1 * (i % 5) as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let bs = bubbles(61);
+        let base = BubbleDistanceMatrix::build(&bs, NonZeroUsize::new(1));
+        for threads in [2usize, 3, 7, 64] {
+            let m = BubbleDistanceMatrix::build(&bs, NonZeroUsize::new(threads));
+            assert_eq!(m.ids, base.ids, "threads = {threads}");
+            assert_eq!(m.dists, base.dists, "threads = {threads}");
+        }
+        let m = BubbleDistanceMatrix::build(&bs, None);
+        assert_eq!(m.ids, base.ids);
+        assert_eq!(m.dists, base.dists);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_start_with_self() {
+        let bs = bubbles(20);
+        let m = BubbleDistanceMatrix::build(&bs, None);
+        assert_eq!(m.k(), 20);
+        for i in 0..20 {
+            let (ids, dists) = m.row(i);
+            assert_eq!(ids[0] as usize, i, "self is the closest entry");
+            assert_eq!(dists[0], 0.0);
+            assert!(dists.windows(2).all(|w| w[0] <= w[1]), "row {i} not sorted");
+            let mut seen: Vec<u32> = ids.to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..20).collect::<Vec<u32>>(), "row {i} not a permutation");
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let bs = bubbles(15);
+        let m = BubbleDistanceMatrix::build(&bs, None);
+        let lookup = |i: usize, j: usize| {
+            let (ids, dists) = m.row(i);
+            let pos = ids.iter().position(|&id| id as usize == j).unwrap();
+            dists[pos]
+        };
+        for i in 0..15 {
+            for j in 0..15 {
+                assert_eq!(lookup(i, j).to_bits(), lookup(j, i).to_bits(), "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_prefix_matches_filter() {
+        let bs = bubbles(30);
+        let m = BubbleDistanceMatrix::build(&bs, None);
+        for eps in [0.0, 1.0, 10.0, f64::INFINITY] {
+            let mut out = Vec::new();
+            m.neighborhood_into(3, eps, &mut out);
+            let (ids, dists) = m.row(3);
+            let expected: Vec<Neighbor> = ids
+                .iter()
+                .zip(dists)
+                .filter(|(_, &d)| d <= eps)
+                .map(|(&id, &d)| Neighbor::new(id as usize, d))
+                .collect();
+            assert_eq!(out, expected, "eps = {eps}");
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let m = BubbleDistanceMatrix::build(&bubbles(8), None);
+        assert_eq!(m.memory_bytes(), 8 * 8 * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bubbles")]
+    fn empty_build_panics() {
+        BubbleDistanceMatrix::build(&[], None);
+    }
+}

@@ -136,7 +136,17 @@ pub fn expand_bubbles(
     let mut entries = Vec::with_capacity(total);
     for e in &ordering.entries {
         let bubble = space.bubble(e.id);
-        let vreach = virtual_reachability(bubble, min_pts, e.core_distance);
+        // Def. 9's second branch wants *the* core-distance of a sub-MinPts
+        // bubble, but an ε-bounded walk leaves `core_distance` UNDEFINED
+        // (∞) when too few points fell inside ε. Recompute it with
+        // unbounded ε in that case; when the walk's value is finite (or
+        // the bubble answers from its own nndist) nothing changes.
+        let core = if e.core_distance.is_finite() || bubble.n() >= min_pts as u64 {
+            e.core_distance
+        } else {
+            space.core_distance_unbounded(e.id, min_pts).unwrap_or(e.core_distance)
+        };
+        let vreach = virtual_reachability(bubble, min_pts, core);
         for (m, &obj) in members[e.id].iter().enumerate() {
             entries.push(ExpandedEntry {
                 object: obj as u32,

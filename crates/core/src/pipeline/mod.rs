@@ -18,13 +18,15 @@ mod expand;
 pub mod external;
 
 use std::fmt;
+use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
 use db_birch::{birch, BirchParams, Cf};
 use db_optics::{optics, optics_points, ClusterOrdering, OpticsParams};
 use db_rng::Rng;
 use db_sampling::{
-    bfr_compress, compress_by_sampling, nn_classify, squash_compress, BfrParams, SamplingError,
+    bfr_compress, compress_by_sampling_threaded, nn_classify_parallel, squash_compress, BfrParams,
+    SamplingError,
 };
 use db_spatial::{Dataset, SpatialError};
 
@@ -32,6 +34,7 @@ pub use expand::{expand_bubbles, expand_weighted, ExpandedEntry, ExpandedOrderin
 pub use external::{run_external, ExternalConfig, ExternalError, ExternalOutput};
 
 use crate::bubble::{BubbleError, DataBubble};
+use crate::matrix::DEFAULT_MAX_MATRIX_K;
 use crate::space::BubbleSpace;
 
 /// How the database is compressed into representative objects (step 1).
@@ -87,6 +90,24 @@ pub struct PipelineConfig {
     /// OPTICS parameters used on the representatives. `min_pts` counts
     /// *original* objects for the bubble variants (Def. 7).
     pub optics: OpticsParams,
+    /// Worker threads for the parallel hot paths (classification,
+    /// statistics accumulation, distance-matrix build). `None` = available
+    /// parallelism. Every output is bit-for-bit identical for every
+    /// setting, including `Some(1)`.
+    pub threads: Option<NonZeroUsize>,
+    /// Largest bubble count for which the clustering phase precomputes the
+    /// bubble-distance matrix ([`DEFAULT_MAX_MATRIX_K`] by default; `0`
+    /// disables the matrix). Above the cap the space evaluates distances
+    /// on the fly with identical results.
+    pub matrix_max_k: usize,
+}
+
+impl PipelineConfig {
+    /// A configuration with the default execution knobs: available
+    /// parallelism and the default matrix cap.
+    pub fn new(k: usize, compressor: Compressor, recovery: Recovery, optics: OpticsParams) -> Self {
+        Self { k, compressor, recovery, optics, threads: None, matrix_max_k: DEFAULT_MAX_MATRIX_K }
+    }
 }
 
 /// Wall-clock timings of the three phases.
@@ -214,8 +235,10 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     let needs_members = cfg.recovery != Recovery::Naive;
     let (stats, reps, assignment): (Vec<Cf>, Dataset, Option<Vec<u32>>) = match &cfg.compressor {
         Compressor::Sample { seed } => {
-            if needs_members || cfg.recovery == Recovery::Bubbles {
-                let c = compress_by_sampling(ds, cfg.k, *seed)?;
+            // `Bubbles` implies `needs_members` (it is non-naive), so the
+            // member-recovering route is gated on `needs_members` alone.
+            if needs_members {
+                let c = compress_by_sampling_threaded(ds, cfg.k, *seed, cfg.threads)?;
                 (c.stats, c.reps, Some(c.assignment))
             } else {
                 // Naive SA: just the sample, no classification pass.
@@ -239,13 +262,13 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
             // classify the original objects to recover them. The bubbles
             // themselves always come from the CFs (Fig. 13 step 2), not
             // from the re-classification.
-            let assignment = needs_members.then(|| nn_classify(ds, &reps));
+            let assignment = needs_members.then(|| nn_classify_parallel(ds, &reps, cfg.threads));
             (cfs, reps, assignment)
         }
         Compressor::Bfr(params) => {
             let cfs = bfr_compress(ds, params).all_cfs();
             let reps = centroids_of(ds.dim(), &cfs)?;
-            let assignment = needs_members.then(|| nn_classify(ds, &reps));
+            let assignment = needs_members.then(|| nn_classify_parallel(ds, &reps, cfg.threads));
             (cfs, reps, assignment)
         }
         Compressor::GridSquash { bins_per_dim } => {
@@ -267,7 +290,10 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
         Recovery::Bubbles => {
             let bubbles: Vec<DataBubble> =
                 stats.iter().map(DataBubble::try_from_cf).collect::<Result<_, _>>()?;
-            let space = BubbleSpace::try_new(bubbles)?;
+            let mut space = BubbleSpace::try_new(bubbles)?;
+            // All k² distances once, in parallel rows, instead of O(k)
+            // scan-and-sorts per walk step; results are bit-identical.
+            space.precompute_matrix(cfg.threads, cfg.matrix_max_k);
             let ordering = optics(&space, &cfg.optics);
             (ordering, Some(space))
         }
@@ -333,15 +359,7 @@ pub fn optics_sa_naive(
     seed: u64,
     optics: &OpticsParams,
 ) -> Result<PipelineOutput, PipelineError> {
-    run_pipeline(
-        ds,
-        &PipelineConfig {
-            k,
-            compressor: Compressor::Sample { seed },
-            recovery: Recovery::Naive,
-            optics: *optics,
-        },
-    )
+    run_pipeline(ds, &PipelineConfig::new(k, Compressor::Sample { seed }, Recovery::Naive, *optics))
 }
 
 /// `OPTICS-CF naive` (Fig. 5): OPTICS on BIRCH CF centers.
@@ -353,12 +371,7 @@ pub fn optics_cf_naive(
 ) -> Result<PipelineOutput, PipelineError> {
     run_pipeline(
         ds,
-        &PipelineConfig {
-            k,
-            compressor: Compressor::Birch(birch_params.clone()),
-            recovery: Recovery::Naive,
-            optics: *optics,
-        },
+        &PipelineConfig::new(k, Compressor::Birch(birch_params.clone()), Recovery::Naive, *optics),
     )
 }
 
@@ -371,12 +384,7 @@ pub fn optics_sa_weighted(
 ) -> Result<PipelineOutput, PipelineError> {
     run_pipeline(
         ds,
-        &PipelineConfig {
-            k,
-            compressor: Compressor::Sample { seed },
-            recovery: Recovery::Weighted,
-            optics: *optics,
-        },
+        &PipelineConfig::new(k, Compressor::Sample { seed }, Recovery::Weighted, *optics),
     )
 }
 
@@ -389,12 +397,12 @@ pub fn optics_cf_weighted(
 ) -> Result<PipelineOutput, PipelineError> {
     run_pipeline(
         ds,
-        &PipelineConfig {
+        &PipelineConfig::new(
             k,
-            compressor: Compressor::Birch(birch_params.clone()),
-            recovery: Recovery::Weighted,
-            optics: *optics,
-        },
+            Compressor::Birch(birch_params.clone()),
+            Recovery::Weighted,
+            *optics,
+        ),
     )
 }
 
@@ -408,12 +416,7 @@ pub fn optics_sa_bubbles(
 ) -> Result<PipelineOutput, PipelineError> {
     run_pipeline(
         ds,
-        &PipelineConfig {
-            k,
-            compressor: Compressor::Sample { seed },
-            recovery: Recovery::Bubbles,
-            optics: *optics,
-        },
+        &PipelineConfig::new(k, Compressor::Sample { seed }, Recovery::Bubbles, *optics),
     )
 }
 
@@ -426,12 +429,12 @@ pub fn optics_cf_bubbles(
 ) -> Result<PipelineOutput, PipelineError> {
     run_pipeline(
         ds,
-        &PipelineConfig {
+        &PipelineConfig::new(
             k,
-            compressor: Compressor::Birch(birch_params.clone()),
-            recovery: Recovery::Bubbles,
-            optics: *optics,
-        },
+            Compressor::Birch(birch_params.clone()),
+            Recovery::Bubbles,
+            *optics,
+        ),
     )
 }
 
@@ -550,12 +553,7 @@ mod tests {
         assert_eq!(
             run_pipeline(
                 &empty,
-                &PipelineConfig {
-                    k: 5,
-                    compressor: Compressor::Sample { seed: 0 },
-                    recovery: Recovery::Naive,
-                    optics: params(),
-                }
+                &PipelineConfig::new(5, Compressor::Sample { seed: 0 }, Recovery::Naive, params())
             )
             .unwrap_err(),
             PipelineError::EmptyDataset
@@ -582,11 +580,9 @@ mod tests {
             Compressor::Birch(BirchParams::default()),
             Compressor::GridSquash { bins_per_dim: 4 },
         ] {
-            let err = run_pipeline(
-                &ds,
-                &PipelineConfig { k: 2, compressor, recovery: Recovery::Bubbles, optics: params() },
-            )
-            .unwrap_err();
+            let err =
+                run_pipeline(&ds, &PipelineConfig::new(2, compressor, Recovery::Bubbles, params()))
+                    .unwrap_err();
             assert_eq!(
                 err,
                 PipelineError::Spatial(SpatialError::NonFiniteCoordinate { point: 1, coord: 1 })
@@ -599,15 +595,15 @@ mod tests {
         let ds = two_squares();
         let out = run_pipeline(
             &ds,
-            &PipelineConfig {
-                k: 40, // advisory only for BFR
-                compressor: Compressor::Bfr(db_sampling::BfrParams {
+            &PipelineConfig::new(
+                40,
+                Compressor::Bfr(db_sampling::BfrParams {
                     primary_clusters: 16,
                     ..db_sampling::BfrParams::default()
                 }),
-                recovery: Recovery::Bubbles,
-                optics: params(),
-            },
+                Recovery::Bubbles,
+                params(),
+            ),
         )
         .unwrap();
         let expanded = out.expanded.as_ref().unwrap();
@@ -620,12 +616,12 @@ mod tests {
         let ds = two_squares();
         let out = run_pipeline(
             &ds,
-            &PipelineConfig {
-                k: 1, // ignored by GridSquash
-                compressor: Compressor::GridSquash { bins_per_dim: 24 },
-                recovery: Recovery::Bubbles,
-                optics: params(),
-            },
+            &PipelineConfig::new(
+                1,
+                Compressor::GridSquash { bins_per_dim: 24 },
+                Recovery::Bubbles,
+                params(),
+            ),
         )
         .unwrap();
         let expanded = out.expanded.as_ref().unwrap();

@@ -1,21 +1,33 @@
 //! [`BubbleSpace`]: the [`OpticsSpace`] implementation over Data Bubbles
 //! (Definitions 6–8), letting the unmodified OPTICS walk cluster bubbles.
 
+use std::num::NonZeroUsize;
+
 use db_optics::OpticsSpace;
 use db_spatial::Neighbor;
 
 use crate::bubble::{BubbleError, DataBubble};
 use crate::distance::bubble_distance;
+use crate::matrix::BubbleDistanceMatrix;
 
 /// A set of Data Bubbles viewed as an OPTICS object space.
 ///
 /// Neighbourhood queries are exhaustive O(k): "Because of the rather
 /// complex distance measure between Data Bubbles, we cannot use an index…
 /// it runs in O(k·k). However, the purpose of our approach is to make k
-/// very small so that this is acceptable" (paper §8).
+/// very small so that this is acceptable" (paper §8). Since the walk
+/// visits every bubble, the k² evaluations can equivalently be done once
+/// up front: [`BubbleSpace::precompute_matrix`] builds a
+/// [`BubbleDistanceMatrix`] (optionally in parallel) and every subsequent
+/// neighbourhood query becomes a binary search over a pre-sorted row —
+/// with bit-for-bit identical results.
 #[derive(Debug, Clone)]
 pub struct BubbleSpace {
     bubbles: Vec<DataBubble>,
+    /// Total point count over all bubbles, cached so unbounded
+    /// core-distance queries need no neighbourhood scan in the common case.
+    total_n: u64,
+    matrix: Option<BubbleDistanceMatrix>,
 }
 
 impl BubbleSpace {
@@ -33,7 +45,8 @@ impl BubbleSpace {
                 return Err(BubbleError::MixedDimensions { expected: dim, got: bad.dim() });
             }
         }
-        Ok(Self { bubbles })
+        let total_n = bubbles.iter().map(DataBubble::n).sum();
+        Ok(Self { bubbles, total_n, matrix: None })
     }
 
     /// Creates the space. **Validated input only** — use
@@ -59,13 +72,82 @@ impl BubbleSpace {
         &self.bubbles[i]
     }
 
+    /// Total number of original points summarized by the space.
+    pub fn total_weight(&self) -> u64 {
+        self.total_n
+    }
+
+    /// Precomputes the full distance matrix with `threads` workers
+    /// (`None` = available parallelism) so neighbourhood and unbounded
+    /// core-distance queries are served from sorted rows. Skipped (returns
+    /// `false`) when the space is empty or holds more than `max_k` bubbles
+    /// — the on-the-fly path stays in place with identical results.
+    pub fn precompute_matrix(&mut self, threads: Option<NonZeroUsize>, max_k: usize) -> bool {
+        if self.bubbles.is_empty() || self.bubbles.len() > max_k {
+            return false;
+        }
+        let m = BubbleDistanceMatrix::build(&self.bubbles, threads);
+        db_obs::gauge!("optics.matrix_bytes").set(m.memory_bytes() as i64);
+        self.matrix = Some(m);
+        true
+    }
+
+    /// Whether neighbourhood queries are matrix-backed.
+    pub fn has_matrix(&self) -> bool {
+        self.matrix.is_some()
+    }
+
     /// Definition 7 applied outside a walk: the core-distance of bubble `i`
     /// with an unbounded ε (used for the virtual reachability of
     /// sub-MinPts bubbles during expansion).
+    ///
+    /// Unlike the in-walk [`OpticsSpace::core_distance`], this needs no
+    /// neighbourhood scan in the common cases: the cached total weight
+    /// answers the `None` case, and a bubble holding ≥ MinPts points
+    /// answers from its own `nndist`. Only a sub-MinPts bubble needs the
+    /// sorted distance row — served from the precomputed matrix when
+    /// present, otherwise evaluated on the fly under the
+    /// `optics.unbounded_core_distance_calls` counter (its own metric:
+    /// these are recovery-phase evaluations, not part of the walk's
+    /// `optics.distance_calls`).
     pub fn core_distance_unbounded(&self, i: usize, min_pts: usize) -> Option<f64> {
-        let mut nb = Vec::with_capacity(self.bubbles.len());
-        self.neighborhood(i, f64::INFINITY, &mut nb);
-        self.core_distance(i, min_pts, &nb)
+        db_obs::counter!("optics.unbounded_core_calls").incr();
+        let min_pts = min_pts as u64;
+        if self.total_n < min_pts {
+            return None;
+        }
+        let b = &self.bubbles[i];
+        if b.n() >= min_pts {
+            return Some(b.nndist(min_pts));
+        }
+        // Sub-MinPts bubble: accumulate neighbours ascending by distance
+        // until MinPts points are covered (Def. 7's rare case with ε = ∞).
+        let accumulate = |pairs: &mut dyn Iterator<Item = (usize, f64)>| -> Option<f64> {
+            let mut cumulative = 0u64;
+            for (id, dist) in pairs {
+                let c = &self.bubbles[id];
+                if cumulative + c.n() >= min_pts {
+                    let k = min_pts - cumulative;
+                    return Some(dist + c.nndist(k));
+                }
+                cumulative += c.n();
+            }
+            unreachable!("total_n >= min_pts guarantees the loop terminates");
+        };
+        if let Some(m) = &self.matrix {
+            let (ids, dists) = m.row(i);
+            return accumulate(&mut ids.iter().zip(dists).map(|(&id, &d)| (id as usize, d)));
+        }
+        // Fallback: one exhaustive scan-and-sort for this bubble only.
+        db_obs::counter!("optics.unbounded_core_distance_calls").add(self.bubbles.len() as u64);
+        let mut row: Vec<(f64, usize)> = self
+            .bubbles
+            .iter()
+            .enumerate()
+            .map(|(j, c)| (bubble_distance(b, c, i == j), j))
+            .collect();
+        row.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        accumulate(&mut row.into_iter().map(|(d, id)| (id, d)))
     }
 }
 
@@ -76,6 +158,13 @@ impl OpticsSpace for BubbleSpace {
 
     fn neighborhood(&self, i: usize, eps: f64, out: &mut Vec<Neighbor>) {
         out.clear();
+        if let Some(m) = &self.matrix {
+            // Pre-sorted row: the ε prefix is exactly the filtered scan
+            // below, and the k distance evaluations were already counted
+            // at matrix-build time.
+            m.neighborhood_into(i, eps, out);
+            return;
+        }
         let b = &self.bubbles[i];
         for (j, c) in self.bubbles.iter().enumerate() {
             let d = bubble_distance(b, c, i == j);
@@ -253,6 +342,77 @@ mod tests {
     fn empty_space_is_fine() {
         let s = BubbleSpace::new(vec![]);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn matrix_backed_neighborhood_is_bit_identical() {
+        let mut with = space_three_groups();
+        let without = space_three_groups();
+        assert!(with.precompute_matrix(None, usize::MAX));
+        assert!(with.has_matrix() && !without.has_matrix());
+        for i in 0..3 {
+            for eps in [0.0, 6.0, 99.0, f64::INFINITY] {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                with.neighborhood(i, eps, &mut a);
+                without.neighborhood(i, eps, &mut b);
+                assert_eq!(a, b, "i = {i}, eps = {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_cap_falls_back_to_on_the_fly() {
+        let mut s = space_three_groups();
+        assert!(!s.precompute_matrix(None, 2), "3 bubbles > cap 2");
+        assert!(!s.has_matrix());
+        let mut empty = BubbleSpace::new(vec![]);
+        assert!(!empty.precompute_matrix(None, usize::MAX));
+    }
+
+    #[test]
+    fn unbounded_core_distance_agrees_with_and_without_matrix() {
+        // Mix of sub-MinPts and large bubbles to hit the accumulation path.
+        let make = || {
+            BubbleSpace::new(vec![
+                singleton(0.0),
+                DataBubble::new(vec![3.0, 0.0], 2, 0.4),
+                DataBubble::new(vec![8.0, 0.0], 30, 1.5),
+                singleton(9.0),
+            ])
+        };
+        let plain = make();
+        let mut cached = make();
+        assert!(cached.precompute_matrix(None, usize::MAX));
+        for i in 0..4 {
+            for min_pts in [1usize, 2, 5, 20, 100] {
+                let a = plain.core_distance_unbounded(i, min_pts);
+                let b = cached.core_distance_unbounded(i, min_pts);
+                assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits), "i = {i}, mp = {min_pts}");
+            }
+        }
+        // And both agree with Definition 7 computed via the full
+        // neighbourhood (the pre-optimization formulation).
+        let mut nb = Vec::new();
+        for i in 0..4 {
+            for min_pts in [1usize, 2, 5, 20] {
+                plain.neighborhood(i, f64::INFINITY, &mut nb);
+                assert_eq!(
+                    plain.core_distance_unbounded(i, min_pts),
+                    plain.core_distance(i, min_pts, &nb),
+                    "i = {i}, mp = {min_pts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_core_needs_no_scan_for_large_bubbles() {
+        let s = space_three_groups();
+        assert_eq!(s.total_weight(), 230);
+        // Sub-MinPts totals answer None without touching distances.
+        assert!(s.core_distance_unbounded(0, 1000).is_none());
+        // A bubble holding >= MinPts answers from its own nndist.
+        assert_eq!(s.core_distance_unbounded(0, 10), Some(s.bubble(0).nndist(10)));
     }
 
     #[test]

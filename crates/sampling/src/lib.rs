@@ -38,10 +38,11 @@ pub mod squash;
 
 pub use bfr::{bfr_compress, BfrParams, BfrResult};
 pub use incremental::IncrementalCompression;
-pub use parallel::nn_classify_parallel;
+pub use parallel::{accumulate_stats_parallel, nn_classify_parallel};
 pub use squash::{squash_compress, SquashResult};
 
 use std::fmt;
+use std::num::NonZeroUsize;
 
 use db_birch::Cf;
 use db_rng::Rng;
@@ -122,6 +123,10 @@ impl CompressedSample {
 /// point of `ds` to its nearest sample point, accumulating sufficient
 /// statistics (the paper's steps 1–2 of `OPTICS-SA`).
 ///
+/// Equivalent to [`compress_by_sampling_threaded`] with `threads = None`
+/// (available parallelism); the result is bit-for-bit identical for every
+/// thread count, so the two entry points are interchangeable.
+///
 /// # Errors
 ///
 /// Returns an error when `k == 0` or `k > ds.len()`.
@@ -129,6 +134,23 @@ pub fn compress_by_sampling(
     ds: &Dataset,
     k: usize,
     seed: u64,
+) -> Result<CompressedSample, SamplingError> {
+    compress_by_sampling_threaded(ds, k, seed, None)
+}
+
+/// [`compress_by_sampling`] with an explicit thread count for the
+/// classification and statistics-accumulation passes (`None` = available
+/// parallelism). Sampling itself is a sequential seeded draw, so the whole
+/// result is deterministic per seed and identical across thread counts.
+///
+/// # Errors
+///
+/// Returns an error when `k == 0` or `k > ds.len()`.
+pub fn compress_by_sampling_threaded(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    threads: Option<NonZeroUsize>,
 ) -> Result<CompressedSample, SamplingError> {
     if k == 0 {
         return Err(SamplingError::ZeroSampleSize);
@@ -143,8 +165,8 @@ pub fn compress_by_sampling(
     db_obs::counter!("sampling.reps_sampled").add(k as u64);
 
     let reps = ds.subset(&sample_ids);
-    let mut assignment = nn_classify(ds, &reps);
-    let stats = accumulate_stats(ds, &assignment, k);
+    let mut assignment = nn_classify_parallel(ds, &reps, threads);
+    let stats = accumulate_stats_parallel(ds, &assignment, k, threads);
 
     // Duplicate objects can put identical points into the sample; every
     // copy then classifies to the lowest-id one, leaving the others'
@@ -194,16 +216,14 @@ pub fn nn_classify(ds: &Dataset, reps: &Dataset) -> Vec<u32> {
 /// Accumulates per-representative sufficient statistics from a
 /// classification.
 ///
+/// Single-threaded entry point of [`accumulate_stats_parallel`]; both use
+/// the same fixed block layout, so their results are bit-for-bit equal.
+///
 /// # Panics
 ///
 /// Panics if an assignment is out of range or lengths differ.
 pub fn accumulate_stats(ds: &Dataset, assignment: &[u32], k: usize) -> Vec<Cf> {
-    assert_eq!(ds.len(), assignment.len(), "assignment length mismatch");
-    let mut stats = vec![Cf::empty(ds.dim()); k];
-    for (p, &a) in ds.iter().zip(assignment) {
-        stats[a as usize].add_point(p);
-    }
-    stats
+    accumulate_stats_parallel(ds, assignment, k, NonZeroUsize::new(1))
 }
 
 #[cfg(test)]

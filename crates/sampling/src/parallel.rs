@@ -1,18 +1,60 @@
-//! Parallel nearest-neighbour classification.
+//! Parallel nearest-neighbour classification and sufficient-statistics
+//! accumulation.
 //!
 //! The one-pass classification of the whole database against the `k`
 //! representatives is the dominant cost of the sampling pipelines (the
 //! OPTICS step runs on only `k` objects). Each point's classification is
 //! independent, so the pass parallelizes perfectly; results are identical
 //! to the sequential [`crate::nn_classify`] bit for bit.
+//!
+//! # Determinism contract
+//!
+//! Everything in this module is **bit-for-bit identical across thread
+//! counts** (including the sequential fallback for small inputs):
+//!
+//! * classification writes each point's assignment into its own slot, so
+//!   chunking cannot reorder anything;
+//! * statistics accumulation partitions the data into *fixed-size blocks*
+//!   derived only from the data length (never from the thread count),
+//!   reduces each block with Welford updates, and merges the block
+//!   partials **in block order** with the stable Chan–Golub–LeVeque merge.
+//!   Worker threads only decide *who* computes a block, never the block
+//!   boundaries or the merge order.
+//!
+//! Both paths of every function emit the same spans and counters, so
+//! metrics do not depend on which route an input happens to take.
 
 use std::num::NonZeroUsize;
 
-use db_spatial::{auto_index, Dataset, SpatialIndex};
+use db_birch::Cf;
+use db_spatial::{auto_index, AnyIndex, Dataset, SpatialIndex};
+
+/// Resolves a thread-count knob: `None` means available parallelism, and
+/// the result is clamped to `[1, work_items]`.
+pub(crate) fn resolve_threads(threads: Option<NonZeroUsize>, work_items: usize) -> usize {
+    threads
+        .or_else(|| std::thread::available_parallelism().ok())
+        .map_or(1, NonZeroUsize::get)
+        .min(work_items.max(1))
+}
+
+/// Classifies the points `offset..offset + out.len()` of `ds` against the
+/// prebuilt index, writing into `out`. Shared, uninstrumented core of both
+/// the sequential and the parallel classification paths.
+fn classify_into(ds: &Dataset, reps: &Dataset, index: &AnyIndex, offset: usize, out: &mut [u32]) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let p = ds.point(offset + i);
+        let nn = index.nearest(reps, p).expect("reps non-empty");
+        // Lossless: `Dataset` caps its length at `Dataset::MAX_POINTS`
+        // (u32 ids), enforced at the ingest boundary.
+        *slot = nn.id as u32;
+    }
+}
 
 /// Classifies every point of `ds` to its nearest point in `reps` using
 /// `threads` worker threads (`None` = available parallelism). Output is
-/// identical to [`crate::nn_classify`].
+/// identical to [`crate::nn_classify`] bit for bit; small inputs take a
+/// sequential route with the same spans and counters.
 ///
 /// # Panics
 ///
@@ -24,39 +66,111 @@ pub fn nn_classify_parallel(
 ) -> Vec<u32> {
     assert!(!reps.is_empty(), "cannot classify against an empty representative set");
     assert_eq!(ds.dim(), reps.dim(), "dimensionality mismatch");
-    let threads = threads
-        .or_else(|| std::thread::available_parallelism().ok())
-        .map_or(1, NonZeroUsize::get)
-        .min(ds.len().max(1));
-    if threads <= 1 || ds.len() < 1024 {
-        return crate::nn_classify(ds, reps);
-    }
+    let threads = resolve_threads(threads, ds.len());
+    // Below this size thread startup dominates; the sequential route is
+    // taken *inside* the instrumented region so both paths report alike.
+    let threads = if ds.len() < 1024 { 1 } else { threads };
 
     let _span = db_obs::span!("sampling.nn_classify");
+    db_obs::gauge!("sampling.classify_threads").set(threads as i64);
     let index = auto_index(reps, None);
     let mut out = vec![0u32; ds.len()];
-    let chunk = ds.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slice) in out.chunks_mut(chunk).enumerate() {
-            let index = &index;
-            scope.spawn(move || {
-                let offset = t * chunk;
-                for (i, slot) in slice.iter_mut().enumerate() {
-                    let p = ds.point(offset + i);
-                    let nn = index.nearest(reps, p).expect("reps non-empty");
-                    *slot = nn.id as u32;
-                }
-            });
-        }
-    });
+    if threads <= 1 {
+        classify_into(ds, reps, &index, 0, &mut out);
+    } else {
+        let chunk = ds.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slice) in out.chunks_mut(chunk).enumerate() {
+                let index = &index;
+                scope.spawn(move || classify_into(ds, reps, index, t * chunk, slice));
+            }
+        });
+    }
     db_obs::counter!("sampling.points_classified").add(out.len() as u64);
     out
+}
+
+/// Fixed block length for statistics accumulation: independent of the
+/// thread count (determinism) and bounded in block *count* so the partial
+/// `Vec<Cf>`s stay small even for huge datasets.
+pub(crate) fn stats_block_len(n: usize) -> usize {
+    n.div_ceil(64).max(4096)
+}
+
+/// Accumulates per-representative sufficient statistics from a
+/// classification, distributing fixed-size blocks over `threads` workers
+/// (`None` = available parallelism) and merging the per-block partial
+/// [`Cf`]s in block order with the stable merge. The result is identical
+/// for every thread count, including 1.
+///
+/// # Panics
+///
+/// Panics if an assignment is out of range or lengths differ.
+pub fn accumulate_stats_parallel(
+    ds: &Dataset,
+    assignment: &[u32],
+    k: usize,
+    threads: Option<NonZeroUsize>,
+) -> Vec<Cf> {
+    assert_eq!(ds.len(), assignment.len(), "assignment length mismatch");
+    let _span = db_obs::span!("sampling.accumulate_stats");
+    let block = stats_block_len(ds.len());
+    let n_blocks = ds.len().div_ceil(block).max(1);
+    let threads = resolve_threads(threads, n_blocks);
+
+    let accumulate_block = |b: usize| -> Vec<Cf> {
+        let lo = b * block;
+        let hi = (lo + block).min(ds.len());
+        let mut stats = vec![Cf::empty(ds.dim()); k];
+        for i in lo..hi {
+            stats[assignment[i] as usize].add_point(ds.point(i));
+        }
+        stats
+    };
+
+    let mut partials: Vec<Vec<Cf>> = Vec::with_capacity(n_blocks);
+    if threads <= 1 {
+        for b in 0..n_blocks {
+            partials.push(accumulate_block(b));
+        }
+    } else {
+        partials.resize(n_blocks, Vec::new());
+        // Each block lands in its own pre-assigned slot, so the subsequent
+        // in-order merge is independent of the thread schedule.
+        let per_thread = n_blocks.div_ceil(threads);
+        let accumulate_block = &accumulate_block;
+        std::thread::scope(|scope| {
+            for (t, slots) in partials.chunks_mut(per_thread).enumerate() {
+                scope.spawn(move || {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        *slot = accumulate_block(t * per_thread + j);
+                    }
+                });
+            }
+        });
+    }
+
+    // Merge in block order (stable Chan–Golub–LeVeque merge via AddAssign):
+    // the fold order is fixed by the block layout, never by the schedule.
+    let mut stats = partials
+        .into_iter()
+        .reduce(|mut acc, part| {
+            for (a, p) in acc.iter_mut().zip(part) {
+                *a += &p;
+            }
+            acc
+        })
+        .unwrap_or_else(|| vec![Cf::empty(ds.dim()); k]);
+    if stats.len() < k {
+        stats.resize(k, Cf::empty(ds.dim()));
+    }
+    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::nn_classify;
+    use crate::{accumulate_stats, nn_classify};
 
     fn data(n: usize) -> Dataset {
         let mut ds = Dataset::new(2).unwrap();
@@ -99,5 +213,61 @@ mod tests {
         let ds = data(10);
         let reps = Dataset::new(2).unwrap();
         nn_classify_parallel(&ds, &reps, None);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn both_paths_emit_identical_metrics() {
+        // The <1024-point sequential fallback must leave the same span and
+        // counter trail as the threaded path (satellite bugfix: the
+        // fallback used to skip `sampling.nn_classify` instrumentation).
+        let reps_small = data(1_200).subset(&[0, 600]);
+        let names = |n: usize, t: Option<NonZeroUsize>| {
+            db_obs::reset();
+            let ds = data(n);
+            nn_classify_parallel(&ds, &reps_small, t);
+            let snap = db_obs::snapshot();
+            assert_eq!(snap.counter("sampling.points_classified"), Some(n as u64));
+            assert!(snap.span("sampling.nn_classify").is_some(), "span missing (n = {n})");
+            snap
+        };
+        names(100, NonZeroUsize::new(4)); // sequential fallback
+        names(2_000, NonZeroUsize::new(2)); // threaded path
+        names(2_000, NonZeroUsize::new(1)); // explicit single thread
+    }
+
+    #[test]
+    fn accumulation_is_thread_count_invariant() {
+        let ds = data(9_000);
+        let reps = ds.subset(&(0..40).map(|i| i * 220).collect::<Vec<_>>());
+        let assignment = nn_classify(&ds, &reps);
+        let base = accumulate_stats_parallel(&ds, &assignment, 40, NonZeroUsize::new(1));
+        for threads in [2usize, 3, 7] {
+            let other = accumulate_stats_parallel(&ds, &assignment, 40, NonZeroUsize::new(threads));
+            assert_eq!(base, other, "threads = {threads}");
+        }
+        // And the public sequential accessor agrees (it shares the block
+        // layout, so equality is exact, not approximate).
+        assert_eq!(base, accumulate_stats(&ds, &assignment, 40));
+    }
+
+    #[test]
+    fn accumulation_totals_are_exact() {
+        let ds = data(5_000);
+        let reps = ds.subset(&[0, 1111, 3333]);
+        let assignment = nn_classify(&ds, &reps);
+        let stats = accumulate_stats_parallel(&ds, &assignment, 3, None);
+        assert_eq!(stats.iter().map(Cf::n).sum::<u64>(), 5_000);
+    }
+
+    #[test]
+    fn block_length_is_bounded_and_thread_free() {
+        assert_eq!(stats_block_len(100), 4096);
+        assert_eq!(stats_block_len(200_000), 4096);
+        assert_eq!(stats_block_len(1_000_000), 15_625);
+        // Block count never exceeds 64.
+        for n in [1usize, 5_000, 262_144, 10_000_000] {
+            assert!(n.div_ceil(stats_block_len(n)) <= 64, "n = {n}");
+        }
     }
 }

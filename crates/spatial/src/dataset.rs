@@ -11,6 +11,13 @@ use crate::error::SpatialError;
 /// contains NaN or ±∞ — the distance kernels and everything above them can
 /// rely on it. [`Dataset::from_flat_unchecked`] is the only way to bypass
 /// the check (fault injection, pre-validated buffers).
+///
+/// The ingest boundary also caps the point count at
+/// [`Dataset::MAX_POINTS`]: object ids travel through the pipelines as
+/// `u32` (classification assignments, grid cell membership, expanded
+/// cluster orderings), so every constructor rejects datasets whose ids
+/// would overflow that range. Code holding a `Dataset` may therefore cast
+/// any valid point index to `u32` without truncation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dim: usize,
@@ -18,6 +25,21 @@ pub struct Dataset {
 }
 
 impl Dataset {
+    /// Maximum number of points a dataset may hold.
+    ///
+    /// Equal to `u32::MAX` (not `u32::MAX + 1`): valid ids then occupy
+    /// `0..u32::MAX`, leaving `u32::MAX` itself free as a sentinel (the
+    /// sampling compressor uses it to mark dropped representatives).
+    pub const MAX_POINTS: usize = u32::MAX as usize;
+
+    /// Checks that a prospective point count fits the `u32` id invariant.
+    fn check_len(len: usize) -> Result<(), SpatialError> {
+        if len > Self::MAX_POINTS {
+            return Err(SpatialError::TooManyPoints { len, max: Self::MAX_POINTS });
+        }
+        Ok(())
+    }
+
     /// Creates an empty dataset of dimensionality `dim`.
     ///
     /// # Errors
@@ -39,6 +61,7 @@ impl Dataset {
         if dim == 0 {
             return Err(SpatialError::ZeroDimension);
         }
+        Self::check_len(n)?;
         Ok(Self { dim, data: Vec::with_capacity(dim * n) })
     }
 
@@ -68,6 +91,7 @@ impl Dataset {
         if !flat.len().is_multiple_of(dim) {
             return Err(SpatialError::RaggedBuffer { len: flat.len(), dim });
         }
+        Self::check_len(flat.len() / dim)?;
         if let Some(pos) = flat.iter().position(|x| !x.is_finite()) {
             return Err(SpatialError::NonFiniteCoordinate { point: pos / dim, coord: pos % dim });
         }
@@ -82,11 +106,14 @@ impl Dataset {
     ///
     /// # Panics
     ///
-    /// Panics if `dim == 0` or the buffer is ragged (programmer errors, not
-    /// data errors).
+    /// Panics if `dim == 0`, the buffer is ragged, or the point count
+    /// exceeds [`Dataset::MAX_POINTS`] (programmer errors, not data
+    /// errors). The u32-id invariant is *not* bypassable: downstream casts
+    /// rely on it unconditionally.
     pub fn from_flat_unchecked(dim: usize, flat: Vec<f64>) -> Self {
         assert!(dim > 0, "dataset dimensionality must be non-zero");
         assert!(flat.len().is_multiple_of(dim), "flat buffer is ragged");
+        assert!(flat.len() / dim <= Self::MAX_POINTS, "dataset exceeds the u32 id range");
         Self { dim, data: flat }
     }
 
@@ -95,11 +122,14 @@ impl Dataset {
     /// # Errors
     ///
     /// Returns [`SpatialError::DimensionMismatch`] if `point.len() != dim`,
-    /// or [`SpatialError::NonFiniteCoordinate`] if a coordinate is NaN/±∞.
+    /// [`SpatialError::NonFiniteCoordinate`] if a coordinate is NaN/±∞, or
+    /// [`SpatialError::TooManyPoints`] if the dataset is already at
+    /// [`Dataset::MAX_POINTS`].
     pub fn push(&mut self, point: &[f64]) -> Result<(), SpatialError> {
         if point.len() != self.dim {
             return Err(SpatialError::DimensionMismatch { expected: self.dim, got: point.len() });
         }
+        Self::check_len(self.len() + 1)?;
         if let Some(coord) = point.iter().position(|x| !x.is_finite()) {
             return Err(SpatialError::NonFiniteCoordinate { point: self.len(), coord });
         }
@@ -256,11 +286,13 @@ impl Dataset {
     /// # Errors
     ///
     /// Returns [`SpatialError::DimensionMismatch`] when dimensionalities
-    /// differ.
+    /// differ, or [`SpatialError::TooManyPoints`] when the concatenation
+    /// would exceed [`Dataset::MAX_POINTS`].
     pub fn extend_from(&mut self, other: &Dataset) -> Result<(), SpatialError> {
         if other.dim != self.dim {
             return Err(SpatialError::DimensionMismatch { expected: self.dim, got: other.dim });
         }
+        Self::check_len(self.len() + other.len())?;
         self.data.extend_from_slice(&other.data);
         Ok(())
     }
@@ -392,6 +424,29 @@ mod tests {
             ds.validate().unwrap_err(),
             SpatialError::NonFiniteCoordinate { point: 0, coord: 1 }
         );
+    }
+
+    #[test]
+    fn oversized_point_counts_are_rejected_at_ingest() {
+        // The guard fires before any allocation, so the boundary is
+        // testable without materializing 2³² points.
+        assert_eq!(
+            Dataset::with_capacity(2, Dataset::MAX_POINTS + 1).unwrap_err(),
+            SpatialError::TooManyPoints { len: Dataset::MAX_POINTS + 1, max: Dataset::MAX_POINTS }
+        );
+        // At the cap itself the guard passes (capacity is reserved lazily
+        // by Vec only as data arrives, so this does not allocate 34 GB).
+        assert_eq!(Dataset::check_len(Dataset::MAX_POINTS), Ok(()));
+        assert_eq!(
+            Dataset::check_len(Dataset::MAX_POINTS + 1),
+            Err(SpatialError::TooManyPoints {
+                len: Dataset::MAX_POINTS + 1,
+                max: Dataset::MAX_POINTS
+            })
+        );
+        // The sentinel id stays representable: MAX_POINTS == u32::MAX, so
+        // the largest valid id is u32::MAX - 1.
+        assert_eq!(Dataset::MAX_POINTS, u32::MAX as usize);
     }
 
     #[test]

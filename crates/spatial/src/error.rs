@@ -29,6 +29,17 @@ pub enum SpatialError {
         /// Index of the offending coordinate within the point.
         coord: usize,
     },
+    /// The dataset would exceed [`crate::Dataset::MAX_POINTS`] points.
+    /// Object ids travel through the pipelines as `u32` (classification
+    /// assignments, grid cells, expanded orderings), so the ingest boundary
+    /// rejects datasets whose ids would not fit instead of letting the
+    /// downstream casts truncate silently.
+    TooManyPoints {
+        /// The requested number of points.
+        len: usize,
+        /// The maximum representable number of points.
+        max: usize,
+    },
 }
 
 impl fmt::Display for SpatialError {
@@ -43,6 +54,9 @@ impl fmt::Display for SpatialError {
             }
             SpatialError::NonFiniteCoordinate { point, coord } => {
                 write!(f, "point {point}, coordinate {coord} is not finite (NaN or infinite)")
+            }
+            SpatialError::TooManyPoints { len, max } => {
+                write!(f, "dataset of {len} points exceeds the {max}-point id range (u32 ids)")
             }
         }
     }
@@ -63,5 +77,7 @@ mod tests {
         assert!(e.to_string().contains('7') && e.to_string().contains('2'));
         let e = SpatialError::NonFiniteCoordinate { point: 4, coord: 1 };
         assert!(e.to_string().contains('4') && e.to_string().contains("finite"));
+        let e = SpatialError::TooManyPoints { len: 5_000_000_000, max: 4_294_967_295 };
+        assert!(e.to_string().contains("5000000000") && e.to_string().contains("u32"));
     }
 }

@@ -72,6 +72,8 @@ impl GridIndex {
                     *h = k;
                 }
             }
+            // Lossless: `Dataset` caps its length at `Dataset::MAX_POINTS`
+            // (u32 ids), enforced at the ingest boundary.
             match cells.entry(key.clone()) {
                 Entry::Occupied(mut e) => e.get_mut().push(id as u32),
                 Entry::Vacant(e) => {

@@ -65,12 +65,12 @@ fn adversarial_corpora_never_panic_and_never_emit_nan() {
         for (cname, compressor) in compressors() {
             for recovery in RECOVERIES {
                 let ctx = format!("{} x {cname} x {recovery:?}", corpus.name);
-                let cfg = PipelineConfig {
+                let cfg = PipelineConfig::new(
                     k,
-                    compressor: compressor.clone(),
+                    compressor.clone(),
                     recovery,
-                    optics: OpticsParams { eps: f64::INFINITY, min_pts: 5 },
-                };
+                    OpticsParams { eps: f64::INFINITY, min_pts: 5 },
+                );
                 match catch_unwind(AssertUnwindSafe(|| run_pipeline(&ds, &cfg))) {
                     Err(_) => failures.push(format!("{ctx}: PANICKED")),
                     Ok(Ok(out)) => assert_output_finite(&out, &ctx, &mut failures),
@@ -91,12 +91,12 @@ fn empty_corpus_gets_the_empty_dataset_error() {
     for (_, compressor) in compressors() {
         let err = run_pipeline(
             &ds,
-            &PipelineConfig {
-                k: 4,
+            &PipelineConfig::new(
+                4,
                 compressor,
-                recovery: Recovery::Bubbles,
-                optics: OpticsParams { eps: f64::INFINITY, min_pts: 5 },
-            },
+                Recovery::Bubbles,
+                OpticsParams { eps: f64::INFINITY, min_pts: 5 },
+            ),
         )
         .unwrap_err();
         assert_eq!(err, PipelineError::EmptyDataset);
@@ -118,12 +118,12 @@ fn nan_smuggled_past_ingest_is_caught_by_the_pipeline() {
         for recovery in RECOVERIES {
             let err = run_pipeline(
                 &ds,
-                &PipelineConfig {
-                    k: 8,
-                    compressor: compressor.clone(),
+                &PipelineConfig::new(
+                    8,
+                    compressor.clone(),
                     recovery,
-                    optics: OpticsParams { eps: f64::INFINITY, min_pts: 5 },
-                },
+                    OpticsParams { eps: f64::INFINITY, min_pts: 5 },
+                ),
             )
             .unwrap_err();
             assert_eq!(
@@ -144,12 +144,12 @@ fn far_offset_corpus_keeps_finite_nonzero_structure() {
     for (cname, compressor) in compressors() {
         let out = run_pipeline(
             &ds,
-            &PipelineConfig {
-                k: 16,
+            &PipelineConfig::new(
+                16,
                 compressor,
-                recovery: Recovery::Bubbles,
-                optics: OpticsParams { eps: f64::INFINITY, min_pts: 5 },
-            },
+                Recovery::Bubbles,
+                OpticsParams { eps: f64::INFINITY, min_pts: 5 },
+            ),
         )
         .unwrap();
         let mut failures = Vec::new();

@@ -1,0 +1,130 @@
+//! Bit-for-bit determinism of the threaded pipeline paths.
+//!
+//! The parallel classification, statistics accumulation and distance-matrix
+//! build promise outputs identical to the sequential path for *every*
+//! thread count. These tests pin that contract end to end: all six paper
+//! pipelines run with 1, 2 and 4 worker threads and with the knob left to
+//! available parallelism, and every run must equal the single-threaded
+//! baseline exactly — same walk, same reachabilities to the last bit. A
+//! second suite pins the matrix-backed `BubbleSpace` against the on-the-fly
+//! evaluation on adversarial corpora.
+
+use std::num::NonZeroUsize;
+
+use data_bubbles::pipeline::{run_pipeline, Compressor, PipelineConfig, PipelineOutput, Recovery};
+use db_birch::BirchParams;
+use db_optics::OpticsParams;
+use db_spatial::Dataset;
+
+/// Two dense squares far apart — structured enough that the walk order,
+/// core-distances and expansion all carry signal.
+fn two_squares() -> Dataset {
+    let mut ds = Dataset::new(2).unwrap();
+    for i in 0..900 {
+        let (x, y) = ((i % 30) as f64 * 0.3, (i / 30) as f64 * 0.3);
+        ds.push(&[x, y]).unwrap();
+        ds.push(&[x + 150.0, y * 1.5]).unwrap();
+    }
+    ds
+}
+
+fn params() -> OpticsParams {
+    OpticsParams { eps: f64::INFINITY, min_pts: 12 }
+}
+
+fn assert_identical(base: &PipelineOutput, other: &PipelineOutput, ctx: &str) {
+    assert_eq!(base.n_representatives, other.n_representatives, "{ctx}: representative count");
+    assert_eq!(base.rep_ordering, other.rep_ordering, "{ctx}: rep ordering differs");
+    assert_eq!(base.expanded, other.expanded, "{ctx}: expanded ordering differs");
+}
+
+fn six_pipelines(k: usize, seed: u64) -> Vec<(String, Compressor, Recovery)> {
+    let mut out = Vec::new();
+    for (cname, compressor) in
+        [("SA", Compressor::Sample { seed }), ("CF", Compressor::Birch(BirchParams::default()))]
+    {
+        for recovery in [Recovery::Naive, Recovery::Weighted, Recovery::Bubbles] {
+            out.push((format!("OPTICS-{cname}-{recovery:?} k={k}"), compressor.clone(), recovery));
+        }
+    }
+    out
+}
+
+#[test]
+fn all_six_pipelines_are_thread_count_invariant() {
+    let ds = two_squares();
+    for (ctx, compressor, recovery) in six_pipelines(40, 7) {
+        let mut cfg = PipelineConfig::new(40, compressor, recovery, params());
+        cfg.threads = NonZeroUsize::new(1);
+        let base = run_pipeline(&ds, &cfg).unwrap();
+        for threads in [NonZeroUsize::new(2), NonZeroUsize::new(4), None] {
+            cfg.threads = threads;
+            let other = run_pipeline(&ds, &cfg).unwrap();
+            assert_identical(&base, &other, &format!("{ctx} threads={threads:?}"));
+        }
+    }
+}
+
+#[test]
+fn matrix_backed_clustering_equals_on_the_fly() {
+    // `matrix_max_k: 0` disables the precomputed matrix, forcing the
+    // exhaustive scan-and-sort path; the outputs must not change by a bit.
+    let corpora: Vec<(&str, Dataset)> = vec![
+        ("two_squares", two_squares()),
+        ("far_offset", db_datagen::adversarial::far_offset_clusters(42).build().unwrap()),
+        ("duplicates", db_datagen::adversarial::zero_variance_duplicates(0).build().unwrap()),
+        ("singletons", db_datagen::adversarial::singleton_flood(3).build().unwrap()),
+    ];
+    for (name, ds) in corpora {
+        let k = (ds.len() / 8).clamp(2, 40);
+        for (ctx, compressor, recovery) in six_pipelines(k, 11) {
+            if recovery != Recovery::Bubbles {
+                continue; // only the bubble variants build a BubbleSpace
+            }
+            let mut cfg = PipelineConfig::new(k, compressor, recovery, params());
+            let with_matrix = run_pipeline(&ds, &cfg).unwrap();
+            cfg.matrix_max_k = 0;
+            let on_the_fly = run_pipeline(&ds, &cfg).unwrap();
+            assert_identical(&with_matrix, &on_the_fly, &format!("{name}: {ctx}"));
+        }
+    }
+}
+
+#[test]
+fn thread_knob_composes_with_matrix_knob_on_adversarial_input() {
+    // Both knobs together: every (threads, matrix) combination agrees on a
+    // corpus built to stress distance ties (duplicates) — the regime where
+    // an unstable sort or merge order would show first.
+    let ds = db_datagen::adversarial::zero_variance_duplicates(0).build().unwrap();
+    let k = (ds.len() / 8).clamp(2, 16);
+    let mut cfg =
+        PipelineConfig::new(k, Compressor::Sample { seed: 5 }, Recovery::Bubbles, params());
+    cfg.threads = NonZeroUsize::new(1);
+    let base = run_pipeline(&ds, &cfg).unwrap();
+    for matrix_max_k in [0usize, usize::MAX] {
+        for threads in [NonZeroUsize::new(1), NonZeroUsize::new(3), None] {
+            cfg.matrix_max_k = matrix_max_k;
+            cfg.threads = threads;
+            let other = run_pipeline(&ds, &cfg).unwrap();
+            assert_identical(
+                &base,
+                &other,
+                &format!("matrix_max_k={matrix_max_k} threads={threads:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn explicit_thread_counts_exceeding_the_machine_still_agree() {
+    // Oversubscription (more threads than cores, more than work chunks)
+    // must not change anything either.
+    let ds = two_squares();
+    let mut cfg =
+        PipelineConfig::new(25, Compressor::Sample { seed: 3 }, Recovery::Bubbles, params());
+    cfg.threads = NonZeroUsize::new(1);
+    let base = run_pipeline(&ds, &cfg).unwrap();
+    cfg.threads = NonZeroUsize::new(64);
+    let wide = run_pipeline(&ds, &cfg).unwrap();
+    assert_identical(&base, &wide, "threads=64");
+}

@@ -140,12 +140,12 @@ fn every_pipeline_variant_runs() {
             for recovery in [Recovery::Naive, Recovery::Weighted, Recovery::Bubbles] {
                 let out = run_pipeline(
                     &ds,
-                    &PipelineConfig {
+                    &PipelineConfig::new(
                         k,
-                        compressor: compressor.clone(),
+                        compressor.clone(),
                         recovery,
-                        optics: OpticsParams { eps: f64::INFINITY, min_pts: 3 },
-                    },
+                        OpticsParams { eps: f64::INFINITY, min_pts: 3 },
+                    ),
                 )
                 .unwrap();
                 assert!(out.n_representatives >= 1, "case {case}");
