@@ -1,0 +1,182 @@
+//! Small seeded corpora for the oracle differential and metamorphic
+//! harnesses (`tests/oracle_differential.rs`, `tests/oracle_metamorphic.rs`).
+//!
+//! The oracles in `db-oracle` are O(n²)–O(n³), so these corpora stay in the
+//! hundreds of points: big enough for density structure to be real, small
+//! enough that brute force is instant.
+
+use crate::ds1::shuffle_in_unison;
+use crate::labeled::LabeledDataset;
+use crate::rng::Rng;
+use crate::shapes;
+use crate::{ds1, ds2, gaussian_family, Ds1Params, Ds2Params, GaussianFamilyParams};
+use db_spatial::Dataset;
+
+/// Parameters for [`separated_blobs`].
+#[derive(Debug, Clone)]
+pub struct SeparatedBlobsParams {
+    /// Total number of points.
+    pub n: usize,
+    /// Number of blobs.
+    pub n_clusters: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Radius of each blob (points are uniform in a ball, so this is a hard
+    /// bound, not a standard deviation).
+    pub radius: f64,
+    /// Guaranteed minimum gap between the closest points of any two blobs.
+    pub separation: f64,
+}
+
+impl Default for SeparatedBlobsParams {
+    fn default() -> Self {
+        Self { n: 120, n_clusters: 3, dim: 2, radius: 1.0, separation: 8.0 }
+    }
+}
+
+/// Generates blobs with a *guaranteed* separation: each blob samples
+/// uniformly from a ball of `radius`, and blob centers sit on a grid with
+/// spacing `2·radius + separation`, so any inter-blob point pair is at least
+/// `separation` apart while intra-blob pairs are at most `2·radius` apart.
+///
+/// The metamorphic suite relies on this hard margin: a translation or
+/// permutation can perturb distances by at most a few ulps, which can never
+/// flip a point across a gap that wide, so cluster recovery must be exactly
+/// invariant.
+///
+/// # Panics
+///
+/// Panics if `n_clusters == 0`, `dim == 0`, or the geometry is degenerate
+/// (non-positive radius/separation).
+pub fn separated_blobs(params: &SeparatedBlobsParams, seed: u64) -> LabeledDataset {
+    assert!(params.n_clusters > 0, "need at least one blob");
+    assert!(params.dim > 0, "dimension must be positive");
+    assert!(
+        params.radius > 0.0 && params.separation > 0.0,
+        "radius and separation must be positive"
+    );
+    let mut rng = Rng::new(seed);
+    let spacing = 2.0 * params.radius + params.separation;
+    // Blob centers on an axis-aligned grid with side length just large
+    // enough that side^dim >= n_clusters; center i gets the mixed-radix
+    // digits of i as its grid coordinates.
+    let mut side = 1usize;
+    while side.saturating_pow(params.dim as u32) < params.n_clusters {
+        side += 1;
+    }
+    let centers: Vec<Vec<f64>> = (0..params.n_clusters)
+        .map(|i| {
+            let mut rest = i;
+            (0..params.dim)
+                .map(|_| {
+                    let c = rest % side;
+                    rest /= side;
+                    c as f64 * spacing
+                })
+                .collect()
+        })
+        .collect();
+    let counts = shapes::partition_counts(params.n, &vec![1.0; params.n_clusters]);
+    let mut data = Dataset::with_capacity(params.dim, params.n).expect("dim > 0");
+    let mut labels = Vec::with_capacity(params.n);
+    let mut p = Vec::with_capacity(params.dim);
+    for (label, (&count, center)) in counts.iter().zip(&centers).enumerate() {
+        for _ in 0..count {
+            shapes::uniform_ball(&mut rng, center, params.radius, &mut p);
+            data.push(&p).expect("dim matches");
+            labels.push(label as i32);
+        }
+    }
+    shuffle_in_unison(&mut rng, data, labels)
+}
+
+/// A named corpus for the differential harness.
+pub struct Corpus {
+    /// Short identifier used in assertion messages.
+    pub name: &'static str,
+    /// The points and ground-truth labels.
+    pub labeled: LabeledDataset,
+}
+
+/// The standard differential-harness corpora: a small DS1 (nested densities
+/// plus noise), a small DS2 (five well-separated Gaussians), a
+/// low-dimensional Gaussian family slice, and hard-margin separated blobs.
+/// Every corpus is a few hundred points so the O(n²) oracles stay fast.
+pub fn differential_corpora(seed: u64) -> Vec<Corpus> {
+    vec![
+        Corpus {
+            name: "ds1-small",
+            labeled: ds1(&Ds1Params { n: 300, noise_fraction: 0.05 }, seed),
+        },
+        Corpus {
+            name: "ds2-small",
+            labeled: ds2(&Ds2Params { n: 250, sigma: 2.0 }, seed.wrapping_add(1)),
+        },
+        Corpus {
+            name: "family-3d",
+            labeled: gaussian_family(
+                &GaussianFamilyParams {
+                    n: 240,
+                    dim: 3,
+                    clusters: 5,
+                    ..GaussianFamilyParams::default()
+                },
+                seed.wrapping_add(2),
+            ),
+        },
+        Corpus {
+            name: "blobs",
+            labeled: separated_blobs(&SeparatedBlobsParams::default(), seed.wrapping_add(3)),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_spatial::euclidean;
+
+    #[test]
+    fn blobs_respect_the_separation_guarantee() {
+        let params =
+            SeparatedBlobsParams { n: 150, n_clusters: 4, dim: 2, radius: 1.0, separation: 6.0 };
+        let l = separated_blobs(&params, 7);
+        assert_eq!(l.len(), 150);
+        assert_eq!(l.n_clusters(), 4);
+        for i in 0..l.len() {
+            for j in (i + 1)..l.len() {
+                let d = euclidean(l.data.point(i), l.data.point(j));
+                if l.labels[i] == l.labels[j] {
+                    assert!(d <= 2.0 * params.radius + 1e-9, "intra-blob pair too far: {d}");
+                } else {
+                    assert!(d >= params.separation - 1e-9, "inter-blob pair too close: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blobs_handle_many_clusters_in_one_dimension() {
+        let params =
+            SeparatedBlobsParams { n: 60, n_clusters: 5, dim: 1, radius: 0.5, separation: 4.0 };
+        let l = separated_blobs(&params, 11);
+        assert_eq!(l.n_clusters(), 5);
+    }
+
+    #[test]
+    fn blobs_deterministic_per_seed() {
+        let p = SeparatedBlobsParams::default();
+        assert_eq!(separated_blobs(&p, 3), separated_blobs(&p, 3));
+    }
+
+    #[test]
+    fn corpora_are_small_and_named() {
+        let cs = differential_corpora(42);
+        assert_eq!(cs.len(), 4);
+        for c in &cs {
+            assert!(!c.name.is_empty());
+            assert!(c.labeled.len() <= 400, "{} too large for O(n^2) oracles", c.name);
+            assert!(!c.labeled.is_empty());
+        }
+    }
+}

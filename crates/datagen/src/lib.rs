@@ -36,6 +36,7 @@
 pub mod adversarial;
 mod complex;
 mod corel;
+mod corpora;
 mod ds1;
 mod ds2;
 mod family;
@@ -46,6 +47,7 @@ pub mod shapes;
 pub use adversarial::{all_corpora, AdversarialCorpus};
 pub use complex::{nested_rings, two_moons, two_spirals, RingsParams};
 pub use corel::{corel_like, CorelParams};
+pub use corpora::{differential_corpora, separated_blobs, Corpus, SeparatedBlobsParams};
 pub use ds1::{ds1, Ds1Params, DS1_COMPONENTS};
 pub use ds2::{ds2, Ds2Params};
 pub use family::{gaussian_family, GaussianFamilyParams};

@@ -1,0 +1,100 @@
+//! Floating-point comparison utilities for the differential and
+//! metamorphic harnesses: relative error with explicit ∞/NaN semantics.
+//!
+//! Tolerance policy (DESIGN.md §10): exact paths (indexes, walks, thread
+//! and matrix knobs) are compared bit for bit; stable-statistics paths
+//! (CF-derived means/extents vs. pairwise closed forms) are compared with
+//! [`rel_err`] against a small relative tolerance.
+
+/// Relative error between two values:
+/// `|a − b| / max(|a|, |b|)`, with the conventions
+///
+/// * `0.0` when both are equal — including two equal infinities and two
+///   NaNs (the sentinel values compare as "same state");
+/// * `∞` when exactly one is non-finite, or NaN meets a number (a sentinel
+///   disagreeing with a value is a hard mismatch, never "close");
+/// * the plain absolute difference when both are within one unit of zero
+///   (so tiny values near zero are not amplified into huge relative
+///   errors).
+pub fn rel_err(a: f64, b: f64) -> f64 {
+    if a.is_nan() && b.is_nan() {
+        return 0.0;
+    }
+    if a == b {
+        return 0.0; // covers equal finite values and equal infinities
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return f64::INFINITY;
+    }
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs());
+    if scale <= 1.0 {
+        diff
+    } else {
+        diff / scale
+    }
+}
+
+/// The largest [`rel_err`] over two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_rel_err(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    a.iter().zip(b).map(|(&x, &y)| rel_err(x, y)).fold(0.0, f64::max)
+}
+
+/// Whether every pair of corresponding values is within `rel_tol`
+/// relative error ([`rel_err`] semantics, so paired infinities pass and
+/// mismatched sentinels fail).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn all_close(a: &[f64], b: &[f64], rel_tol: f64) -> bool {
+    max_rel_err(a, b) <= rel_tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches_have_zero_error() {
+        assert_eq!(rel_err(1.5, 1.5), 0.0);
+        assert_eq!(rel_err(0.0, 0.0), 0.0);
+        assert_eq!(rel_err(f64::INFINITY, f64::INFINITY), 0.0);
+        assert_eq!(rel_err(f64::NAN, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn sentinel_mismatches_are_infinite() {
+        assert_eq!(rel_err(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(rel_err(1.0, f64::NAN), f64::INFINITY);
+        assert_eq!(rel_err(f64::INFINITY, f64::NEG_INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn relative_above_one_absolute_below() {
+        // 1000 vs 1001: relative error 1/1001.
+        assert!((rel_err(1000.0, 1001.0) - 1.0 / 1001.0).abs() < 1e-15);
+        // 1e-30 vs 0: absolute difference, not 1.0.
+        assert_eq!(rel_err(1e-30, 0.0), 1e-30);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let a = [1.0, f64::INFINITY, 0.5];
+        let b = [1.0 + 1e-9, f64::INFINITY, 0.5];
+        assert!(all_close(&a, &b, 1e-8));
+        assert!(!all_close(&a, &b, 1e-12));
+        assert!((max_rel_err(&a, &b) - 1e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        max_rel_err(&[1.0], &[1.0, 2.0]);
+    }
+}

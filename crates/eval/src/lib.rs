@@ -7,11 +7,13 @@
 
 #![warn(missing_docs)]
 
+mod close;
 mod confusion;
 mod indices;
 mod plotstats;
 mod silhouette;
 
+pub use close::{all_close, max_rel_err, rel_err};
 pub use confusion::ConfusionMatrix;
 pub use indices::{adjusted_rand_index, normalized_mutual_information, rand_index};
 pub use plotstats::{count_dents, plot_summary, PlotSummary};

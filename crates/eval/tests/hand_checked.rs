@@ -1,0 +1,139 @@
+//! Hand-computed worked examples for every evaluation metric: small inputs
+//! whose exact values were derived on paper, so a regression here means the
+//! metric itself changed, not a corpus or a tolerance.
+
+use db_eval::{
+    adjusted_rand_index, normalized_mutual_information, rand_index, silhouette_score,
+    ConfusionMatrix,
+};
+
+const TOL: f64 = 1e-12;
+
+#[test]
+fn ari_and_rand_five_point_worked_example() {
+    // a = {0,1,2 | 3,4}, b = {0,1 | 2,3,4}.
+    // Contingency: n(a0,b0)=2, n(a0,b1)=1, n(a1,b1)=2.
+    // Σ C(nij,2) = 1 + 0 + 1 = 2;  Σ C(ai,2) = 3 + 1 = 4;  Σ C(bj,2) = 4.
+    // total pairs C(5,2) = 10; expected = 4·4/10 = 1.6; max = 4.
+    // ARI = (2 − 1.6)/(4 − 1.6) = 1/6.
+    // Rand: together-both 2, apart-both 10 − 4 − 4 + 2 = 4 → 6/10.
+    let a = [0, 0, 0, 1, 1];
+    let b = [0, 0, 1, 1, 1];
+    assert!((adjusted_rand_index(&a, &b) - 1.0 / 6.0).abs() < TOL);
+    assert!((rand_index(&a, &b) - 0.6).abs() < TOL);
+    // Symmetry.
+    assert!((adjusted_rand_index(&b, &a) - 1.0 / 6.0).abs() < TOL);
+}
+
+#[test]
+fn ari_treats_noise_as_its_own_cluster() {
+    // a = {0,1 | noise 2}, b = {0,1,2}: noise is a singleton cluster.
+    // Σ C(nij,2) = C(2,2) = 1; Σ C(ai,2) = 1; Σ C(bj,2) = C(3,2) = 3;
+    // total = 3; expected = 1·3/3 = 1; max = 2 → ARI = (1−1)/(2−1) = 0.
+    // Rand: together-both 1, apart-both 3 − 1 − 3 + 1 = 0 → 1/3.
+    let a = [0, 0, -1];
+    let b = [0, 0, 0];
+    assert!(adjusted_rand_index(&a, &b).abs() < TOL);
+    assert!((rand_index(&a, &b) - 1.0 / 3.0).abs() < TOL);
+    // Agreeing on the noise restores a perfect score.
+    assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < TOL);
+}
+
+#[test]
+fn ari_degenerate_labelings() {
+    // Identical trivial partitions count as perfect agreement...
+    assert!((adjusted_rand_index(&[0, 0, 0], &[5, 5, 5]) - 1.0).abs() < TOL);
+    assert!((adjusted_rand_index(&[-1, -1, -1], &[-1, -1, -1]) - 1.0).abs() < TOL);
+    assert!((adjusted_rand_index(&[0, 1, 2], &[2, 0, 1]) - 1.0).abs() < TOL);
+    // ...while all-in-one vs. all-singletons carries zero information.
+    assert!(adjusted_rand_index(&[0, 0, 0], &[0, 1, 2]).abs() < TOL);
+    assert!(adjusted_rand_index(&[-1, -1, -1], &[0, 1, 2]).abs() < TOL);
+    // Fewer than two objects: trivially perfect.
+    assert!((adjusted_rand_index(&[0], &[1]) - 1.0).abs() < TOL);
+    assert!((rand_index(&[0], &[1]) - 1.0).abs() < TOL);
+}
+
+#[test]
+fn nmi_worked_examples() {
+    // Identical partitions (up to renaming) → 1.
+    assert!((normalized_mutual_information(&[0, 0, 1, 1], &[7, 7, 3, 3]) - 1.0).abs() < TOL);
+    // Independent partitions: every cell nij = 1 on a 2×2 table with
+    // uniform marginals → I(A;B) = 0 → NMI = 0.
+    assert!(normalized_mutual_information(&[0, 0, 1, 1], &[0, 1, 0, 1]).abs() < TOL);
+}
+
+#[test]
+fn silhouette_four_point_worked_example() {
+    // Points 0, 1 | 5, 6 on a line.
+    // s(0): a = 1, b = (5+6)/2 = 5.5 → 4.5/5.5 = 9/11.
+    // s(1): a = 1, b = (4+5)/2 = 4.5 → 3.5/4.5 = 7/9.   (mirror for 5, 6)
+    // mean = (9/11 + 7/9)/2 = 79/99.
+    let xs: [f64; 4] = [0.0, 1.0, 5.0, 6.0];
+    let labels = [0, 0, 1, 1];
+    let s = silhouette_score(4, &labels, |a, b| (xs[a] - xs[b]).abs()).unwrap();
+    assert!((s - 79.0 / 99.0).abs() < TOL, "got {s}, want 79/99");
+}
+
+#[test]
+fn silhouette_singleton_cluster_scores_zero() {
+    // Points 0, 1 | 10 — the singleton cluster contributes s = 0 by the
+    // standard convention.
+    // s(0): a = 1, b = 10 → 9/10.   s(1): a = 1, b = 9 → 8/9.   s(10) = 0.
+    // mean = (9/10 + 8/9 + 0)/3 = 161/270.
+    let xs: [f64; 3] = [0.0, 1.0, 10.0];
+    let labels = [0, 0, 1];
+    let s = silhouette_score(3, &labels, |a, b| (xs[a] - xs[b]).abs()).unwrap();
+    assert!((s - 161.0 / 270.0).abs() < TOL, "got {s}, want 161/270");
+}
+
+#[test]
+fn silhouette_degenerate_labelings_are_undefined() {
+    let xs: [f64; 3] = [0.0, 1.0, 2.0];
+    let d = |a: usize, b: usize| xs[a] - xs[b];
+    // A single cluster has no "nearest other cluster".
+    assert_eq!(silhouette_score(3, &[0, 0, 0], |a, b| d(a, b).abs()), None);
+    // All-noise labelings have no clusters at all.
+    assert_eq!(silhouette_score(3, &[-1, -1, -1], |a, b| d(a, b).abs()), None);
+    // Noise plus one cluster is still a single cluster.
+    assert_eq!(silhouette_score(3, &[0, 0, -1], |a, b| d(a, b).abs()), None);
+}
+
+#[test]
+fn confusion_matrix_worked_example() {
+    // reference  = {2 | 3,4 | noise 5},  validated = {2,3,4 swapped ids}.
+    // reference: [0,0,0,1,1,-1], validated: [1,1,0,0,0,-1]:
+    //   ref cluster 0 = {0,1,2}: two in validated 1, one in validated 0;
+    //   ref cluster 1 = {3,4}: both in validated 0; noise matches noise.
+    let reference = [0, 0, 0, 1, 1, -1];
+    let validated = [1, 1, 0, 0, 0, -1];
+    let mut m = ConfusionMatrix::from_labels(&reference, &validated);
+    assert_eq!(m.n_rows(), 3); // validated: 0, 1, noise
+    assert_eq!(m.n_cols(), 3); // reference: 0, 1, noise
+    assert_eq!(m.total(), 6);
+    // Before reordering (rows in label order 0, 1, noise):
+    assert_eq!(m.at(0, 0), 1); // validated 0 ∩ reference 0
+    assert_eq!(m.at(0, 1), 2); // validated 0 ∩ reference 1
+    assert_eq!(m.at(1, 0), 2); // validated 1 ∩ reference 0
+    assert_eq!(m.at(2, 2), 1); // noise ∩ noise
+    m.reorder_rows_greedy();
+    // Greedy puts validated 1 (2 hits) on reference-0's diagonal, then
+    // validated 0 (2 hits) on reference-1's. 4 of the 5 clustered objects
+    // land on the diagonal.
+    assert_eq!(m.row_labels(), &[1, 0, -1]);
+    assert!((m.diagonal_fraction() - 0.8).abs() < TOL);
+}
+
+#[test]
+fn confusion_matrix_degenerate_labelings() {
+    // Perfect agreement, single cluster.
+    let mut m = ConfusionMatrix::from_labels(&[0, 0, 0], &[0, 0, 0]);
+    m.reorder_rows_greedy();
+    assert!((m.diagonal_fraction() - 1.0).abs() < TOL);
+    // All noise on both sides: no cluster columns → vacuously perfect.
+    let m = ConfusionMatrix::from_labels(&[-1, -1], &[-1, -1]);
+    assert!((m.diagonal_fraction() - 1.0).abs() < TOL);
+    // Everything clustered vs. everything noise: nothing on the diagonal.
+    let mut m = ConfusionMatrix::from_labels(&[0, 0, 0], &[-1, -1, -1]);
+    m.reorder_rows_greedy();
+    assert!(m.diagonal_fraction().abs() < TOL);
+}

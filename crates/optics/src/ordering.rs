@@ -82,6 +82,33 @@ impl ClusterOrdering {
         self.entries.iter().map(|e| e.weight).sum()
     }
 
+    /// Whether two orderings agree position by position: identical ids and
+    /// weights, and reachability / core-distance within `rel_tol` relative
+    /// error. Paired non-finite values (two ∞, two NaN) count as equal; a
+    /// finite value against a non-finite one never matches. Values within
+    /// one unit of zero are compared absolutely so near-zero distances do
+    /// not blow up the relative error. This is the differential-harness
+    /// comparison for stable-statistics paths (DESIGN.md §10); exact paths
+    /// should use `==` instead.
+    pub fn close_to(&self, other: &ClusterOrdering, rel_tol: f64) -> bool {
+        fn close(a: f64, b: f64, tol: f64) -> bool {
+            if a == b || (a.is_nan() && b.is_nan()) {
+                return true;
+            }
+            if !a.is_finite() || !b.is_finite() {
+                return false;
+            }
+            (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+        }
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().zip(&other.entries).all(|(x, y)| {
+                x.id == y.id
+                    && x.weight == y.weight
+                    && close(x.reachability, y.reachability, rel_tol)
+                    && close(x.core_distance, y.core_distance, rel_tol)
+            })
+    }
+
     /// Expands the ordering into a per-position plot where each entry is
     /// repeated `weight` times (the paper's size-distortion fix of §5, in
     /// its plot-only form: the first copy keeps the entry's reachability,
@@ -294,6 +321,27 @@ mod tests {
         assert_eq!(median_smooth(&[1.0, 5.0, 9.0], 0), vec![1.0, 5.0, 9.0]);
         let inf = vec![f64::INFINITY; 5];
         assert!(median_smooth(&inf, 1).iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn close_to_tolerates_small_drift_only() {
+        let a = two_cluster_ordering();
+        let mut b = a.clone();
+        assert!(a.close_to(&b, 0.0)); // identical orderings match exactly
+        b.entries[1].reachability *= 1.0 + 1e-10;
+        assert!(a.close_to(&b, 1e-9));
+        assert!(!a.close_to(&b, 1e-12));
+        // Paired infinities are equal; ∞ vs finite never matches.
+        let mut c = a.clone();
+        c.entries[0].reachability = 7.0;
+        assert!(!a.close_to(&c, 1e-3));
+        // Different ids or weights never match.
+        let mut d = a.clone();
+        d.entries[2].id = 9;
+        assert!(!a.close_to(&d, 1.0));
+        let mut e = a.clone();
+        e.entries[2].weight = 4;
+        assert!(!a.close_to(&e, 1.0));
     }
 
     #[test]

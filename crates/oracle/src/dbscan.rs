@@ -1,0 +1,101 @@
+//! Exact DBSCAN: the KDD'96 pseudocode with brute-force neighbourhoods.
+
+use std::collections::VecDeque;
+
+use db_spatial::Dataset;
+
+use crate::knn::exact_range;
+
+/// Exact DBSCAN (Ester et al., KDD 1996) over raw points. Returns one label
+/// per object: cluster ids `0..`, `-1` for noise.
+///
+/// Semantics pinned by this oracle, shared with [`db_optics::dbscan`]:
+/// objects are visited in id order; a core object (≥ MinPts objects within
+/// ε, itself included) opens a cluster that is grown breadth-first; border
+/// objects keep the first cluster that reaches them.
+///
+/// # Panics
+///
+/// Panics if `min_pts == 0` or `eps < 0`.
+pub fn exact_dbscan(ds: &Dataset, eps: f64, min_pts: usize) -> Vec<i32> {
+    assert!(min_pts >= 1, "MinPts must be at least 1");
+    assert!(eps >= 0.0, "eps must be non-negative");
+    let n = ds.len();
+    let mut labels = vec![-1i32; n];
+    let mut visited = vec![false; n];
+    let mut cluster = -1i32;
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        let neighbors = exact_range(ds, ds.point(i), eps);
+        if neighbors.len() < min_pts {
+            continue; // noise for now; may become a border object later
+        }
+        cluster += 1;
+        labels[i] = cluster;
+        queue.clear();
+        queue.extend(neighbors.iter().map(|nb| nb.id));
+        while let Some(j) = queue.pop_front() {
+            if labels[j] == -1 {
+                labels[j] = cluster;
+            }
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            let neighbors = exact_range(ds, ds.point(j), eps);
+            if neighbors.len() >= min_pts {
+                queue.extend(neighbors.iter().map(|nb| nb.id));
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_clusters_and_noise_hand_checked() {
+        // {0, 1, 2} within eps of each other, {10, 11} likewise, 50 alone.
+        let ds =
+            Dataset::from_rows(1, &[&[0.0], &[1.0], &[2.0], &[10.0], &[11.0], &[50.0]]).unwrap();
+        let labels = exact_dbscan(&ds, 1.5, 2);
+        assert_eq!(labels, vec![0, 0, 0, 1, 1, -1]);
+    }
+
+    #[test]
+    fn border_object_keeps_first_cluster() {
+        // 2 is a border object of both {0,1,2} and {2,3,4} at MinPts=3:
+        // its neighbourhood {1,2,3} holds 3 objects, so it is actually core
+        // and bridges everything into one cluster — use MinPts=4 to make it
+        // a genuine border object of the left cluster only.
+        let ds = Dataset::from_rows(
+            1,
+            &[&[0.0], &[0.5], &[1.0], &[1.5], &[2.0], &[10.0], &[10.2], &[10.4], &[10.6], &[10.8]],
+        )
+        .unwrap();
+        let labels = exact_dbscan(&ds, 1.0, 4);
+        // Left chain 0..5 is one cluster (every point has ≥ 4 within 1.0
+        // except the end points, which are borders), right blob another.
+        assert!(labels[..5].iter().all(|&l| l == 0), "{labels:?}");
+        assert!(labels[5..].iter().all(|&l| l == 1), "{labels:?}");
+    }
+
+    #[test]
+    fn all_noise_when_eps_tiny() {
+        let ds = Dataset::from_rows(1, &[&[0.0], &[1.0], &[2.0]]).unwrap();
+        assert_eq!(exact_dbscan(&ds, 1e-9, 2), vec![-1, -1, -1]);
+    }
+
+    #[test]
+    fn min_pts_one_makes_everything_a_cluster() {
+        let ds = Dataset::from_rows(1, &[&[0.0], &[100.0]]).unwrap();
+        assert_eq!(exact_dbscan(&ds, 1.0, 1), vec![0, 1]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Brute-force ε-range and k-NN queries: the ground truth for every
+//! spatial index in `db-spatial`.
+
+use db_spatial::{euclidean_sq, Dataset, Neighbor};
+
+/// The exact ε-neighbourhood of `q`: every point with distance ≤ `eps`,
+/// sorted ascending by `(distance, id)` — the canonical result order of
+/// [`db_spatial::SpatialIndex::range`]. A NaN or negative `eps` yields an
+/// empty result (matching the index contract).
+///
+/// ORACLE: ε-inclusion is decided in *squared* space (`d² ≤ eps²`), exactly
+/// as the indexes do. A sqrt-space predicate (`√d² ≤ eps`) can disagree by
+/// one ulp when `eps` equals a reported neighbour distance, because
+/// `fl(√x)² < x` is possible; the squared predicate is the repo-wide
+/// convention, so the oracle pins that convention rather than a subtly
+/// different one. See DESIGN.md §10 (tolerance policy).
+pub fn exact_range(ds: &Dataset, q: &[f64], eps: f64) -> Vec<Neighbor> {
+    if eps.is_nan() || eps < 0.0 {
+        return Vec::new();
+    }
+    let eps_sq = eps * eps;
+    let mut out: Vec<Neighbor> = (0..ds.len())
+        .filter_map(|id| {
+            let d2 = euclidean_sq(ds.point(id), q);
+            (d2 <= eps_sq).then(|| Neighbor::new(id, d2.sqrt()))
+        })
+        .collect();
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    out
+}
+
+/// The exact k nearest neighbours of `q` (fewer when the dataset is
+/// smaller), selected by `(distance, id)` and returned sorted by
+/// `(distance, id)` — the canonical order of
+/// [`db_spatial::SpatialIndex::knn`]. Selection happens in squared space,
+/// mirroring the indexes, so boundary ties resolve identically.
+pub fn exact_knn(ds: &Dataset, q: &[f64], k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<(f64, usize)> =
+        (0..ds.len()).map(|id| (euclidean_sq(ds.point(id), q), id)).collect();
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    all.truncate(k);
+    let mut out: Vec<Neighbor> =
+        all.into_iter().map(|(d2, id)| Neighbor::new(id, d2.sqrt())).collect();
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Dataset {
+        Dataset::from_rows(1, &[&[0.0], &[1.0], &[2.0], &[3.0], &[10.0]]).unwrap()
+    }
+
+    #[test]
+    fn range_is_inclusive_and_sorted() {
+        let ds = line();
+        let out = exact_range(&ds, &[1.0], 1.0);
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 0, 2]);
+        assert_eq!(out[0].dist, 0.0);
+        assert_eq!(out[1].dist, 1.0); // exactly at eps: included
+        assert_eq!(out[2].dist, 1.0);
+    }
+
+    #[test]
+    fn range_ties_break_by_id() {
+        // Points 0 and 2 are both at distance 1 from the query.
+        let ds = line();
+        let out = exact_range(&ds, &[1.0], 5.0);
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn range_degenerate_eps() {
+        let ds = line();
+        assert!(exact_range(&ds, &[0.0], -1.0).is_empty());
+        assert!(exact_range(&ds, &[0.0], f64::NAN).is_empty());
+        assert_eq!(exact_range(&ds, &[0.0], f64::INFINITY).len(), 5);
+        assert_eq!(exact_range(&ds, &[0.0], 0.0).len(), 1); // only the point itself
+    }
+
+    #[test]
+    fn knn_selects_smallest_with_id_ties() {
+        let ds = line();
+        let out = exact_knn(&ds, &[1.0], 3);
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 0, 2]);
+        let out = exact_knn(&ds, &[1.0], 2);
+        // Tie at distance 1 between ids 0 and 2: the smaller id wins.
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 0]);
+    }
+
+    #[test]
+    fn knn_clamps_to_dataset_size() {
+        let ds = line();
+        assert_eq!(exact_knn(&ds, &[0.0], 100).len(), 5);
+        assert!(exact_knn(&ds, &[0.0], 0).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Deliberately naive, obviously-correct reference implementations
+//! ("oracles") for differential testing of the Data Bubbles pipeline.
+//!
+//! Every optimized component of the workspace has a counterpart here whose
+//! only design goal is to be *auditable against the published definition*:
+//!
+//! * [`exact_range`] / [`exact_knn`] — O(n) brute-force proximity queries
+//!   (the truth the spatial indexes must reproduce bit for bit);
+//! * [`exact_optics`] — O(n²) OPTICS on raw points with a linear-scan seed
+//!   list instead of a heap (Ankerst et al. 1999, Figures 5–7);
+//! * [`exact_dbscan`] — the KDD'96 pseudocode with brute-force
+//!   neighbourhoods;
+//! * [`exact_single_link`] — O(n³) agglomerative single-link clustering by
+//!   literal pairwise minimization;
+//! * [`exact_bubble`] — Data Bubble statistics straight from Definition 10
+//!   and Lemma 1 of the paper, computed pairwise without sufficient
+//!   statistics.
+//!
+//! None of this code is reachable from the production pipeline; it exists
+//! so the differential harness (`tests/oracle_differential.rs`) and the
+//! metamorphic suite (`tests/oracle_metamorphic.rs`) can compare the
+//! optimized paths against an implementation simple enough to trust by
+//! inspection. See DESIGN.md §10 for the verification architecture and the
+//! tolerance policy (what must match exactly vs. within stable-statistics
+//! tolerances).
+
+#![warn(missing_docs)]
+
+pub mod dbscan;
+pub mod knn;
+pub mod optics;
+pub mod singlelink;
+pub mod stats;
+
+pub use dbscan::exact_dbscan;
+pub use knn::{exact_knn, exact_range};
+pub use optics::exact_optics;
+pub use singlelink::{exact_single_link, exact_single_link_points};
+pub use stats::{exact_bubble, ExactBubble};

@@ -1,0 +1,142 @@
+//! O(n²) exact OPTICS on raw points: no spatial index, no seed heap — the
+//! next object is found by a linear scan over the reachability array.
+
+use db_optics::{ClusterOrdering, OpticsParams, OrderingEntry, UNDEFINED};
+use db_spatial::Dataset;
+
+use crate::knn::exact_range;
+
+/// Exact OPTICS over raw points (Ankerst et al. 1999, Figures 5–7; equals
+/// Definitions 2–3 of the Data Bubbles paper).
+///
+/// Semantics pinned by this oracle, shared with [`db_optics::optics`]:
+///
+/// * fresh walk starts pick the lowest unprocessed id, with [`UNDEFINED`]
+///   reachability;
+/// * the next object within a walk is the unprocessed object with the
+///   smallest `(reachability, id)` among those reached so far;
+/// * the core-distance is the MinPts-th smallest neighbour distance (the
+///   object itself included at distance 0) when at least MinPts objects lie
+///   within ε, else [`UNDEFINED`].
+///
+/// The production walk keeps a lazy-deletion min-heap keyed by
+/// `(reachability, id)`; this oracle re-scans all n objects at every step
+/// instead, so its correctness is visible from the definition alone.
+///
+/// # Panics
+///
+/// Panics if `min_pts == 0` or `eps < 0`.
+pub fn exact_optics(ds: &Dataset, params: &OpticsParams) -> ClusterOrdering {
+    assert!(params.min_pts >= 1, "MinPts must be at least 1");
+    assert!(params.eps >= 0.0, "eps must be non-negative");
+    let n = ds.len();
+    let mut ordering = ClusterOrdering {
+        entries: Vec::with_capacity(n),
+        eps: params.eps,
+        min_pts: params.min_pts,
+    };
+    let mut processed = vec![false; n];
+    let mut reach = vec![UNDEFINED; n];
+
+    while ordering.entries.len() < n {
+        // Linear-scan seed selection: smallest (reachability, id) among
+        // unprocessed objects with a defined reachability; if none exists,
+        // the lowest unprocessed id starts a fresh walk.
+        let mut next: Option<(f64, usize)> = None;
+        for (i, &r) in reach.iter().enumerate() {
+            if processed[i] || !r.is_finite() {
+                continue;
+            }
+            let better = match next {
+                None => true,
+                Some((best, _)) => r < best,
+            };
+            if better {
+                next = Some((r, i));
+            }
+        }
+        let (reachability, i) = next.unwrap_or_else(|| {
+            let i = processed.iter().position(|&p| !p).expect("an unprocessed object remains");
+            (UNDEFINED, i)
+        });
+
+        processed[i] = true;
+        let neighbors = exact_range(ds, ds.point(i), params.eps);
+        // Definition 3: the MinPts-distance, defined iff the neighbourhood
+        // (self included) holds at least MinPts objects.
+        let core = (neighbors.len() >= params.min_pts).then(|| neighbors[params.min_pts - 1].dist);
+        ordering.entries.push(OrderingEntry {
+            id: i,
+            reachability,
+            core_distance: core.unwrap_or(UNDEFINED),
+            weight: 1,
+        });
+        if let Some(core) = core {
+            for nb in &neighbors {
+                if processed[nb.id] {
+                    continue;
+                }
+                let new_reach = core.max(nb.dist);
+                if new_reach < reach[nb.id] {
+                    reach[nb.id] = new_reach;
+                }
+            }
+        }
+    }
+    ordering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_points_on_a_line_hand_checked() {
+        // Points at 0, 1, 3 with MinPts=2: walk 0 → 1 → 2.
+        // core(0) = 1 (2nd NN incl. self), reach(1) = max(1, 1) = 1,
+        // core(1) = 1, reach(2) = max(core(1)=1, d(1,2)=2) = 2.
+        let ds = Dataset::from_rows(1, &[&[0.0], &[1.0], &[3.0]]).unwrap();
+        let o = exact_optics(&ds, &OpticsParams { eps: 10.0, min_pts: 2 });
+        let walk: Vec<usize> = o.entries.iter().map(|e| e.id).collect();
+        assert_eq!(walk, vec![0, 1, 2]);
+        assert!(o.entries[0].reachability.is_infinite());
+        assert_eq!(o.entries[0].core_distance, 1.0);
+        assert_eq!(o.entries[1].reachability, 1.0);
+        assert_eq!(o.entries[2].reachability, 2.0);
+    }
+
+    #[test]
+    fn ordering_is_a_permutation_with_isolated_point() {
+        let mut ds = Dataset::new(1).unwrap();
+        for i in 0..8 {
+            ds.push(&[i as f64 * 0.1]).unwrap();
+        }
+        ds.push(&[100.0]).unwrap();
+        let o = exact_optics(&ds, &OpticsParams { eps: 1.0, min_pts: 3 });
+        assert_eq!(o.len(), 9);
+        let mut ids: Vec<usize> = o.entries.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..9).collect::<Vec<_>>());
+        // The isolated point is not core and unreachable.
+        let iso = o.entries.iter().find(|e| e.id == 8).unwrap();
+        assert!(!iso.is_core());
+        assert!(!iso.has_reachability());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Dataset::new(2).unwrap();
+        assert!(exact_optics(&empty, &OpticsParams::default()).is_empty());
+        let one = Dataset::from_rows(2, &[&[1.0, 2.0]]).unwrap();
+        let o = exact_optics(&one, &OpticsParams { eps: 1.0, min_pts: 1 });
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.entries[0].core_distance, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MinPts")]
+    fn zero_min_pts_panics() {
+        let ds = Dataset::from_rows(1, &[&[0.0]]).unwrap();
+        exact_optics(&ds, &OpticsParams { eps: 1.0, min_pts: 0 });
+    }
+}

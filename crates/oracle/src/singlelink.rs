@@ -1,0 +1,109 @@
+//! O(n³) agglomerative single-link clustering by literal pairwise
+//! minimization — the reference for `db-hierarchical`'s SLINK.
+
+use db_hierarchical::{Dendrogram, Merge};
+use db_spatial::{euclidean, Dataset};
+
+/// Exact single-link agglomeration over `n` objects with distances from
+/// `dist`: repeatedly merge the two active clusters whose closest member
+/// pair is smallest, recomputing every cross-cluster distance from scratch
+/// each round. Ties (exactly equal linkage distances) keep the earlier
+/// pair in `(creation order)` scan order.
+///
+/// Node numbering is scipy-style (leaves `0..n`, merge `i` creates node
+/// `n + i`), matching [`db_hierarchical::Dendrogram`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn exact_single_link(n: usize, dist: &impl Fn(usize, usize) -> f64) -> Dendrogram {
+    assert!(n >= 1, "need at least one object");
+    // Active clusters as (dendrogram node id, member leaves).
+    let mut active: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut merges = Vec::with_capacity(n - 1);
+    for step in 0..n - 1 {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for ia in 0..active.len() {
+            for ib in ia + 1..active.len() {
+                // Single link: the minimum over all cross pairs.
+                let mut d = f64::INFINITY;
+                for &p in &active[ia].1 {
+                    for &q in &active[ib].1 {
+                        let dpq = dist(p, q);
+                        if dpq < d {
+                            d = dpq;
+                        }
+                    }
+                }
+                let better = match best {
+                    None => true,
+                    Some((bd, _, _)) => d < bd,
+                };
+                if better {
+                    best = Some((d, ia, ib));
+                }
+            }
+        }
+        let (d, ia, ib) = best.expect("at least two active clusters remain");
+        let (node_b, members_b) = active.swap_remove(ib);
+        let (node_a, members_a) = &mut active[ia];
+        merges.push(Merge { a: *node_a, b: node_b, dist: d });
+        *node_a = n + step;
+        members_a.extend(members_b);
+    }
+    Dendrogram::new(n, merges)
+}
+
+/// [`exact_single_link`] over the Euclidean distances of a [`Dataset`].
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn exact_single_link_points(ds: &Dataset) -> Dendrogram {
+    exact_single_link(ds.len(), &|i, j| euclidean(ds.point(i), ds.point(j)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_merges_in_gap_order() {
+        // Points at 0, 1, 3, 7: merges at distances 1, 2, 4.
+        let ds = Dataset::from_rows(1, &[&[0.0], &[1.0], &[3.0], &[7.0]]).unwrap();
+        let d = exact_single_link_points(&ds);
+        assert_eq!(d.n_leaves(), 4);
+        let heights: Vec<f64> = d.merges().iter().map(|m| m.dist).collect();
+        assert_eq!(heights, vec![1.0, 2.0, 4.0]);
+        // First merge joins leaves 0 and 1 into node 4.
+        assert_eq!((d.merges()[0].a, d.merges()[0].b), (0, 1));
+        assert_eq!((d.merges()[1].a, d.merges()[1].b), (4, 2));
+    }
+
+    #[test]
+    fn single_link_chains_through_bridges() {
+        // Two pairs bridged by a midpoint: single link merges everything at
+        // small heights (the chaining effect complete-link would avoid).
+        let ds = Dataset::from_rows(1, &[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0]]).unwrap();
+        let d = exact_single_link_points(&ds);
+        assert!(d.merges().iter().all(|m| m.dist == 1.0));
+    }
+
+    #[test]
+    fn cut_recovers_two_groups() {
+        let ds = Dataset::from_rows(1, &[&[0.0], &[0.5], &[10.0], &[10.5]]).unwrap();
+        let d = exact_single_link_points(&ds);
+        let labels = d.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn singleton_dendrogram() {
+        let ds = Dataset::from_rows(1, &[&[5.0]]).unwrap();
+        let d = exact_single_link_points(&ds);
+        assert_eq!(d.n_leaves(), 1);
+        assert!(d.merges().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Data Bubble statistics computed pairwise, straight from Definition 10
+//! and Lemma 1 — no sufficient statistics, no Welford updates.
+
+use db_spatial::{euclidean_sq, Dataset};
+
+/// A Data Bubble computed the naive way: the representative is the plain
+/// arithmetic mean, the extent is the root-mean-square pairwise distance
+/// of Definition 10,
+/// `extent(B) = sqrt( Σᵢ Σⱼ d(Xᵢ, Xⱼ)² / (n·(n−1)) )` over ordered pairs
+/// `i ≠ j`. The production `data-bubbles` crate derives both from CF
+/// sufficient statistics instead; the differential harness checks the two
+/// agree within the stable-statistics tolerance (DESIGN.md §10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactBubble {
+    /// The mean vector.
+    pub rep: Vec<f64>,
+    /// Number of points summarized.
+    pub n: u64,
+    /// Definition 10 extent.
+    pub extent: f64,
+}
+
+impl ExactBubble {
+    /// Lemma 1: the expected k-NN distance inside the bubble,
+    /// `(k/n)^(1/d) · extent`, clamped at `extent` for `k ≥ n`; `0` for a
+    /// bubble of at most one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn nndist(&self, k: u64) -> f64 {
+        assert!(k >= 1, "k-NN distance needs k >= 1");
+        if self.n <= 1 {
+            return 0.0;
+        }
+        let ratio = (k.min(self.n) as f64) / (self.n as f64);
+        ratio.powf(1.0 / self.rep.len() as f64) * self.extent
+    }
+}
+
+/// Computes the exact bubble over the points `ids` of `ds` by brute force:
+/// O(|ids|²) distance evaluations for the extent, one accumulation pass for
+/// the mean. Duplicate ids are counted as distinct points (positions in the
+/// multiset of Definition 10).
+///
+/// # Panics
+///
+/// Panics if `ids` is empty.
+pub fn exact_bubble(ds: &Dataset, ids: &[usize]) -> ExactBubble {
+    assert!(!ids.is_empty(), "a bubble summarizes at least one point");
+    let n = ids.len();
+    let mut rep = vec![0.0; ds.dim()];
+    for &i in ids {
+        for (r, &x) in rep.iter_mut().zip(ds.point(i)) {
+            *r += x;
+        }
+    }
+    for r in &mut rep {
+        *r /= n as f64;
+    }
+    let extent = if n > 1 {
+        let mut sum_sq = 0.0;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    sum_sq += euclidean_sq(ds.point(ids[a]), ds.point(ids[b]));
+                }
+            }
+        }
+        (sum_sq / (n * (n - 1)) as f64).sqrt()
+    } else {
+        0.0
+    };
+    ExactBubble { rep, n: n as u64, extent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_points_hand_checked() {
+        // Points 0 and 2: mean 1, pairwise sum 2·(2²) = 8, extent
+        // sqrt(8 / 2) = 2 (the pairwise distance itself).
+        let ds = Dataset::from_rows(1, &[&[0.0], &[2.0]]).unwrap();
+        let b = exact_bubble(&ds, &[0, 1]);
+        assert_eq!(b.rep, vec![1.0]);
+        assert_eq!(b.n, 2);
+        assert!((b.extent - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_points_hand_checked() {
+        // Points 0, 1, 2: ordered-pair squared distances
+        // 2·(1 + 4 + 1) = 12; extent = sqrt(12 / 6) = sqrt(2).
+        let ds = Dataset::from_rows(1, &[&[0.0], &[1.0], &[2.0]]).unwrap();
+        let b = exact_bubble(&ds, &[0, 1, 2]);
+        assert_eq!(b.rep, vec![1.0]);
+        assert!((b.extent - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nndist_follows_lemma_1() {
+        // 100 points, 2-d, extent 10: nndist(25) = sqrt(25/100)·10 = 5.
+        let b = ExactBubble { rep: vec![0.0, 0.0], n: 100, extent: 10.0 };
+        assert!((b.nndist(25) - 5.0).abs() < 1e-12);
+        // k ≥ n clamps at the extent.
+        assert!((b.nndist(1000) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_bubble() {
+        let ds = Dataset::from_rows(2, &[&[3.0, 4.0]]).unwrap();
+        let b = exact_bubble(&ds, &[0]);
+        assert_eq!(b.rep, vec![3.0, 4.0]);
+        assert_eq!(b.extent, 0.0);
+        assert_eq!(b.nndist(1), 0.0);
+    }
+
+    #[test]
+    fn duplicate_ids_count_as_points() {
+        // The same point twice: mean is the point, extent 0.
+        let ds = Dataset::from_rows(1, &[&[5.0]]).unwrap();
+        let b = exact_bubble(&ds, &[0, 0]);
+        assert_eq!(b.n, 2);
+        assert_eq!(b.extent, 0.0);
+    }
+}

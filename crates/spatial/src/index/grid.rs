@@ -115,6 +115,29 @@ impl GridIndex {
                 return; // query box misses every occupied cell
             }
         }
+        // A radius much larger than the cell width makes the box bigger
+        // than the cell table itself (ε → ∞ degenerates to the full
+        // occupied bounding box — (extent/cell)^d cells, almost all
+        // empty on sparse data). Enumerating occupied cells and testing
+        // box membership visits the same points at O(occupied) cost; the
+        // caller sorts results, so the hash-map order does not leak.
+        let volume = lo
+            .iter()
+            .zip(&hi)
+            .try_fold(1u64, |v, (&l, &h)| v.checked_mul((h as i64 - l as i64 + 1) as u64));
+        match volume {
+            Some(v) if v as usize <= self.cells.len() => {}
+            _ => {
+                for (key, ids) in &self.cells {
+                    if key.iter().zip(lo.iter().zip(&hi)).all(|(&k, (&l, &h))| l <= k && k <= h) {
+                        for &id in ids {
+                            f(id);
+                        }
+                    }
+                }
+                return;
+            }
+        }
         // Odometer enumeration of the integer box [lo, hi].
         let mut cur = lo.clone();
         loop {

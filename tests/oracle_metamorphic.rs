@@ -1,0 +1,224 @@
+//! Metamorphic harness: seeded randomized invariance properties (the
+//! repo's in-tree substitute for a property-testing crate — the workspace
+//! is dependency-free by design).
+//!
+//! Each property runs `ORACLE_ITERS` seeded iterations (default 100).
+//! Invariances are asserted at the strength the arithmetic supports
+//! (DESIGN.md §10):
+//!
+//! * **Bit-exact**: power-of-two scaling (every pipeline operation —
+//!   `+ − × ÷ sqrt` — is exactly equivariant under `2^k` factors, and the
+//!   `powf` exponent is dimensionless), coordinate swap in 2-d (two-term
+//!   FP addition is commutative), duplicate injection with scaled MinPts
+//!   (the k-th neighbor distance is the same value), and the
+//!   thread/matrix execution knobs (a documented determinism contract).
+//! * **Structural**: translation and row permutation perturb distances by
+//!   ulps, so cluster *structure* (ARI = 1 on hard-margin corpora) is
+//!   asserted instead of bit equality.
+
+use db_datagen::{separated_blobs, Rng, SeparatedBlobsParams};
+use db_eval::adjusted_rand_index;
+use db_hierarchical::slink;
+use db_optics::{extract_dbscan, optics_points, OpticsParams};
+use db_spatial::Dataset;
+
+use data_bubbles::pipeline::{run_pipeline, Compressor, PipelineConfig, Recovery};
+use std::num::NonZeroUsize;
+
+fn oracle_iters() -> usize {
+    std::env::var("ORACLE_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(100)
+}
+
+const MIN_PTS: usize = 4;
+/// Cut level for the blob corpora: above any intra-blob distance
+/// (2·radius = 2), far below the inter-blob separation (8).
+const CUT: f64 = 2.5;
+
+fn blob_params(rng: &mut Rng) -> SeparatedBlobsParams {
+    SeparatedBlobsParams {
+        n: 60 + rng.below(60),
+        n_clusters: 2 + rng.below(3),
+        dim: 2,
+        radius: 1.0,
+        separation: 8.0,
+    }
+}
+
+fn optics_params() -> OpticsParams {
+    OpticsParams { eps: f64::INFINITY, min_pts: MIN_PTS }
+}
+
+fn labels_of(ds: &Dataset) -> Vec<i32> {
+    let o = optics_points(ds, &optics_params());
+    extract_dbscan(&o, CUT, ds.len())
+}
+
+fn transformed(ds: &Dataset, f: impl Fn(&[f64], &mut Vec<f64>)) -> Dataset {
+    let mut out = Dataset::with_capacity(ds.dim(), ds.len()).unwrap();
+    let mut buf = Vec::with_capacity(ds.dim());
+    for i in 0..ds.len() {
+        buf.clear();
+        f(ds.point(i), &mut buf);
+        out.push(&buf).unwrap();
+    }
+    out
+}
+
+#[test]
+fn translation_preserves_cluster_structure() {
+    let mut rng = Rng::new(101);
+    for it in 0..oracle_iters() {
+        let ds = separated_blobs(&blob_params(&mut rng), it as u64).data;
+        let base = labels_of(&ds);
+        let offset: Vec<f64> = (0..ds.dim()).map(|_| rng.uniform_in(-1e3, 1e3)).collect();
+        let moved = transformed(&ds, |p, out| {
+            out.extend(p.iter().zip(&offset).map(|(x, o)| x + o));
+        });
+        let ari = adjusted_rand_index(&labels_of(&moved), &base);
+        assert!((ari - 1.0).abs() < 1e-12, "iter {it}: translation changed clusters (ARI {ari})");
+    }
+}
+
+#[test]
+fn power_of_two_scaling_is_bit_exact() {
+    // Multiplying every coordinate by 2^k scales every distance,
+    // core-distance and reachability by exactly 2^k: assert bit equality
+    // of the scaled reachability plot, not just cluster agreement.
+    let mut rng = Rng::new(202);
+    let scales = [0.25, 0.5, 2.0, 4.0, 8.0];
+    for it in 0..oracle_iters() {
+        let ds = separated_blobs(&blob_params(&mut rng), 1000 + it as u64).data;
+        let base = optics_points(&ds, &optics_params());
+        let s = scales[rng.below(scales.len())];
+        let scaled_ds = transformed(&ds, |p, out| out.extend(p.iter().map(|x| x * s)));
+        let scaled = optics_points(&scaled_ds, &optics_params());
+        assert_eq!(base.len(), scaled.len());
+        for (a, b) in base.entries.iter().zip(&scaled.entries) {
+            assert_eq!(a.id, b.id, "iter {it} s={s}: walk order changed");
+            assert_eq!(
+                (a.reachability * s).to_bits(),
+                b.reachability.to_bits(),
+                "iter {it} s={s}: reachability of id {} not exactly scaled",
+                a.id
+            );
+            assert_eq!(
+                (a.core_distance * s).to_bits(),
+                b.core_distance.to_bits(),
+                "iter {it} s={s}: core-distance of id {} not exactly scaled",
+                a.id
+            );
+        }
+    }
+}
+
+#[test]
+fn row_permutation_preserves_structure_and_heights() {
+    let mut rng = Rng::new(303);
+    for it in 0..oracle_iters() {
+        let ds = separated_blobs(&blob_params(&mut rng), 2000 + it as u64).data;
+        let base = labels_of(&ds);
+        let mut perm: Vec<usize> = (0..ds.len()).collect();
+        rng.shuffle(&mut perm);
+        let shuffled = ds.subset(&perm);
+        // Map the permuted labels back onto original ids.
+        let permuted = labels_of(&shuffled);
+        let mut back = vec![0i32; ds.len()];
+        for (new_id, &old_id) in perm.iter().enumerate() {
+            back[old_id] = permuted[new_id];
+        }
+        let ari = adjusted_rand_index(&back, &base);
+        assert!((ari - 1.0).abs() < 1e-12, "iter {it}: permutation changed clusters (ARI {ari})");
+        // Single-link merge heights are a multiset of pairwise distances:
+        // identical values regardless of row order.
+        let mut h1: Vec<f64> = slink(&ds).merges().iter().map(|m| m.dist).collect();
+        let mut h2: Vec<f64> = slink(&shuffled).merges().iter().map(|m| m.dist).collect();
+        h1.sort_by(f64::total_cmp);
+        h2.sort_by(f64::total_cmp);
+        let same = h1.iter().zip(&h2).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "iter {it}: single-link heights changed under permutation");
+    }
+}
+
+#[test]
+fn coordinate_swap_is_bit_exact_in_2d() {
+    // (dx² + dy²) and (dy² + dx²) are the same FP value (two-term addition
+    // is commutative), so swapping the two coordinates of every point must
+    // reproduce the ordering bit for bit.
+    let mut rng = Rng::new(404);
+    for it in 0..oracle_iters() {
+        let ds = separated_blobs(&blob_params(&mut rng), 3000 + it as u64).data;
+        let swapped = transformed(&ds, |p, out| {
+            out.push(p[1]);
+            out.push(p[0]);
+        });
+        let a = optics_points(&ds, &optics_params());
+        let b = optics_points(&swapped, &optics_params());
+        assert_eq!(a, b, "iter {it}: coordinate swap changed the ordering");
+    }
+}
+
+#[test]
+fn duplicate_injection_with_scaled_min_pts_keeps_core_distances() {
+    // Duplicating every point m times and multiplying MinPts by m leaves
+    // every k-th-neighbor distance — hence every core-distance — exactly
+    // unchanged: the distance multiset per point is the original one with
+    // every value repeated m times.
+    let mut rng = Rng::new(505);
+    for it in 0..oracle_iters() {
+        let ds = separated_blobs(&blob_params(&mut rng), 4000 + it as u64).data;
+        let n = ds.len();
+        let mut doubled = Dataset::with_capacity(ds.dim(), 2 * n).unwrap();
+        for i in 0..n {
+            doubled.push(ds.point(i)).unwrap();
+        }
+        for i in 0..n {
+            doubled.push(ds.point(i)).unwrap();
+        }
+        let base = optics_points(&ds, &optics_params());
+        let dup =
+            optics_points(&doubled, &OpticsParams { eps: f64::INFINITY, min_pts: 2 * MIN_PTS });
+        let base_pos = base.positions();
+        let dup_pos = dup.positions();
+        for id in 0..n {
+            let c0 = base.entries[base_pos[id]].core_distance;
+            let c1 = dup.entries[dup_pos[id]].core_distance;
+            assert_eq!(
+                c0.to_bits(),
+                c1.to_bits(),
+                "iter {it}: core-distance of id {id} changed under duplication"
+            );
+        }
+        // Cluster structure: originals keep their clusters, each duplicate
+        // lands in its original's cluster.
+        let base_labels = extract_dbscan(&base, CUT, n);
+        let dup_labels = extract_dbscan(&dup, CUT, 2 * n);
+        let expected: Vec<i32> = base_labels.iter().chain(&base_labels).copied().collect();
+        let ari = adjusted_rand_index(&dup_labels, &expected);
+        assert!((ari - 1.0).abs() < 1e-12, "iter {it}: duplication changed clusters (ARI {ari})");
+    }
+}
+
+#[test]
+fn execution_knobs_never_change_pipeline_output() {
+    // Random thread counts × matrix on/off: the documented bit-for-bit
+    // determinism contract, exercised with randomized corpora and
+    // configurations rather than the fixed grid of tests/determinism.rs.
+    let mut rng = Rng::new(606);
+    for it in 0..oracle_iters() {
+        let ds = separated_blobs(&blob_params(&mut rng), 5000 + it as u64).data;
+        let k = 8 + rng.below(12);
+        let compressor = if rng.below(2) == 0 {
+            Compressor::Sample { seed: it as u64 }
+        } else {
+            Compressor::GridSquash { bins_per_dim: 8 + rng.below(8) }
+        };
+        let mut cfg = PipelineConfig::new(k, compressor, Recovery::Bubbles, optics_params());
+        cfg.threads = NonZeroUsize::new(1);
+        let base = run_pipeline(&ds, &cfg).expect("pipeline runs");
+        cfg.threads = NonZeroUsize::new(1 + rng.below(7));
+        cfg.matrix_max_k = if rng.below(2) == 0 { 0 } else { usize::MAX };
+        let other = run_pipeline(&ds, &cfg).expect("pipeline runs");
+        assert_eq!(base.rep_ordering, other.rep_ordering, "iter {it}: rep ordering changed");
+        assert_eq!(base.expanded, other.expanded, "iter {it}: expansion changed");
+    }
+}
