@@ -1,0 +1,90 @@
+//! Compares two benchmark report JSON files and fails on regressions.
+//!
+//! ```text
+//! bench-diff <old.json> <new.json> [--tolerance F] [--floor-s F]
+//! ```
+//!
+//! Every numeric field whose key ends in `_s` is treated as a seconds
+//! timing; `new` regresses when it exceeds `old * (1 + tolerance) +
+//! floor_s` (defaults 0.5 and 0.005 — see `db_bench::diff`). Exit codes:
+//! 0 = no regressions, 1 = regressions found, 2 = usage or I/O error.
+
+use std::process::ExitCode;
+
+use db_bench::diff::{compare, DiffOptions};
+use db_obs::Json;
+
+const USAGE: &str = "usage: bench-diff <old.json> <new.json> [--tolerance F] [--floor-s F]";
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut opts = DiffOptions::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 0.0 => opts.tolerance = v,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--floor-s" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 0.0 => opts.floor_s = v,
+                _ => {
+                    eprintln!("--floor-s needs a non-negative number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = compare(&old, &new, &opts);
+    println!(
+        "bench-diff: {} timings compared (tolerance {:.0}%, floor {:.3}s)",
+        report.compared.len(),
+        opts.tolerance * 100.0,
+        opts.floor_s
+    );
+    for s in &report.structural {
+        println!("  note: {s}");
+    }
+    for d in &report.improvements {
+        println!("  improved: {}  {:.4}s -> {:.4}s ({:.2}x)", d.path, d.old_s, d.new_s, d.ratio());
+    }
+    for d in &report.regressions {
+        println!("  REGRESSED: {}  {:.4}s -> {:.4}s ({:.2}x)", d.path, d.old_s, d.new_s, d.ratio());
+    }
+    if report.compared.is_empty() {
+        println!("  warning: no timings found to compare");
+    }
+    if report.passed() {
+        println!("bench-diff: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench-diff: FAIL ({} regression(s))", report.regressions.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,24 +1,30 @@
 //! Regenerates the paper's evaluation figures.
 //!
 //! ```text
-//! figures [--scale quick|default|paper] [--out DIR] [--seed N] [--threads N] <figure>...|all
+//! figures [--scale quick|default|paper] [--out DIR] [--seed N] [--threads N]
+//!         [--trace-out FILE] [--serve ADDR] [--serve-linger SECS] <figure>...|all
 //! ```
 //!
 //! Reports are written to `<out>/<figure>.txt` (+ `.json` series) and
 //! echoed to stdout. With the (default) `metrics` feature each figure also
 //! prints the db-obs metrics table and writes `<out>/<figure>.metrics.jsonl`;
 //! metrics are reset between figures so each file covers one figure only.
+//!
+//! `--trace-out` records event-level traces (Chrome trace JSON, open in
+//! Perfetto / `chrome://tracing`); `--serve` exposes live `/metrics`,
+//! `/trace` and `/healthz` while the figures run (see `db-obsd`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use db_bench::config::{RunConfig, Scale};
+use db_bench::telemetry::TelemetryOptions;
 use db_bench::{run_figure, ALL_FIGURES};
 
 fn usage() -> String {
     format!(
         "usage: figures [--scale quick|default|paper] [--out DIR] [--seed N] [--threads N] \
-         <figure>...|all\n\
+         [--trace-out FILE] [--serve ADDR] [--serve-linger SECS] <figure>...|all\n\
          figures: {}",
         ALL_FIGURES.join(", ")
     )
@@ -26,9 +32,18 @@ fn usage() -> String {
 
 fn main() -> ExitCode {
     let mut cfg = RunConfig::default();
+    let mut telemetry_opts = TelemetryOptions::default();
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match telemetry_opts.consume_arg(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("{e}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
         match arg.as_str() {
             "--scale" => {
                 let Some(v) = args.next().and_then(|v| Scale::parse(&v)) else {
@@ -73,6 +88,16 @@ fn main() -> ExitCode {
         targets = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
     }
 
+    // A busy port (or any bind failure) is an expected operational error:
+    // report it cleanly instead of panicking.
+    let telemetry = match telemetry_opts.start() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("figures: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     for t in &targets {
         println!("\n================ {t} ================");
         let started = std::time::Instant::now();
@@ -92,6 +117,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Err(e) = telemetry.finish() {
+        eprintln!("figures: {e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! paper_pipelines [--scale quick|default|paper] [--factor N] [--seed N]
+//!                 [--out FILE] [--trace-out FILE] [--serve ADDR] [--serve-linger SECS]
 //! ```
 //!
 //! Runs `OPTICS-SA-Bubbles` (the paper's headline pipeline) on DS1 at the
 //! chosen scale and compression factor with 1, 2 and 4 worker threads and
 //! with the thread count left to available parallelism, verifying that
 //! every run produces the identical output, and writes the measured phase
-//! timings as machine-readable JSON to `BENCH_pr3.json` in the working
-//! directory. `OPTICS-CF-Bubbles` is run once as a cross-check that the
-//! BIRCH branch also benefits from the threaded classification.
+//! timings as machine-readable JSON to `BENCH_pr3.json` (or `--out`) in
+//! the working directory. `OPTICS-CF-Bubbles` is run once as a cross-check
+//! that the BIRCH branch also benefits from the threaded classification.
+//!
+//! The report is the input format of `bench-diff`; `--trace-out` and
+//! `--serve` add event tracing and live telemetry (see `db-obsd`).
 
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
@@ -18,7 +22,12 @@ use std::process::ExitCode;
 use data_bubbles::pipeline::{run_pipeline, Compressor, PipelineConfig, PipelineOutput, Recovery};
 use db_bench::config::{RunConfig, Scale};
 use db_bench::experiments::common::ds1_setup;
+use db_bench::telemetry::TelemetryOptions;
 use db_obs::Json;
+
+const USAGE: &str = "usage: paper_pipelines [--scale quick|default|paper] [--factor N] \
+                     [--seed N] [--out FILE] [--trace-out FILE] [--serve ADDR] \
+                     [--serve-linger SECS]";
 
 fn run(
     data: &db_datagen::LabeledDataset,
@@ -45,8 +54,18 @@ fn main() -> ExitCode {
     let mut scale = Scale::Default;
     let mut factor = 100usize;
     let mut seed = 2001u64;
+    let mut out_path = String::from("BENCH_pr3.json");
+    let mut telemetry_opts = TelemetryOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match telemetry_opts.consume_arg(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("{e}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
         match arg.as_str() {
             "--scale" => match args.next().and_then(|v| Scale::parse(&v)) {
                 Some(v) => scale = v,
@@ -69,15 +88,28 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--out" => match args.next() {
+                Some(v) => out_path = v,
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: paper_pipelines [--scale quick|default|paper] [--factor N] [--seed N]"
-                );
+                eprintln!("{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
     }
+
+    let telemetry = match telemetry_opts.start() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("paper_pipelines: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let cfg = RunConfig { scale, seed, ..Default::default() };
     db_obs::log_info!(target: "bench", "generating DS1 @ {}...", scale.ds1_n());
@@ -171,11 +203,15 @@ fn main() -> ExitCode {
             ]),
         ),
     ]);
-    let path = "BENCH_pr3.json";
+    let path = out_path.as_str();
     if let Err(e) = std::fs::write(path, doc.render_pretty() + "\n") {
         eprintln!("could not write {path}: {e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {path}");
+    if let Err(e) = telemetry.finish() {
+        eprintln!("paper_pipelines: {e}");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

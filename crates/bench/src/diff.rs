@@ -1,0 +1,279 @@
+//! Comparison of two benchmark report JSON documents (`BENCH_*.json`).
+//!
+//! [`compare`] walks both documents in parallel and checks every numeric
+//! field whose key ends in `_s` (a seconds timing) for regressions: `new`
+//! is a regression when it exceeds `old * (1 + tolerance) + floor_s`. The
+//! additive floor keeps micro-timings (a few milliseconds, dominated by
+//! scheduler noise) from tripping the relative check. Non-timing fields
+//! are ignored for pass/fail but structural drift (a timing present in
+//! one document and missing in the other) is reported.
+//!
+//! The `bench-diff` binary wraps this for CI:
+//!
+//! ```text
+//! bench-diff old.json new.json [--tolerance 0.5] [--floor-s 0.005]
+//! ```
+
+use db_obs::Json;
+
+/// Knobs for [`compare`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Allowed relative slowdown, e.g. `0.5` = new may be up to 1.5× old.
+    pub tolerance: f64,
+    /// Additive slack in seconds, absorbing fixed noise on tiny timings.
+    pub floor_s: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        // Generous by design: CI machines are noisy and shared, and the
+        // guard is for order-of-magnitude regressions (an accidental
+        // O(k²) reintroduction), not single-digit percent drift.
+        DiffOptions { tolerance: 0.5, floor_s: 0.005 }
+    }
+}
+
+/// One compared timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingDelta {
+    /// Dotted/indexed path into the document, e.g. `runs[2].total_s`.
+    pub path: String,
+    /// Value in the old document, seconds.
+    pub old_s: f64,
+    /// Value in the new document, seconds.
+    pub new_s: f64,
+}
+
+impl TimingDelta {
+    /// `new / old` (infinite when old is zero and new is not).
+    pub fn ratio(&self) -> f64 {
+        if self.old_s == 0.0 {
+            if self.new_s == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.new_s / self.old_s
+        }
+    }
+}
+
+/// The outcome of comparing two benchmark documents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Timings that got slower than the tolerance allows.
+    pub regressions: Vec<TimingDelta>,
+    /// Timings that got faster than the tolerance band (informational).
+    pub improvements: Vec<TimingDelta>,
+    /// Every timing compared (including unremarkable ones).
+    pub compared: Vec<TimingDelta>,
+    /// Timing paths present in only one document.
+    pub structural: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when no timing regressed (structural drift does not fail the
+    /// comparison — a new report may legitimately grow fields).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares two benchmark JSON documents. See the module docs for the
+/// regression criterion.
+pub fn compare(old: &Json, new: &Json, opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    walk(old, new, String::new(), opts, &mut report);
+    report
+}
+
+fn is_timing_key(key: &str) -> bool {
+    key.ends_with("_s")
+}
+
+fn walk(old: &Json, new: &Json, path: String, opts: &DiffOptions, report: &mut DiffReport) {
+    match (old, new) {
+        (Json::Obj(of), Json::Obj(nf)) => {
+            for (key, ov) in of {
+                let sub = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                match nf.iter().find(|(k, _)| k == key) {
+                    Some((_, nv)) => walk(ov, nv, sub, opts, report),
+                    None => note_missing(ov, &sub, "new", report),
+                }
+            }
+            for (key, nv) in nf {
+                if of.iter().all(|(k, _)| k != key) {
+                    let sub = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                    note_missing(nv, &sub, "old", report);
+                }
+            }
+        }
+        (Json::Arr(oi), Json::Arr(ni)) => {
+            for (i, (ov, nv)) in oi.iter().zip(ni).enumerate() {
+                walk(ov, nv, format!("{path}[{i}]"), opts, report);
+            }
+            if oi.len() != ni.len() {
+                report.structural.push(format!(
+                    "{path}: length {} in old vs {} in new",
+                    oi.len(),
+                    ni.len()
+                ));
+                for (i, ov) in oi.iter().enumerate().skip(ni.len()) {
+                    note_missing(ov, &format!("{path}[{i}]"), "new", report);
+                }
+                for (i, nv) in ni.iter().enumerate().skip(oi.len()) {
+                    note_missing(nv, &format!("{path}[{i}]"), "old", report);
+                }
+            }
+        }
+        _ => {
+            let leaf_key = path.rsplit('.').next().unwrap_or(&path);
+            if !is_timing_key(leaf_key) {
+                return;
+            }
+            match (old.as_f64(), new.as_f64()) {
+                (Some(old_s), Some(new_s)) => {
+                    let delta = TimingDelta { path, old_s, new_s };
+                    if new_s > old_s * (1.0 + opts.tolerance) + opts.floor_s {
+                        report.regressions.push(delta.clone());
+                    } else if new_s < old_s / (1.0 + opts.tolerance) - opts.floor_s {
+                        report.improvements.push(delta.clone());
+                    }
+                    report.compared.push(delta);
+                }
+                _ => report.structural.push(format!("{path}: not numeric in both documents")),
+            }
+        }
+    }
+}
+
+/// Records a timing that exists in only one document (non-timing leaves
+/// and whole subtrees without timings are ignored).
+fn note_missing(subtree: &Json, path: &str, missing_from: &str, report: &mut DiffReport) {
+    match subtree {
+        Json::Obj(fields) => {
+            for (key, v) in fields {
+                note_missing(v, &format!("{path}.{key}"), missing_from, report);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                note_missing(v, &format!("{path}[{i}]"), missing_from, report);
+            }
+        }
+        _ => {
+            let leaf_key = path.rsplit('.').next().unwrap_or(path);
+            if is_timing_key(leaf_key) {
+                report.structural.push(format!("{path}: missing from {missing_from} document"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(total: f64, phases: &[f64]) -> Json {
+        Json::Obj(vec![
+            ("bench".into(), Json::Str("t".into())),
+            ("k".into(), Json::Int(100)),
+            (
+                "runs".into(),
+                Json::Arr(
+                    phases
+                        .iter()
+                        .map(|&p| {
+                            Json::Obj(vec![
+                                ("compression_s".into(), Json::Num(p)),
+                                ("n_representatives".into(), Json::Int(50)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("total_s".into(), Json::Num(total)),
+        ])
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc(1.0, &[0.4, 0.6]);
+        let r = compare(&d, &d, &DiffOptions::default());
+        assert!(r.passed());
+        assert!(r.improvements.is_empty());
+        assert_eq!(r.compared.len(), 3);
+        assert!(r.structural.is_empty());
+    }
+
+    #[test]
+    fn two_x_slowdown_fails() {
+        let old = doc(1.0, &[0.4, 0.6]);
+        let new = doc(2.0, &[0.4, 0.6]);
+        let r = compare(&old, &new, &DiffOptions::default());
+        assert!(!r.passed());
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].path, "total_s");
+        assert_eq!(r.regressions[0].ratio(), 2.0);
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let old = doc(1.0, &[0.4, 0.6]);
+        let new = doc(1.4, &[0.55, 0.6]);
+        assert!(compare(&old, &new, &DiffOptions::default()).passed());
+    }
+
+    #[test]
+    fn floor_absorbs_micro_timing_noise() {
+        // 3ms -> 7ms is a 2.3x ratio but under the 5ms additive floor.
+        let old = doc(0.003, &[]);
+        let new = doc(0.007, &[]);
+        assert!(compare(&old, &new, &DiffOptions::default()).passed());
+        // The same ratio at real magnitudes fails.
+        let old = doc(3.0, &[]);
+        let new = doc(7.0, &[]);
+        assert!(!compare(&old, &new, &DiffOptions::default()).passed());
+    }
+
+    #[test]
+    fn improvements_are_informational() {
+        let old = doc(2.0, &[1.0]);
+        let new = doc(0.5, &[1.0]);
+        let r = compare(&old, &new, &DiffOptions::default());
+        assert!(r.passed());
+        assert_eq!(r.improvements.len(), 1);
+        assert_eq!(r.improvements[0].path, "total_s");
+    }
+
+    #[test]
+    fn non_timing_fields_never_fail() {
+        let mut old = doc(1.0, &[0.5]);
+        // Change k (an Int, not a timing) in the new document.
+        let new = doc(1.0, &[0.5]);
+        if let Json::Obj(fields) = &mut old {
+            fields[1].1 = Json::Int(999);
+        }
+        assert!(compare(&old, &new, &DiffOptions::default()).passed());
+    }
+
+    #[test]
+    fn structural_drift_is_reported_not_fatal() {
+        let old = doc(1.0, &[0.4, 0.6]);
+        let new = doc(1.0, &[0.4]);
+        let r = compare(&old, &new, &DiffOptions::default());
+        assert!(r.passed());
+        assert!(r.structural.iter().any(|s| s.contains("runs[1].compression_s")));
+        assert!(r.structural.iter().any(|s| s.contains("length 2 in old vs 1 in new")));
+    }
+
+    #[test]
+    fn zero_to_nonzero_has_infinite_ratio() {
+        let d = TimingDelta { path: "x_s".into(), old_s: 0.0, new_s: 1.0 };
+        assert!(d.ratio().is_infinite());
+        let d = TimingDelta { path: "x_s".into(), old_s: 0.0, new_s: 0.0 };
+        assert_eq!(d.ratio(), 1.0);
+    }
+}

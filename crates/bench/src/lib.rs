@@ -20,9 +20,11 @@
 
 pub mod ascii;
 pub mod config;
+pub mod diff;
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod telemetry;
 
 use std::io;
 

@@ -1,0 +1,124 @@
+//! Shared `--trace-out` / `--serve` support for the benchmark binaries.
+//!
+//! Both `figures` and `paper_pipelines` accept
+//!
+//! ```text
+//! --trace-out <path>      write the run's trace as Chrome trace JSON
+//! --serve <addr>          serve /metrics, /trace, /healthz while running
+//! --serve-linger <secs>   keep serving this long after the work finishes
+//! ```
+//!
+//! `--trace-out` turns event recording on for the process (equivalent to
+//! `DB_TRACE=1`, which also works); `--serve` starts a
+//! [`db_obsd::TelemetryServer`] before the workload and shuts it down
+//! after the optional linger window, so CI smoke tests can scrape a
+//! finished run deterministically.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use db_obsd::TelemetryServer;
+
+/// Telemetry options parsed from the command line.
+#[derive(Debug, Default, Clone)]
+pub struct TelemetryOptions {
+    /// Where to write the Chrome trace JSON, if anywhere.
+    pub trace_out: Option<PathBuf>,
+    /// Listen address for the live endpoint, e.g. `127.0.0.1:9184`.
+    pub serve: Option<String>,
+    /// How long to keep serving after the workload completes.
+    pub linger: Duration,
+}
+
+impl TelemetryOptions {
+    /// Tries to consume one telemetry flag. Returns `Ok(true)` when `arg`
+    /// was one (its value, if any, is taken from `args`), `Ok(false)` when
+    /// it is not a telemetry flag, and `Err` with a usage message when a
+    /// required value is missing or malformed.
+    pub fn consume_arg(
+        &mut self,
+        arg: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--trace-out" => {
+                let v = args.next().ok_or("--trace-out needs a file path")?;
+                self.trace_out = Some(PathBuf::from(v));
+                Ok(true)
+            }
+            "--serve" => {
+                let v = args.next().ok_or("--serve needs an address, e.g. 127.0.0.1:9184")?;
+                self.serve = Some(v);
+                Ok(true)
+            }
+            "--serve-linger" => {
+                let v = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or("--serve-linger needs a whole number of seconds")?;
+                self.linger = Duration::from_secs(v);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Starts whatever the options ask for. Call before the workload; pass
+    /// the result to [`Telemetry::finish`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the serve address cannot be bound
+    /// (e.g. the port is in use) — callers should print it and exit
+    /// nonzero rather than panic.
+    pub fn start(&self) -> Result<Telemetry, String> {
+        let server = match &self.serve {
+            Some(addr) => {
+                let server = TelemetryServer::start(addr).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "telemetry: serving /metrics /trace /healthz on http://{}",
+                    server.addr()
+                );
+                Some(server)
+            }
+            None => None,
+        };
+        if self.trace_out.is_some() {
+            db_obs::trace::set_enabled(true);
+        }
+        Ok(Telemetry { server, trace_out: self.trace_out.clone(), linger: self.linger })
+    }
+}
+
+/// Live telemetry state for one benchmark process.
+#[derive(Debug)]
+pub struct Telemetry {
+    server: Option<TelemetryServer>,
+    trace_out: Option<PathBuf>,
+    linger: Duration,
+}
+
+impl Telemetry {
+    /// Writes the trace file (when requested), serves out the linger
+    /// window, and shuts the server down.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the trace file cannot be written.
+    pub fn finish(mut self) -> Result<(), String> {
+        if let Some(path) = &self.trace_out {
+            let json = db_obs::trace_json(&db_obs::trace::events());
+            std::fs::write(path, &json)
+                .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+            eprintln!("telemetry: wrote {} ({} bytes)", path.display(), json.len());
+        }
+        if let Some(server) = &mut self.server {
+            if !self.linger.is_zero() {
+                eprintln!("telemetry: lingering {:?} before shutdown", self.linger);
+                std::thread::sleep(self.linger);
+            }
+            server.shutdown();
+        }
+        Ok(())
+    }
+}

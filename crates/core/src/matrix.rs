@@ -60,7 +60,7 @@ impl BubbleDistanceMatrix {
         let k = bubbles.len();
         assert!(k > 0, "cannot build a distance matrix over zero bubbles");
         let cells = k.checked_mul(k).expect("k * k overflows usize");
-        let _span = db_obs::span!("optics.matrix_build");
+        let mut span = db_obs::span!("optics.matrix_build");
         let threads = resolve_threads(threads, k);
         db_obs::gauge!("optics.matrix_threads").set(threads as i64);
 
@@ -89,14 +89,18 @@ impl BubbleDistanceMatrix {
             }
         } else {
             // Contiguous row blocks per thread; rows are independent, so
-            // the result cannot depend on this schedule.
+            // the result cannot depend on this schedule. Worker time is
+            // linked back into the build span (child-time, same trace run).
+            let parent = span.handle();
             let rows_per_thread = k.div_ceil(threads);
             let fill_row = &fill_row;
             std::thread::scope(|scope| {
                 let id_blocks = ids.chunks_mut(rows_per_thread * k);
                 let dist_blocks = dists.chunks_mut(rows_per_thread * k);
                 for (t, (id_block, dist_block)) in id_blocks.zip(dist_blocks).enumerate() {
+                    let parent = &parent;
                     scope.spawn(move || {
+                        let _s = db_obs::span_linked!("optics.matrix_fill", parent);
                         let first = t * rows_per_thread;
                         let rows = id_block.len() / k;
                         for r in 0..rows {

@@ -141,6 +141,11 @@ pub struct PipelineOutput {
     pub n_representatives: usize,
     /// Phase timings.
     pub timings: PipelineTimings,
+    /// Trace run id of this pipeline execution: every trace event the run
+    /// emitted carries it, so `db_obs::trace::events_for_run(run_id)` is
+    /// the run's self-contained event stream. Ids are process-unique and
+    /// assigned even when tracing is compiled out or disabled.
+    pub run_id: u64,
 }
 
 /// Pipeline failure modes.
@@ -219,8 +224,14 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     // future zero-copy ingest) can bypass that. A NaN here would silently
     // poison every distance downstream, so fail with a typed error instead.
     ds.validate()?;
+    // Every span and instant below records under this run's id (worker
+    // threads inherit it through linked span handles), so concurrent and
+    // consecutive runs stay separable in one trace buffer.
+    let run_id = db_obs::RunId::next();
+    let _run = run_id.enter();
     let _span = db_obs::span!("pipeline.run");
     db_obs::counter!("pipeline.runs").incr();
+    db_obs::trace_instant!("pipeline.start", "n_points", ds.len());
     db_obs::log_debug!(
         "pipeline: n={} k={} recovery={:?} min_pts={}",
         ds.len(),
@@ -281,6 +292,7 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     };
     drop(span_compression);
     let compression = t0.elapsed();
+    db_obs::trace_instant!("pipeline.compressed", "n_representatives", reps.len());
 
     // ------------------------------------------------------ step 2
     let t1 = Instant::now();
@@ -336,6 +348,7 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
         expanded,
         n_representatives: reps.len(),
         timings: PipelineTimings { compression, clustering, recovery },
+        run_id: run_id.get(),
     })
 }
 

@@ -11,6 +11,12 @@
 //! With the feature off the guard asserts that a counter increment and a
 //! span enter/drop each cost under 2 ns — i.e. they compiled away to (at
 //! most) the callsite's cached-handle load.
+//!
+//! A second guard runs a realistic chunked workload (simulating a
+//! pipeline phase that does ~20k arithmetic ops per instrumented chunk)
+//! and asserts the instrumented/bare ratio stays under 1.05 whenever
+//! per-event recording is not active: with metrics compiled off, and
+//! with tracing compiled in but runtime-disabled (`DB_TRACE` unset).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -64,5 +70,80 @@ fn main() {
             assert!(cost < 2.0, "no-op {name} costs {cost:.3} ns/op — instrumentation is not free");
         }
         println!("guard passed: all no-op instrumentation under 2 ns/op");
+    }
+
+    workload_guard();
+}
+
+/// One "chunk" of pipeline-shaped work: ~20k dependent arithmetic ops,
+/// the coarsest granularity at which the real pipelines wrap spans
+/// around work (a worker's chunk of points, not a single distance).
+#[inline(never)]
+fn chunk(seed: u64) -> u64 {
+    let mut acc = seed | 1;
+    for i in 0..20_000u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+/// Median-of-7 seconds for `chunks` chunk evaluations.
+fn measure_workload(chunks: u64, f: impl Fn(u64) -> u64) -> f64 {
+    let mut runs = Vec::new();
+    for rep in 0..7 {
+        let start = Instant::now();
+        let mut acc = rep;
+        for c in 0..chunks {
+            acc = f(black_box(acc ^ c));
+        }
+        black_box(acc);
+        runs.push(start.elapsed().as_secs_f64());
+    }
+    runs.sort_by(f64::total_cmp);
+    runs[3]
+}
+
+/// Asserts the instrumented workload is within 5% of the bare one when no
+/// per-event recording is active. With tracing compiled in, recording
+/// stays runtime-disabled here (the bench never sets `DB_TRACE` or calls
+/// `set_enabled(true)`), so the only cost on top of plain metrics is one
+/// predictable branch per span.
+fn workload_guard() {
+    const CHUNKS: u64 = 2_000;
+
+    // Warm the callsite caches outside the timed region.
+    {
+        let _s = db_obs::span!("bench.workload_chunk");
+        db_obs::counter!("bench.workload_items").add(0);
+        db_obs::trace_instant!("bench.workload_mark", "chunk", 0u64);
+    }
+
+    let bare = measure_workload(CHUNKS, chunk);
+    let instrumented = measure_workload(CHUNKS, |seed| {
+        let _span = db_obs::span!("bench.workload_chunk");
+        db_obs::counter!("bench.workload_items").add(1);
+        db_obs::trace_instant!("bench.workload_mark", "chunk", seed & 0xff);
+        chunk(seed)
+    });
+    let ratio = instrumented / bare;
+
+    let tracing_mode = if cfg!(feature = "tracing") {
+        "tracing compiled in, runtime-disabled"
+    } else if cfg!(feature = "metrics") {
+        "tracing compiled out"
+    } else {
+        "metrics compiled out"
+    };
+    println!("workload ({tracing_mode}), median of 7 x {CHUNKS} chunks:");
+    println!("  bare               {:8.4} s", bare);
+    println!("  instrumented       {:8.4} s (ratio {ratio:.4})", instrumented);
+
+    let recording = cfg!(feature = "tracing") && db_obs::trace::enabled();
+    if !recording {
+        assert!(
+            ratio <= 1.05,
+            "instrumented/bare ratio {ratio:.4} exceeds 1.05 with recording inactive"
+        );
+        println!("guard passed: instrumentation overhead {:.2}% <= 5%", (ratio - 1.0) * 100.0);
     }
 }

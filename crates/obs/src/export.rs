@@ -67,11 +67,14 @@ pub fn render_table(s: &Snapshot) -> String {
         for h in &s.histograms {
             let mean = if h.count > 0 { h.sum / h.count as f64 } else { 0.0 };
             out.push_str(&format!(
-                "  {}  count {}  sum {:.3}  mean {:.3}\n",
+                "  {}  count {}  sum {:.3}  mean {:.3}  p50 {:.3}  p95 {:.3}  p99 {:.3}\n",
                 h.name,
                 fmt_count(h.count),
                 h.sum,
-                mean
+                mean,
+                h.p50(),
+                h.p95(),
+                h.p99(),
             ));
             for (i, &c) in h.buckets.iter().enumerate() {
                 if c == 0 {
@@ -123,6 +126,10 @@ pub fn json_lines(s: &Snapshot) -> String {
             ("sum".into(), h.sum.to_json()),
             ("bounds".into(), h.bounds.to_json()),
             ("buckets".into(), h.buckets.to_json()),
+            // NaN (empty histogram) serializes as null by Json::Num's rule.
+            ("p50".into(), h.p50().to_json()),
+            ("p95".into(), h.p95().to_json()),
+            ("p99".into(), h.p99().to_json()),
         ]);
         out.push_str(&obj.render());
         out.push('\n');
@@ -139,6 +146,89 @@ pub fn json_lines(s: &Snapshot) -> String {
         ]);
         out.push_str(&obj.render());
         out.push('\n');
+    }
+    out
+}
+
+/// Mangles a metric name into the Prometheus identifier charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if i == 0 && c.is_ascii_digit() {
+            // A leading digit is legal after position 0; keep it behind a
+            // `_` prefix rather than losing it.
+            out.push('_');
+            out.push(c);
+            continue;
+        }
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || c.is_ascii_digit();
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Formats an f64 the way Prometheus expects sample values and `le`
+/// labels (finite shortest-round-trip, `+Inf`/`-Inf`, `NaN`).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format
+/// (version 0.0.4), served by `db-obsd` on `GET /metrics`.
+///
+/// * counters and gauges map directly;
+/// * histograms emit the conventional `_bucket{le="..."}` cumulative
+///   series (with the implicit `+Inf` bucket), `_sum` and `_count`;
+/// * spans emit a `<name>_duration_seconds` summary (`_count`/`_sum`)
+///   plus a `<name>_self_seconds_total` counter for exclusive time.
+pub fn prometheus_text(s: &Snapshot) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    for (name, v) in &s.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (name, v) in &s.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+    }
+    for h in &s.histograms {
+        let n = prom_name(&h.name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            cum += c;
+            let le = h.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", prom_f64(le));
+        }
+        let _ = writeln!(out, "{n}_sum {}", prom_f64(h.sum));
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    for sp in &s.spans {
+        let n = prom_name(&sp.name);
+        let _ = writeln!(
+            out,
+            "# TYPE {n}_duration_seconds summary\n\
+             {n}_duration_seconds_count {}\n\
+             {n}_duration_seconds_sum {}",
+            sp.count,
+            prom_f64(sp.total_ns as f64 / 1e9),
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE {n}_self_seconds_total counter\n{n}_self_seconds_total {}",
+            prom_f64(sp.self_ns as f64 / 1e9),
+        );
     }
     out
 }
@@ -196,6 +286,70 @@ mod tests {
         assert!(lines.contains(r#""kind":"counter""#));
         assert!(lines.contains(r#""kind":"span""#));
         assert!(lines.contains(r#""total_ns":2500000"#));
+    }
+
+    #[test]
+    fn table_shows_percentiles() {
+        let t = render_table(&sample());
+        // Rank 1.5 of 3 sits 1.5/2 into bucket (0, 4] -> 3.0.
+        assert!(t.contains("p50 3.000"), "{t}");
+        assert!(t.contains("p99"), "{t}");
+    }
+
+    #[test]
+    fn json_lines_carry_percentiles() {
+        let lines = json_lines(&sample());
+        let hist = lines.lines().find(|l| l.contains(r#""kind":"histogram""#)).unwrap();
+        assert!(hist.contains(r#""p50":3"#), "{hist}");
+        assert!(hist.contains(r#""p95":"#), "{hist}");
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let text = prometheus_text(&sample());
+        // Counter.
+        assert!(
+            text.contains("# TYPE optics_distance_calls counter\noptics_distance_calls 1234567")
+        );
+        // Gauge.
+        assert!(text.contains("# TYPE birch_height gauge\nbirch_height 3"));
+        // Histogram: cumulative buckets including +Inf, then sum/count.
+        assert!(text.contains("optics_neighborhood_size_bucket{le=\"4\"} 2"));
+        assert!(text.contains("optics_neighborhood_size_bucket{le=\"16\"} 3"));
+        assert!(text.contains("optics_neighborhood_size_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("optics_neighborhood_size_sum 21"));
+        assert!(text.contains("optics_neighborhood_size_count 3"));
+        // Span summary + self-time counter.
+        assert!(text.contains("pipeline_clustering_duration_seconds_count 1"));
+        assert!(text.contains("pipeline_clustering_duration_seconds_sum 0.0025"));
+        assert!(text.contains("pipeline_clustering_self_seconds_total 0.002"));
+        // Every sample line is `name{labels?} value`; names stay in the
+        // legal charset after mangling.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.split_once(' ').expect("name SP value");
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                bare.chars().enumerate().all(|(i, c)| c.is_ascii_alphabetic()
+                    || c == '_'
+                    || c == ':'
+                    || (i > 0 && c.is_ascii_digit())),
+                "bad metric name {bare:?}"
+            );
+            assert!(
+                value == "NaN"
+                    || value == "+Inf"
+                    || value == "-Inf"
+                    || value.parse::<f64>().is_ok(),
+                "bad sample value {value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prom_name_mangling() {
+        assert_eq!(prom_name("optics.distance_calls"), "optics_distance_calls");
+        assert_eq!(prom_name("a-b c"), "a_b_c");
+        assert_eq!(prom_name("4xx"), "_4xx");
     }
 
     #[test]

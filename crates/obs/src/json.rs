@@ -1,9 +1,12 @@
-//! A minimal JSON document model and serializer.
+//! A minimal JSON document model, serializer, and parser.
 //!
 //! The bench harness writes result tables as JSON; the metrics exporter
-//! writes JSON lines. Neither needs parsing, schemas, or zero-copy — just
-//! a value tree and a correct serializer — so this stays dependency-free.
+//! writes JSON lines; `bench-diff` reads benchmark reports back and the
+//! trace tests round-trip exporter output. None of that needs schemas or
+//! zero-copy — just a value tree, a correct serializer, and a small
+//! recursive-descent parser — so this stays dependency-free.
 
+use std::fmt;
 use std::fmt::Write as _;
 
 /// A JSON value.
@@ -25,7 +28,300 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Why [`Json::parse`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// What was wrong.
+    pub message: String,
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Recursive-descent JSON parser over the [`Json`] model. Strict RFC 8259
+/// except that it accepts (and preserves) i64-representable integers as
+/// [`Json::Int`]; nesting depth is capped at 128.
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonParseError> {
+        Err(JsonParseError { message: message.into(), offset: self.pos })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting deeper than 128");
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return self.err("expected ',' or ']'"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    fields.push((key, self.value(depth + 1)?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return self.err("expected ',' or '}'"),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => self.err(format!("unexpected byte 0x{other:02x}")),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+            _ => self.err(format!("invalid number '{text}'")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return self.err("invalid low surrogate");
+                                    }
+                                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                                } else {
+                                    return self.err("lone high surrogate");
+                                }
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(c) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                            // hex4 advanced past the digits; compensate
+                            // for the unconditional advance below.
+                            self.pos -= 1;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return self.err("unescaped control character"),
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one multi-byte UTF-8 scalar. `pos` always
+                    // sits on a char boundary (ASCII is consumed above,
+                    // multi-byte scalars whole here), so slicing the
+                    // original &str is valid and O(1).
+                    let c = self.input[self.pos..].chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        let Some(hex) = self.bytes.get(self.pos..end) else {
+            return self.err("truncated \\u escape");
+        };
+        let Ok(hex) = std::str::from_utf8(hex) else {
+            return self.err("invalid \\u escape");
+        };
+        match u32::from_str_radix(hex, 16) {
+            Ok(v) => {
+                self.pos = end;
+                Ok(v)
+            }
+            Err(_) => self.err("invalid \\u escape"),
+        }
+    }
+}
+
 impl Json {
+    /// Parses a JSON document (one top-level value with optional
+    /// surrounding whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] with a byte offset on malformed input,
+    /// trailing garbage, non-finite numbers, or nesting beyond 128 levels.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser { input, bytes: input.as_bytes(), pos: 0 };
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing characters after document");
+        }
+        Ok(v)
+    }
+
+    /// Looks up a field of an object (`None` for non-objects and missing
+    /// keys; first match wins on duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of an `Int` or `Num` node.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value of a `Str` node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items of an `Arr` node.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Serializes compactly (no whitespace).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -275,5 +571,60 @@ mod tests {
         }
         impl_to_json!(Row { n, secs });
         assert_eq!(Row { n: 3, secs: 0.5 }.to_json().render(), r#"{"n":3,"secs":0.5}"#);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("0.25").unwrap(), Json::Num(0.25));
+        assert_eq!(Json::parse(r#""hi""#).unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(Json::parse(r#""a\"b\\c\nd\tA""#).unwrap(), Json::Str("a\"b\\c\nd\tA".into()));
+        // Surrogate pair for U+1F600.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("\u{1f600}".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse("\"\u{1}\"").is_err());
+        assert!(Json::parse(r#""open"#).is_err());
+    }
+
+    #[test]
+    fn parse_containers_and_accessors() {
+        let v = Json::parse(r#"{ "xs": [1, 2.5, "s"], "m": { "k": null } }"#).unwrap();
+        let xs = v.get("xs").unwrap().as_arr().unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[0].as_f64(), Some(1.0));
+        assert_eq!(xs[1].as_f64(), Some(2.5));
+        assert_eq!(xs[2].as_str(), Some("s"));
+        assert_eq!(v.get("m").unwrap().get("k"), Some(&Json::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "nul", "1 2", "[1]]", "--1", "1e"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "no message for {bad:?}");
+        }
+        // Depth limit trips rather than overflowing the stack.
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("π/2 — \"quoted\"\n".into())),
+            ("xs".into(), Json::Arr(vec![Json::Int(-7), Json::Num(0.125), Json::Bool(false)])),
+            ("none".into(), Json::Null),
+        ]);
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+        assert_eq!(Json::parse(&v.render_pretty()).unwrap(), v);
     }
 }

@@ -38,6 +38,7 @@ mod export;
 mod json;
 mod logger;
 mod snapshot;
+pub mod trace;
 
 #[cfg(feature = "metrics")]
 mod registry;
@@ -47,10 +48,11 @@ mod span;
 #[cfg(not(feature = "metrics"))]
 mod noop;
 
-pub use export::{json_lines, render_table};
-pub use json::{Json, ToJson};
+pub use export::{json_lines, prometheus_text, render_table};
+pub use json::{Json, JsonParseError, ToJson};
 pub use logger::{log_emit, log_enabled, set_filter_spec, Level};
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
+pub use trace::{folded_stacks, trace_json, RunId, RunIdGuard, TraceEvent, TraceEventKind};
 
 #[cfg(feature = "metrics")]
 pub use registry::{
@@ -58,12 +60,13 @@ pub use registry::{
     snapshot, span_stat as registry_span_stat, Counter, Gauge, Histogram,
 };
 #[cfg(feature = "metrics")]
-pub use span::{SpanGuard, SpanStat};
+pub use span::{SpanGuard, SpanHandle, SpanStat};
 
 #[cfg(not(feature = "metrics"))]
 pub use noop::{
     counter as registry_counter, gauge as registry_gauge, histogram as registry_histogram, reset,
-    snapshot, span_stat as registry_span_stat, Counter, Gauge, Histogram, SpanGuard, SpanStat,
+    snapshot, span_stat as registry_span_stat, Counter, Gauge, Histogram, SpanGuard, SpanHandle,
+    SpanStat,
 };
 
 /// Not part of the public API; re-exported for the expansion of the
@@ -139,6 +142,58 @@ macro_rules! span {
         static __CELL: $crate::__private::OnceLock<&'static $crate::SpanStat> =
             $crate::__private::OnceLock::new();
         $crate::SpanGuard::enter(*__CELL.get_or_init(|| $crate::registry_span_stat($name)))
+    }};
+}
+
+/// Opens a named RAII span *linked to a parent span on another thread*
+/// via a [`SpanHandle`] from [`SpanGuard::handle`]: the linked span's
+/// total time counts as the parent's child time (so parallel phases
+/// report correct self time), and the thread adopts the parent's trace
+/// run id for the span's duration.
+///
+/// ```
+/// let mut phase = db_obs::span!("pipeline.compression");
+/// let h = phase.handle();
+/// std::thread::scope(|s| {
+///     s.spawn(|| {
+///         let _worker = db_obs::span_linked!("pipeline.compression_chunk", &h);
+///         // ... chunk work ...
+///     });
+/// });
+/// ```
+#[macro_export]
+macro_rules! span_linked {
+    ($name:literal, $handle:expr) => {{
+        static __CELL: $crate::__private::OnceLock<&'static $crate::SpanStat> =
+            $crate::__private::OnceLock::new();
+        $crate::SpanGuard::enter_linked(
+            *__CELL.get_or_init(|| $crate::registry_span_stat($name)),
+            $handle,
+        )
+    }};
+}
+
+/// Records an instant event into the trace ring (a vertical tick in the
+/// Chrome-trace timeline), optionally with one named integer argument.
+/// Free when tracing is compiled out or runtime-disabled.
+///
+/// ```
+/// db_obs::trace_instant!("pipeline.compressed");
+/// db_obs::trace_instant!("pipeline.compressed", "k", 40u64);
+/// ```
+#[macro_export]
+macro_rules! trace_instant {
+    ($name:literal) => {
+        $crate::trace_instant!($name, "", 0u64)
+    };
+    ($name:literal, $arg_name:literal, $arg:expr) => {{
+        if $crate::trace::enabled() {
+            static __IDS: $crate::__private::OnceLock<(u32, u32)> =
+                $crate::__private::OnceLock::new();
+            let (name_id, arg_name_id) = *__IDS
+                .get_or_init(|| ($crate::trace::intern($name), $crate::trace::intern($arg_name)));
+            $crate::trace::record_instant(name_id, arg_name_id, $arg as u64);
+        }
     }};
 }
 

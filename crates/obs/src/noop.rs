@@ -69,6 +69,10 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct SpanStat;
 
+/// No-op cross-thread span handle (metrics disabled).
+#[derive(Debug, Clone)]
+pub struct SpanHandle;
+
 /// No-op span guard: zero-sized with an empty `Drop`, so creating and
 /// dropping it generates no code at all. The `Drop` impl exists only so
 /// call sites may `drop(guard)` explicitly in either feature mode.
@@ -80,6 +84,18 @@ impl SpanGuard {
     #[inline(always)]
     pub fn enter(_stat: &'static SpanStat) -> Self {
         SpanGuard
+    }
+
+    /// Returns the zero-sized guard (metrics disabled).
+    #[inline(always)]
+    pub fn enter_linked(_stat: &'static SpanStat, _handle: &SpanHandle) -> Self {
+        SpanGuard
+    }
+
+    /// Returns the zero-sized handle (metrics disabled).
+    #[inline(always)]
+    pub fn handle(&mut self) -> SpanHandle {
+        SpanHandle
     }
 }
 

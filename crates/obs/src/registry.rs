@@ -204,7 +204,7 @@ pub fn histogram(name: &'static str, bounds: &[f64]) -> &'static Histogram {
 /// Returns the span statistics slot registered under `name`.
 pub fn span_stat(name: &'static str) -> &'static crate::span::SpanStat {
     let mut map = REGISTRY.spans.lock().unwrap();
-    map.entry(name).or_insert_with(|| Box::leak(Box::new(crate::span::SpanStat::new())))
+    map.entry(name).or_insert_with(|| Box::leak(Box::new(crate::span::SpanStat::new(name))))
 }
 
 /// Copies the current value of every registered metric.

@@ -17,6 +17,52 @@ pub struct HistogramSnapshot {
     pub sum: f64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation within the bucket holding the target rank, in the
+    /// style of Prometheus `histogram_quantile`: the first bucket's lower
+    /// edge is 0 (or its own bound when that is negative), and any rank
+    /// landing in the overflow bucket reports the last finite bound (the
+    /// estimate cannot exceed what the buckets resolve). Returns `NaN`
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return f64::NAN;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let below = cum;
+            cum += c;
+            if c > 0 && cum as f64 >= target {
+                let Some(&hi) = self.bounds.get(i) else {
+                    // Overflow bucket: no upper edge to interpolate to.
+                    return *self.bounds.last().unwrap();
+                };
+                let lo = if i == 0 { self.bounds[0].min(0.0) } else { self.bounds[i - 1] };
+                let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        *self.bounds.last().unwrap()
+    }
+
+    /// Estimated median (see [`Self::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile (see [`Self::quantile`]).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile (see [`Self::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
 /// A point-in-time copy of one span's aggregated timing statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanSnapshot {
@@ -64,5 +110,55 @@ impl Snapshot {
             && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(bounds: &[f64], buckets: &[u64]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: "h".into(),
+            bounds: bounds.to_vec(),
+            buckets: buckets.to_vec(),
+            count: buckets.iter().sum(),
+            sum: 0.0,
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 10 observations: 2 in (0,10], 6 in (10,20], 2 in (20,30].
+        let h = hist(&[10.0, 20.0, 30.0], &[2, 6, 2, 0]);
+        // Hand-computed: rank 5 of 10 sits 3/6 into bucket (10,20] -> 15.
+        assert_eq!(h.p50(), 15.0);
+        // Rank 9.5 sits 1.5/2 into bucket (20,30] -> 27.5.
+        assert_eq!(h.p95(), 27.5);
+        // Rank 9.9 sits 1.9/2 into bucket (20,30] -> 29.5.
+        assert_eq!(h.p99(), 29.5);
+    }
+
+    #[test]
+    fn quantile_edges() {
+        // First bucket interpolates from 0.
+        let h = hist(&[4.0], &[4, 0]);
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+        // Everything in the overflow bucket: report the last finite bound.
+        let h = hist(&[10.0, 20.0], &[0, 0, 5]);
+        assert_eq!(h.p50(), 20.0);
+        // Empty histogram has no quantiles.
+        assert!(hist(&[10.0], &[0, 0]).p50().is_nan());
+    }
+
+    #[test]
+    fn quantile_skips_empty_buckets() {
+        // All mass in the last finite bucket; empty buckets before it must
+        // not capture the rank.
+        let h = hist(&[1.0, 2.0, 3.0], &[0, 0, 8, 0]);
+        assert_eq!(h.p50(), 2.5);
+        assert_eq!(h.quantile(1.0), 3.0);
     }
 }

@@ -1,0 +1,231 @@
+//! `db-obsd`: a zero-dependency telemetry endpoint for long runs.
+//!
+//! [`TelemetryServer::start`] binds a [`std::net::TcpListener`] and serves
+//! the process's live observability state over plain HTTP/1.1:
+//!
+//! | route          | body                                                |
+//! |----------------|-----------------------------------------------------|
+//! | `GET /metrics` | Prometheus text exposition 0.0.4 of the metric
+//! |                | registry (counters, gauges, histogram buckets,
+//! |                | span summaries)                                     |
+//! | `GET /trace`   | the tracing ring buffers as Chrome trace JSON
+//! |                | (empty `traceEvents` unless `DB_TRACE=1` and the
+//! |                | `tracing` feature are on)                           |
+//! | `GET /healthz` | `ok`                                                |
+//!
+//! The server is deliberately minimal — thread-per-connection,
+//! `Connection: close`, no TLS, no keep-alive — because its job is to be
+//! scraped by `curl`/Prometheus a few times a second at most while a
+//! pipeline runs, with zero effect on the run itself. Every request
+//! handler only *reads* shared state (a metrics snapshot or a seqlock
+//! ring copy), so scrapes never block the instrumented code.
+//!
+//! Errors are typed ([`ObsdError`]); in particular binding a busy port
+//! reports [`ObsdError::Bind`] with an address-in-use message instead of
+//! panicking, so callers can print a clear diagnostic and exit.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything that can go wrong running the telemetry server.
+#[derive(Debug)]
+pub enum ObsdError {
+    /// Binding the listen address failed (port in use, bad address,
+    /// missing privileges, ...).
+    Bind {
+        /// The address that was requested.
+        addr: String,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// The accept loop died on a non-transient error.
+    Accept {
+        /// The underlying OS error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for ObsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsdError::Bind { addr, source } if source.kind() == io::ErrorKind::AddrInUse => {
+                write!(
+                    f,
+                    "telemetry address {addr} is already in use — is another run serving \
+                     there? pick a different --serve address"
+                )
+            }
+            ObsdError::Bind { addr, source } => {
+                write!(f, "cannot bind telemetry address {addr}: {source}")
+            }
+            ObsdError::Accept { source } => {
+                write!(f, "telemetry accept loop failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObsdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObsdError::Bind { source, .. } | ObsdError::Accept { source } => Some(source),
+        }
+    }
+}
+
+/// A running telemetry endpoint. Dropping it shuts the listener down
+/// (best effort); call [`TelemetryServer::shutdown`] to do so explicitly
+/// and join the accept thread.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+    /// port) and starts serving in a background thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsdError::Bind`] when the address cannot be bound; the server
+    /// never panics on I/O.
+    pub fn start(addr: &str) -> Result<TelemetryServer, ObsdError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|source| ObsdError::Bind { addr: addr.to_string(), source })?;
+        let local = listener.local_addr().map_err(|source| ObsdError::Accept { source })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("db-obsd-accept".into())
+                .spawn(move || accept_loop(&listener, &stop))
+                .map_err(|source| ObsdError::Accept { source })?
+        };
+        Ok(TelemetryServer { addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins it. Idempotent.
+    /// In-flight request handlers finish on their own threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept call blocks until a connection arrives; poke it.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                // Short-lived handler; detached so a slow client never
+                // stalls the accept loop.
+                let _ = std::thread::Builder::new()
+                    .name("db-obsd-conn".into())
+                    .spawn(move || handle_connection(stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Transient accept errors (e.g. aborted handshakes) are
+                // not worth dying over; bail only when asked to stop.
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Upper bound on request head size; anything larger is a bad request.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+fn handle_connection(stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() || request_line.is_empty() {
+        return;
+    }
+    // Drain the headers so well-behaved clients don't see a reset.
+    let mut drained = request_line.len();
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(n) => {
+                drained += n;
+                if line == "\r\n" || line == "\n" || drained > MAX_HEAD_BYTES {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return respond(stream, 400, "text/plain; charset=utf-8", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
+    }
+    // Ignore any query string: `/metrics?x=1` is still /metrics.
+    match path.split('?').next().unwrap_or(path) {
+        "/healthz" => respond(stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        "/metrics" => {
+            let body = db_obs::prometheus_text(&db_obs::snapshot());
+            respond(stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
+        }
+        "/trace" => {
+            let body = db_obs::trace_json(&db_obs::trace::events());
+            respond(stream, 200, "application/json", &body)
+        }
+        _ => respond(stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+fn respond(mut stream: TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(body.as_bytes()));
+    let _ = stream.flush();
+}

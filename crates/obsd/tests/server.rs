@@ -1,0 +1,133 @@
+//! End-to-end tests for the telemetry server over real sockets: every
+//! route, concurrent scrapes during active recording, typed bind errors,
+//! and graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use db_obsd::{ObsdError, TelemetryServer};
+
+/// Issues one HTTP/1.1 request and returns (status, body).
+fn request(addr: std::net::SocketAddr, method: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serves_all_routes() {
+    let server = TelemetryServer::start("127.0.0.1:0").expect("start");
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // Register something so /metrics has content to expose.
+    db_obs::counter!("obsd.test_requests").add(3);
+    let (status, body) = request(addr, "GET", "/metrics");
+    assert_eq!(status, 200);
+    #[cfg(feature = "metrics")]
+    {
+        assert!(body.contains("# TYPE obsd_test_requests counter"), "missing TYPE: {body}");
+        assert!(body.contains("obsd_test_requests 3"), "missing sample: {body}");
+    }
+    #[cfg(not(feature = "metrics"))]
+    assert!(body.is_empty());
+
+    let (status, body) = request(addr, "GET", "/trace");
+    assert_eq!(status, 200);
+    let doc = db_obs::Json::parse(&body).expect("/trace must serve valid JSON");
+    assert!(doc.get("traceEvents").is_some());
+
+    // Query strings are ignored, unknown paths 404, non-GET 405.
+    assert_eq!(request(addr, "GET", "/healthz?verbose=1").0, 200);
+    assert_eq!(request(addr, "GET", "/nope").0, 404);
+    assert_eq!(request(addr, "POST", "/metrics").0, 405);
+}
+
+#[test]
+fn concurrent_scrapes_during_recording() {
+    let server = TelemetryServer::start("127.0.0.1:0").expect("start");
+    let addr = server.addr();
+    #[cfg(feature = "tracing")]
+    db_obs::trace::set_enabled(true);
+
+    std::thread::scope(|s| {
+        // A writer hammers the metrics + trace ring while scrapers read.
+        let writer = s.spawn(|| {
+            for i in 0..20_000u64 {
+                db_obs::counter!("obsd.scrape_race").add(1);
+                db_obs::histogram!("obsd.scrape_race_hist").record((i & 0xff) as f64);
+                db_obs::trace_instant!("obsd.scrape_mark", "i", i);
+            }
+        });
+        let scrapers: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        let (status, body) = request(addr, "GET", "/metrics");
+                        assert_eq!(status, 200);
+                        // Exposition must stay well-formed mid-run: every
+                        // non-comment line is `name{labels} value`.
+                        for line in body.lines().filter(|l| !l.starts_with('#')) {
+                            let mut it = line.rsplitn(2, ' ');
+                            let value = it.next().unwrap();
+                            assert!(
+                                value == "NaN"
+                                    || value.parse::<f64>().is_ok()
+                                    || value.starts_with("+Inf"),
+                                "bad sample line {line:?}"
+                            );
+                        }
+                        let (status, body) = request(addr, "GET", "/trace");
+                        assert_eq!(status, 200);
+                        db_obs::Json::parse(&body).expect("torn /trace JSON");
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for sc in scrapers {
+            sc.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn bind_conflict_is_a_typed_error() {
+    let server = TelemetryServer::start("127.0.0.1:0").expect("start");
+    let addr = server.addr().to_string();
+    let err = TelemetryServer::start(&addr).expect_err("second bind must fail");
+    match &err {
+        ObsdError::Bind { addr: a, .. } => assert_eq!(a, &addr),
+        other => panic!("expected Bind error, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains(&addr), "message should name the address: {msg}");
+    assert!(msg.contains("already in use"), "message should say why: {msg}");
+}
+
+#[test]
+fn shutdown_releases_the_port() {
+    let mut server = TelemetryServer::start("127.0.0.1:0").expect("start");
+    let addr = server.addr();
+    assert_eq!(request(addr, "GET", "/healthz").0, 200);
+    server.shutdown();
+    server.shutdown(); // idempotent
+    drop(server);
+    // The port is free again (SO_REUSEADDR is not set, so a successful
+    // rebind proves the listener actually closed).
+    let rebound =
+        TelemetryServer::start(&addr.to_string()).expect("port must be reusable after shutdown");
+    assert_eq!(request(rebound.addr(), "GET", "/healthz").0, 200);
+}

@@ -71,18 +71,26 @@ pub fn nn_classify_parallel(
     // taken *inside* the instrumented region so both paths report alike.
     let threads = if ds.len() < 1024 { 1 } else { threads };
 
-    let _span = db_obs::span!("sampling.nn_classify");
+    let mut span = db_obs::span!("sampling.nn_classify");
     db_obs::gauge!("sampling.classify_threads").set(threads as i64);
     let index = auto_index(reps, None);
     let mut out = vec![0u32; ds.len()];
     if threads <= 1 {
         classify_into(ds, reps, &index, 0, &mut out);
     } else {
+        // Worker time links back into the parent span (it lands in the
+        // parent's child-time, not self-time) and workers record under
+        // the parent's trace run id.
+        let parent = span.handle();
         let chunk = ds.len().div_ceil(threads);
         std::thread::scope(|scope| {
             for (t, slice) in out.chunks_mut(chunk).enumerate() {
                 let index = &index;
-                scope.spawn(move || classify_into(ds, reps, index, t * chunk, slice));
+                let parent = &parent;
+                scope.spawn(move || {
+                    let _s = db_obs::span_linked!("sampling.classify_chunk", parent);
+                    classify_into(ds, reps, index, t * chunk, slice)
+                });
             }
         });
     }
@@ -113,7 +121,7 @@ pub fn accumulate_stats_parallel(
     threads: Option<NonZeroUsize>,
 ) -> Vec<Cf> {
     assert_eq!(ds.len(), assignment.len(), "assignment length mismatch");
-    let _span = db_obs::span!("sampling.accumulate_stats");
+    let mut span = db_obs::span!("sampling.accumulate_stats");
     let block = stats_block_len(ds.len());
     let n_blocks = ds.len().div_ceil(block).max(1);
     let threads = resolve_threads(threads, n_blocks);
@@ -137,11 +145,14 @@ pub fn accumulate_stats_parallel(
         partials.resize(n_blocks, Vec::new());
         // Each block lands in its own pre-assigned slot, so the subsequent
         // in-order merge is independent of the thread schedule.
+        let parent = span.handle();
         let per_thread = n_blocks.div_ceil(threads);
         let accumulate_block = &accumulate_block;
         std::thread::scope(|scope| {
             for (t, slots) in partials.chunks_mut(per_thread).enumerate() {
+                let parent = &parent;
                 scope.spawn(move || {
+                    let _s = db_obs::span_linked!("sampling.accumulate_chunk", parent);
                     for (j, slot) in slots.iter_mut().enumerate() {
                         *slot = accumulate_block(t * per_thread + j);
                     }

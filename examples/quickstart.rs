@@ -4,6 +4,11 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Pass `--trace-out run.trace.json` to record an event-level trace of
+//! the run and write it as Chrome trace JSON (open in Perfetto or
+//! `chrome://tracing`); `DB_TRACE=1` in the environment does the same
+//! recording without the file.
 
 use data_bubbles::pipeline::optics_sa_bubbles;
 use db_datagen::{ds2, Ds2Params};
@@ -11,6 +16,20 @@ use db_eval::adjusted_rand_index;
 use db_optics::{extract_dbscan, optics_points, OpticsParams};
 
 fn main() {
+    let trace_out = {
+        let mut args = std::env::args().skip(1);
+        match (args.next().as_deref().map(str::to_owned), args.next()) {
+            (Some(flag), Some(path)) if flag == "--trace-out" => Some(path),
+            (None, _) => None,
+            _ => {
+                eprintln!("usage: quickstart [--trace-out FILE]");
+                std::process::exit(2);
+            }
+        }
+    };
+    if trace_out.is_some() {
+        db_obs::trace::set_enabled(true);
+    }
     // A 50,000-point data set with five Gaussian clusters (the paper's DS2,
     // scaled down 2x).
     let data = ds2(&Ds2Params { n: 50_000, ..Ds2Params::default() }, 42);
@@ -61,4 +80,13 @@ fn main() {
     let mut sizes: Vec<usize> = sizes.into_values().collect();
     sizes.sort_unstable();
     println!("recovered cluster sizes: {sizes:?} (truth: 5 x 10,000)");
+
+    if let Some(path) = trace_out {
+        let json = db_obs::trace_json(&db_obs::trace::events());
+        std::fs::write(&path, &json).expect("write trace file");
+        println!(
+            "wrote event trace to {path} ({} bytes — open in Perfetto / chrome://tracing)",
+            json.len()
+        );
+    }
 }

@@ -95,6 +95,42 @@ fn phase_spans_match_pipeline_timings() {
 }
 
 #[test]
+fn linked_worker_spans_attribute_into_parent() {
+    let _g = locked();
+    db_obs::reset();
+    // Big enough to cross nn_classify_parallel's sequential cutoff (1024)
+    // so the classification actually fans out to worker threads.
+    let mut ds = Dataset::new(2).unwrap();
+    for i in 0..4096 {
+        ds.push(&[(i % 64) as f64, (i / 64) as f64]).unwrap();
+    }
+    let mut reps = Dataset::new(2).unwrap();
+    for i in 0..8 {
+        reps.push(&[(i * 8) as f64, (i * 8) as f64]).unwrap();
+    }
+    let threads = std::num::NonZeroUsize::new(4);
+    db_sampling::nn_classify_parallel(&ds, &reps, threads);
+    let snap = db_obs::snapshot();
+
+    let parent = snap.span("sampling.nn_classify").expect("parent span");
+    assert_eq!(parent.count, 1);
+    let chunks = snap.span("sampling.classify_chunk").expect("worker spans");
+    assert_eq!(chunks.count, 4, "one linked span per worker");
+    assert!(chunks.total_ns > 0);
+
+    // Cross-thread attribution: the workers' time reports into the parent
+    // as child time, so the parent's self-time excludes it (clamped at
+    // zero — concurrent workers can sum past the parent's wall time).
+    assert!(
+        parent.self_ns <= parent.total_ns.saturating_sub(chunks.total_ns),
+        "parent self {} ns must exclude the {} ns of linked worker time (total {} ns)",
+        parent.self_ns,
+        chunks.total_ns,
+        parent.total_ns
+    );
+}
+
+#[test]
 fn exporters_render_pipeline_metrics() {
     let _g = locked();
     db_obs::reset();
