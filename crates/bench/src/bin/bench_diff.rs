@@ -11,15 +11,9 @@
 
 use std::process::ExitCode;
 
-use db_bench::diff::{compare, DiffOptions};
-use db_obs::Json;
+use db_bench::diff::{compare, load_report, DiffOptions};
 
 const USAGE: &str = "usage: bench-diff <old.json> <new.json> [--tolerance F] [--floor-s F]";
-
-fn load(path: &str) -> Result<Json, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
-}
 
 fn main() -> ExitCode {
     let mut opts = DiffOptions::default();
@@ -53,7 +47,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let (old, new) = match (load(old_path), load(new_path)) {
+    let (old, new) = match (load_report(old_path), load_report(new_path)) {
         (Ok(o), Ok(n)) => (o, n),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("bench-diff: {e}");

@@ -14,7 +14,66 @@
 //! bench-diff old.json new.json [--tolerance 0.5] [--floor-s 0.005]
 //! ```
 
-use db_obs::Json;
+use std::path::{Path, PathBuf};
+
+use db_obs::{Json, JsonParseError};
+
+/// Why a `BENCH_*.json` report could not be loaded. Typed so the
+/// `bench-diff` binary can exit with a usage/I-O code (2) that is
+/// distinct from a regression verdict (1), and so neither side panics on
+/// a missing or malformed file.
+#[derive(Debug)]
+pub enum ReportLoadError {
+    /// The file could not be read (missing, permissions, ...).
+    Read {
+        /// The path that was requested.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The file was read but is not valid JSON.
+    Parse {
+        /// The path that was requested.
+        path: PathBuf,
+        /// The parse failure, with position info.
+        source: JsonParseError,
+    },
+}
+
+impl std::fmt::Display for ReportLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportLoadError::Read { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            ReportLoadError::Parse { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReportLoadError::Read { source, .. } => Some(source),
+            ReportLoadError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Loads a benchmark report JSON file.
+///
+/// # Errors
+///
+/// [`ReportLoadError`] when the file is unreadable or malformed; never
+/// panics.
+pub fn load_report(path: impl AsRef<Path>) -> Result<Json, ReportLoadError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|source| ReportLoadError::Read { path: path.to_path_buf(), source })?;
+    Json::parse(&text).map_err(|source| ReportLoadError::Parse { path: path.to_path_buf(), source })
+}
 
 /// Knobs for [`compare`].
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,101 @@
+//! End-to-end exit-code contract of the `bench-diff` binary: 0 = pass,
+//! 1 = regressions, 2 = usage or load error — for *either* side of the
+//! diff, and never a panic.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bench_diff() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench-diff"))
+}
+
+/// Writes `content` to a unique temp file and returns its path.
+fn temp_json(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("bench_diff_cli_{}_{name}", std::process::id()));
+    std::fs::write(&path, content).expect("write temp report");
+    path
+}
+
+const OK_REPORT: &str = r#"{"bench":"t","total_s":1.0,"runs":[{"compression_s":0.4}]}"#;
+const SLOW_REPORT: &str = r#"{"bench":"t","total_s":9.0,"runs":[{"compression_s":0.4}]}"#;
+
+#[test]
+fn identical_reports_exit_zero() {
+    let old = temp_json("same_old.json", OK_REPORT);
+    let new = temp_json("same_new.json", OK_REPORT);
+    let out = bench_diff().args([&old, &new]).output().expect("run bench-diff");
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let _ = std::fs::remove_file(old);
+    let _ = std::fs::remove_file(new);
+}
+
+#[test]
+fn regression_exits_one() {
+    let old = temp_json("reg_old.json", OK_REPORT);
+    let new = temp_json("reg_new.json", SLOW_REPORT);
+    let out = bench_diff().args([&old, &new]).output().expect("run bench-diff");
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "should name the regression: {stdout}");
+    let _ = std::fs::remove_file(old);
+    let _ = std::fs::remove_file(new);
+}
+
+#[test]
+fn missing_old_file_exits_two() {
+    let new = temp_json("missing_old_new.json", OK_REPORT);
+    let out = bench_diff()
+        .args(["/nonexistent/BENCH_old.json"])
+        .arg(&new)
+        .output()
+        .expect("run bench-diff");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "should say what failed: {stderr}");
+    assert!(stderr.contains("BENCH_old.json"), "should name the file: {stderr}");
+    let _ = std::fs::remove_file(new);
+}
+
+#[test]
+fn missing_new_file_exits_two() {
+    let old = temp_json("missing_new_old.json", OK_REPORT);
+    let out = bench_diff()
+        .arg(&old)
+        .args(["/nonexistent/BENCH_new.json"])
+        .output()
+        .expect("run bench-diff");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("BENCH_new.json"));
+    let _ = std::fs::remove_file(old);
+}
+
+#[test]
+fn malformed_json_exits_two_on_either_side() {
+    let good = temp_json("malformed_good.json", OK_REPORT);
+    let bad = temp_json("malformed_bad.json", "{\"total_s\": oops");
+    for (old, new) in [(&bad, &good), (&good, &bad)] {
+        let out = bench_diff().args([old, new]).output().expect("run bench-diff");
+        assert_eq!(out.status.code(), Some(2), "malformed side must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("malformed_bad.json"), "should name the bad file: {stderr}");
+    }
+    let _ = std::fs::remove_file(good);
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // No files at all.
+    let out = bench_diff().output().expect("run bench-diff");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    // A flag missing its value.
+    let out = bench_diff().args(["--tolerance"]).output().expect("run bench-diff");
+    assert_eq!(out.status.code(), Some(2));
+
+    // A malformed flag value.
+    let out =
+        bench_diff().args(["--tolerance", "lots", "a", "b"]).output().expect("run bench-diff");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -40,4 +40,4 @@ mod cf;
 mod tree;
 
 pub use cf::{Cf, CfError};
-pub use tree::{birch, BirchParams, CfTree};
+pub use tree::{birch, birch_supervised, BirchParams, CfTree};

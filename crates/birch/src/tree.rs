@@ -4,6 +4,7 @@
 
 use crate::cf::Cf;
 use db_spatial::Dataset;
+use db_supervise::{Stop, Supervisor, Ticker};
 
 /// Tuning parameters of a [`CfTree`].
 #[derive(Debug, Clone)]
@@ -359,9 +360,33 @@ impl CfTree {
     ///
     /// Panics if `max_leaf_entries == 0`.
     pub fn condense_to(&mut self, max_leaf_entries: usize) {
+        match self.condense_to_supervised(max_leaf_entries, &Supervisor::unlimited()) {
+            Ok(()) => {}
+            Err(stop) => panic!("unsupervised condensation stopped: {stop}"),
+        }
+    }
+
+    /// [`CfTree::condense_to`] under supervision: the supervisor is
+    /// consulted before every rebuild round, so a run over budget stops
+    /// between rebuilds. On `Err` the tree is mid-condensation and should
+    /// be discarded (the supervised pipeline drops it wholesale).
+    ///
+    /// # Errors
+    ///
+    /// [`Stop`] when cancelled or past the deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_leaf_entries == 0`.
+    pub fn condense_to_supervised(
+        &mut self,
+        max_leaf_entries: usize,
+        sup: &Supervisor,
+    ) -> Result<(), Stop> {
         assert!(max_leaf_entries > 0, "target leaf entry count must be positive");
         let mut stall_guard = 0usize;
         while self.leaf_entry_count > max_leaf_entries {
+            sup.check()?;
             let before = self.leaf_entry_count;
             let t = self.next_threshold(Some(max_leaf_entries));
             self.rebuild(t);
@@ -376,6 +401,7 @@ impl CfTree {
                 stall_guard = 0;
             }
         }
+        Ok(())
     }
 }
 
@@ -455,16 +481,42 @@ fn split_inner(pairs: InnerEntries) -> (InnerEntries, InnerEntries) {
 /// phase-2 condensation to at most `k` leaf entries, returning the leaf
 /// CFs. This is step 1 of the paper's `OPTICS-CF` pipelines.
 pub fn birch(ds: &Dataset, k: usize, params: &BirchParams) -> Vec<Cf> {
+    match birch_supervised(ds, k, params, &Supervisor::unlimited()) {
+        Ok(entries) => entries,
+        Err(stop) => panic!("unsupervised birch stopped: {stop}"),
+    }
+}
+
+/// Cooperative-check cadence for phase-1 insertion (an insert is a tree
+/// descent, far heavier than a Welford update).
+const INSERT_TICK: u32 = 64;
+
+/// [`birch`] under supervision: phase-1 insertion consults `sup` every
+/// [`INSERT_TICK`] points and phase-2 condensation before every rebuild
+/// round. On `Err` the whole tree is dropped — no partial CF set escapes;
+/// on `Ok` the result is bit-for-bit the unsupervised one.
+///
+/// # Errors
+///
+/// [`Stop`] when cancelled or past the deadline.
+pub fn birch_supervised(
+    ds: &Dataset,
+    k: usize,
+    params: &BirchParams,
+    sup: &Supervisor,
+) -> Result<Vec<Cf>, Stop> {
     let mut tree = CfTree::new(ds.dim(), params.clone());
     {
         let _span = db_obs::span!("birch.phase1_insert");
+        let mut ticker = Ticker::new(sup, INSERT_TICK);
         for p in ds.iter() {
+            ticker.tick()?;
             tree.insert_point(p);
         }
     }
     {
         let _span = db_obs::span!("birch.phase2_condense");
-        tree.condense_to(k);
+        tree.condense_to_supervised(k, sup)?;
     }
     db_obs::log_debug!(
         "birch: {} points -> {} leaf entries (target {}, {} rebuilds)",
@@ -473,7 +525,7 @@ pub fn birch(ds: &Dataset, k: usize, params: &BirchParams) -> Vec<Cf> {
         k,
         tree.rebuild_count()
     );
-    tree.leaf_entries()
+    Ok(tree.leaf_entries())
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@ mod distance;
 pub mod hierarchy;
 mod matrix;
 pub mod metric_bubble;
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod pipeline;
 mod space;
 

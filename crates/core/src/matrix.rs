@@ -22,6 +22,7 @@
 use std::num::NonZeroUsize;
 
 use db_spatial::Neighbor;
+use db_supervise::{catch_shared, fault, first_stop, panic_message, Stop, Supervisor};
 
 use crate::bubble::DataBubble;
 use crate::distance::bubble_distance;
@@ -57,6 +58,31 @@ impl BubbleDistanceMatrix {
     /// Panics if `bubbles` is empty or `k * k` entries would overflow
     /// `usize`.
     pub fn build(bubbles: &[DataBubble], threads: Option<NonZeroUsize>) -> Self {
+        match Self::build_supervised(bubbles, threads, &Supervisor::unlimited()) {
+            Ok(m) => m,
+            Err(stop) => panic!("unsupervised matrix build stopped: {stop}"),
+        }
+    }
+
+    /// [`BubbleDistanceMatrix::build`] under supervision: the supervisor is
+    /// consulted before every row (a row is O(k log k), so the reaction
+    /// latency stays tiny against the 50ms target) and worker panics are
+    /// captured. On `Err` the whole matrix is discarded; on `Ok` the
+    /// result is bit-for-bit the unsupervised one.
+    ///
+    /// # Errors
+    ///
+    /// [`Stop`] when cancelled, past the deadline, or a worker panicked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bubbles` is empty or `k * k` entries would overflow
+    /// `usize`.
+    pub fn build_supervised(
+        bubbles: &[DataBubble],
+        threads: Option<NonZeroUsize>,
+        sup: &Supervisor,
+    ) -> Result<Self, Stop> {
         let k = bubbles.len();
         assert!(k > 0, "cannot build a distance matrix over zero bubbles");
         let cells = k.checked_mul(k).expect("k * k overflows usize");
@@ -85,39 +111,58 @@ impl BubbleDistanceMatrix {
 
         if threads <= 1 {
             for i in 0..k {
+                sup.check()?;
                 fill_row(i, &mut ids[i * k..(i + 1) * k], &mut dists[i * k..(i + 1) * k]);
             }
         } else {
             // Contiguous row blocks per thread; rows are independent, so
             // the result cannot depend on this schedule. Worker time is
-            // linked back into the build span (child-time, same trace run).
+            // linked back into the build span (child-time, same trace run),
+            // and each body runs under panic capture so one bad block
+            // surfaces as `Stop::Panicked` instead of unwinding the scope.
             let parent = span.handle();
             let rows_per_thread = k.div_ceil(threads);
             let fill_row = &fill_row;
+            let mut results: Vec<Result<(), Stop>> = Vec::with_capacity(threads);
             std::thread::scope(|scope| {
                 let id_blocks = ids.chunks_mut(rows_per_thread * k);
                 let dist_blocks = dists.chunks_mut(rows_per_thread * k);
-                for (t, (id_block, dist_block)) in id_blocks.zip(dist_blocks).enumerate() {
-                    let parent = &parent;
-                    scope.spawn(move || {
-                        let _s = db_obs::span_linked!("optics.matrix_fill", parent);
-                        let first = t * rows_per_thread;
-                        let rows = id_block.len() / k;
-                        for r in 0..rows {
-                            fill_row(
-                                first + r,
-                                &mut id_block[r * k..(r + 1) * k],
-                                &mut dist_block[r * k..(r + 1) * k],
-                            );
-                        }
-                    });
+                let handles: Vec<_> = id_blocks
+                    .zip(dist_blocks)
+                    .enumerate()
+                    .map(|(t, (id_block, dist_block))| {
+                        let parent = &parent;
+                        scope.spawn(move || {
+                            catch_shared(|| {
+                                let _s = db_obs::span_linked!("optics.matrix_fill", parent);
+                                fault::inject("matrix.worker", sup.token());
+                                let first = t * rows_per_thread;
+                                let rows = id_block.len() / k;
+                                for r in 0..rows {
+                                    sup.check()?;
+                                    fill_row(
+                                        first + r,
+                                        &mut id_block[r * k..(r + 1) * k],
+                                        &mut dist_block[r * k..(r + 1) * k],
+                                    );
+                                }
+                                Ok(())
+                            })
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    results.push(handle.join().unwrap_or_else(|payload| {
+                        Err(Stop::Panicked { message: panic_message(payload.as_ref()) })
+                    }));
                 }
             });
+            first_stop(results)?;
         }
         // One evaluation per (row, column) pair — the same count the
         // replaced exhaustive scans would have reported.
         db_obs::counter!("optics.distance_calls").add(cells as u64);
-        Self { k, ids, dists }
+        Ok(Self { k, ids, dists })
     }
 
     /// Number of bubbles (the matrix is `k × k`).

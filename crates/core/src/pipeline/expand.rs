@@ -3,9 +3,16 @@
 //! weighted variants, §8 step 5 for the bubble variants).
 
 use db_optics::ClusterOrdering;
+use db_supervise::{Stop, Supervisor, Ticker};
 
 use crate::distance::virtual_reachability;
 use crate::space::BubbleSpace;
+
+/// Cooperative-check cadence of the expansion loops. A weighted step is a
+/// cheap member copy; a bubble step may recompute an unbounded
+/// core-distance (O(k)); every 64 representatives keeps both well inside
+/// the 50ms reaction target.
+const EXPAND_TICK: u32 = 64;
 
 /// One original object's position in the expanded cluster ordering.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,11 +102,35 @@ impl ExpandedOrdering {
 ///
 /// Panics if `members.len()` differs from the number of representatives.
 pub fn expand_weighted(ordering: &ClusterOrdering, members: &[Vec<usize>]) -> ExpandedOrdering {
+    match expand_weighted_supervised(ordering, members, &Supervisor::unlimited()) {
+        Ok(x) => x,
+        Err(stop) => panic!("unsupervised weighted expansion stopped: {stop}"),
+    }
+}
+
+/// [`expand_weighted`] under supervision: consults `sup` every
+/// [`EXPAND_TICK`] representatives. On `Err` the partial expansion is
+/// discarded; on `Ok` the result is bit-for-bit the unsupervised one.
+///
+/// # Errors
+///
+/// [`Stop`] when cancelled or past the deadline.
+///
+/// # Panics
+///
+/// Panics if `members.len()` differs from the number of representatives.
+pub fn expand_weighted_supervised(
+    ordering: &ClusterOrdering,
+    members: &[Vec<usize>],
+    sup: &Supervisor,
+) -> Result<ExpandedOrdering, Stop> {
     assert_eq!(members.len(), ordering.len(), "one member list per representative");
     let total: usize = members.iter().map(Vec::len).sum();
     assert!(total <= u32::MAX as usize, "object ids exceed the u32 expansion range");
+    let mut ticker = Ticker::new(sup, EXPAND_TICK);
     let mut entries = Vec::with_capacity(total);
     for (j, e) in ordering.entries.iter().enumerate() {
+        ticker.tick()?;
         // The paper leaves s_{j+1} undefined for the last representative;
         // its core-distance is the natural in-cluster estimate there.
         let next_reach = ordering.entries.get(j + 1).map_or(e.core_distance, |n| n.reachability);
@@ -113,7 +144,7 @@ pub fn expand_weighted(ordering: &ClusterOrdering, members: &[Vec<usize>]) -> Ex
         }
     }
     debug_assert_eq!(entries.len(), total);
-    ExpandedOrdering { entries }
+    Ok(ExpandedOrdering { entries })
 }
 
 /// §8-step-5 expansion (for `OPTICS-SA/CF Bubbles`): the first member of
@@ -130,11 +161,37 @@ pub fn expand_bubbles(
     space: &BubbleSpace,
     min_pts: usize,
 ) -> ExpandedOrdering {
+    match expand_bubbles_supervised(ordering, members, space, min_pts, &Supervisor::unlimited()) {
+        Ok(x) => x,
+        Err(stop) => panic!("unsupervised bubble expansion stopped: {stop}"),
+    }
+}
+
+/// [`expand_bubbles`] under supervision: consults `sup` every
+/// [`EXPAND_TICK`] bubbles. On `Err` the partial expansion is discarded;
+/// on `Ok` the result is bit-for-bit the unsupervised one.
+///
+/// # Errors
+///
+/// [`Stop`] when cancelled or past the deadline.
+///
+/// # Panics
+///
+/// Panics if `members.len()` differs from the number of bubbles.
+pub fn expand_bubbles_supervised(
+    ordering: &ClusterOrdering,
+    members: &[Vec<usize>],
+    space: &BubbleSpace,
+    min_pts: usize,
+    sup: &Supervisor,
+) -> Result<ExpandedOrdering, Stop> {
     assert_eq!(members.len(), ordering.len(), "one member list per bubble");
     let total: usize = members.iter().map(Vec::len).sum();
     assert!(total <= u32::MAX as usize, "object ids exceed the u32 expansion range");
+    let mut ticker = Ticker::new(sup, EXPAND_TICK);
     let mut entries = Vec::with_capacity(total);
     for e in &ordering.entries {
+        ticker.tick()?;
         let bubble = space.bubble(e.id);
         // Def. 9's second branch wants *the* core-distance of a sub-MinPts
         // bubble, but an ε-bounded walk leaves `core_distance` UNDEFINED
@@ -156,7 +213,7 @@ pub fn expand_bubbles(
         }
     }
     debug_assert_eq!(entries.len(), total);
-    ExpandedOrdering { entries }
+    Ok(ExpandedOrdering { entries })
 }
 
 #[cfg(test)]

@@ -185,7 +185,10 @@ pub fn run_external(
         return Err(ExternalError::NotEnoughRows { rows, k: cfg.k });
     }
     let dim = reservoir[0].len();
-    let mut reps = Dataset::with_capacity(dim, cfg.k).expect("dim > 0");
+    let Ok(mut reps) = Dataset::with_capacity(dim, cfg.k) else {
+        // Zero-width rows: the file parsed but carries no coordinates.
+        return Err(ExternalError::Csv(CsvError::RaggedRow { line: 1, expected: 1, got: dim }));
+    };
     for r in &reservoir {
         reps.push(r).map_err(|_| {
             ExternalError::Csv(CsvError::RaggedRow { line: 0, expected: dim, got: r.len() })
@@ -206,7 +209,11 @@ pub fn run_external(
                 got: coords.len(),
             }));
         }
-        let nn = index.nearest(&reps, &coords).expect("k >= 1");
+        // `reps` holds exactly `cfg.k >= 1` points, so a nearest
+        // neighbour always exists.
+        let Some(nn) = index.nearest(&reps, &coords) else {
+            return Err(ExternalError::NotEnoughRows { rows: 0, k: cfg.k });
+        };
         stats[nn.id].add_point(&coords);
         assignment.push(nn.id as u32);
         offsets.push(offset);

@@ -21,16 +21,21 @@ use std::fmt;
 use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
-use db_birch::{birch, BirchParams, Cf};
-use db_optics::{optics, optics_points, ClusterOrdering, OpticsParams};
+use db_birch::{birch_supervised, BirchParams, Cf};
+use db_optics::{optics_points_supervised, optics_supervised, ClusterOrdering, OpticsParams};
 use db_rng::Rng;
 use db_sampling::{
-    bfr_compress, compress_by_sampling_threaded, nn_classify_parallel, squash_compress, BfrParams,
-    SamplingError,
+    bfr_compress, compress_by_sampling_supervised, nn_classify_supervised, squash_compress,
+    BfrParams, CompressStop, SamplingError,
 };
 use db_spatial::{Dataset, SpatialError};
+use db_supervise::{fault, Stop, Supervisor};
+pub use db_supervise::{CancelToken, RunBudget};
 
-pub use expand::{expand_bubbles, expand_weighted, ExpandedEntry, ExpandedOrdering};
+pub use expand::{
+    expand_bubbles, expand_bubbles_supervised, expand_weighted, expand_weighted_supervised,
+    ExpandedEntry, ExpandedOrdering,
+};
 pub use external::{run_external, ExternalConfig, ExternalError, ExternalOutput};
 
 use crate::bubble::{BubbleError, DataBubble};
@@ -100,13 +105,33 @@ pub struct PipelineConfig {
     /// disables the matrix). Above the cap the space evaluates distances
     /// on the fly with identical results.
     pub matrix_max_k: usize,
+    /// Resource envelope of the run: an optional wall-clock deadline
+    /// (typed [`PipelineError::DeadlineExceeded`] when overrun) and an
+    /// optional byte cap on the precomputed distance matrix (skipping the
+    /// matrix, with bit-identical results). Unlimited by default — with
+    /// nothing armed, supervision costs one amortized atomic load per
+    /// check tick and the output is bit-for-bit the pre-supervision one.
+    pub budget: RunBudget,
+    /// Shared cancellation token: cancel it from any thread and the run
+    /// stops at the next cooperative check with
+    /// [`PipelineError::Cancelled`]. `None` = not externally cancellable.
+    pub cancel: Option<CancelToken>,
 }
 
 impl PipelineConfig {
     /// A configuration with the default execution knobs: available
-    /// parallelism and the default matrix cap.
+    /// parallelism, the default matrix cap, and no budget.
     pub fn new(k: usize, compressor: Compressor, recovery: Recovery, optics: OpticsParams) -> Self {
-        Self { k, compressor, recovery, optics, threads: None, matrix_max_k: DEFAULT_MAX_MATRIX_K }
+        Self {
+            k,
+            compressor,
+            recovery,
+            optics,
+            threads: None,
+            matrix_max_k: DEFAULT_MAX_MATRIX_K,
+            budget: RunBudget::unlimited(),
+            cancel: None,
+        }
     }
 }
 
@@ -128,6 +153,38 @@ impl PipelineTimings {
     }
 }
 
+/// The pipeline phase a supervised stop was observed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelinePhase {
+    /// Step 1: sampling/BIRCH/BFR/squash + classification + statistics.
+    Compression,
+    /// Step 2: matrix build + OPTICS on the representatives.
+    Clustering,
+    /// Step 3: expansion back to the original objects.
+    Recovery,
+}
+
+impl fmt::Display for PipelinePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelinePhase::Compression => write!(f, "compression"),
+            PipelinePhase::Clustering => write!(f, "clustering"),
+            PipelinePhase::Recovery => write!(f, "recovery"),
+        }
+    }
+}
+
+/// One rung of the degradation ladder taken by [`run_pipeline_supervised`]:
+/// why the previous attempt stopped and what the retry coarsened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The typed error that triggered this retry.
+    pub cause: PipelineError,
+    /// Human-readable description of the coarsening applied (e.g.
+    /// "halved k to 20").
+    pub action: String,
+}
+
 /// The output of a pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineOutput {
@@ -146,6 +203,11 @@ pub struct PipelineOutput {
     /// the run's self-contained event stream. Ids are process-unique and
     /// assigned even when tracing is compiled out or disabled.
     pub run_id: u64,
+    /// Degradation-ladder rungs taken before this output was produced.
+    /// Always empty for [`run_pipeline`] (which never retries); populated
+    /// by [`run_pipeline_supervised`] when earlier attempts overran their
+    /// deadline.
+    pub degradations: Vec<Degradation>,
 }
 
 /// Pipeline failure modes.
@@ -166,6 +228,27 @@ pub enum PipelineError {
     /// An internal invariant was violated (a bug in the pipeline itself,
     /// not in its input).
     Internal(&'static str),
+    /// The run's [`CancelToken`] was cancelled; the named phase observed
+    /// it at a cooperative check and discarded its partial output.
+    Cancelled {
+        /// The phase that observed the cancellation.
+        phase: PipelinePhase,
+    },
+    /// The run overran its [`RunBudget::deadline`].
+    DeadlineExceeded {
+        /// The phase that observed the overrun.
+        phase: PipelinePhase,
+        /// Time since the run started when the overrun was observed.
+        elapsed: Duration,
+    },
+    /// A worker thread panicked; the panic was captured (the process
+    /// survives) and the phase's partial results were discarded.
+    WorkerPanic {
+        /// The phase whose worker panicked.
+        phase: PipelinePhase,
+        /// The panic payload rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -178,6 +261,13 @@ impl fmt::Display for PipelineError {
             PipelineError::Bubble(e) => write!(f, "invalid bubble summary: {e}"),
             PipelineError::Internal(what) => {
                 write!(f, "internal pipeline invariant violated: {what}")
+            }
+            PipelineError::Cancelled { phase } => write!(f, "run cancelled during {phase}"),
+            PipelineError::DeadlineExceeded { phase, elapsed } => {
+                write!(f, "deadline exceeded during {phase} after {:.3}s", elapsed.as_secs_f64())
+            }
+            PipelineError::WorkerPanic { phase, message } => {
+                write!(f, "worker panicked during {phase}: {message}")
             }
         }
     }
@@ -203,15 +293,56 @@ impl From<BubbleError> for PipelineError {
     }
 }
 
+/// Maps a supervised [`Stop`] to its typed pipeline error with phase
+/// attribution, bumping the matching counter and leaving a trace instant
+/// so stopped runs are visible in metrics and traces.
+fn stop_error(stop: Stop, phase: PipelinePhase) -> PipelineError {
+    match stop {
+        Stop::Cancelled => {
+            db_obs::counter!("pipeline.cancelled").incr();
+            db_obs::trace_instant!("pipeline.cancelled", "phase", phase as usize);
+            PipelineError::Cancelled { phase }
+        }
+        Stop::DeadlineExceeded { elapsed } => {
+            db_obs::counter!("pipeline.deadline_exceeded").incr();
+            db_obs::trace_instant!("pipeline.deadline_exceeded", "phase", phase as usize);
+            PipelineError::DeadlineExceeded { phase, elapsed }
+        }
+        Stop::Panicked { message } => {
+            db_obs::counter!("pipeline.worker_panics").incr();
+            db_obs::trace_instant!("pipeline.worker_panic", "phase", phase as usize);
+            PipelineError::WorkerPanic { phase, message }
+        }
+    }
+}
+
+/// Maps a supervised compression outcome into the pipeline error space.
+fn compress_error(e: CompressStop, phase: PipelinePhase) -> PipelineError {
+    match e {
+        CompressStop::Sampling(e) => PipelineError::Sampling(e),
+        CompressStop::Stopped(stop) => stop_error(stop, phase),
+    }
+}
+
 /// Runs one of the six pipelines.
+///
+/// The run is supervised by [`PipelineConfig::budget`] and
+/// [`PipelineConfig::cancel`]: every phase consults the supervisor on an
+/// amortized tick, worker panics in the parallel hot paths are captured
+/// as [`PipelineError::WorkerPanic`], and a stopped run discards all
+/// partial output. A run that completes is bit-for-bit identical to a run
+/// with no budget armed. This entry point never retries — see
+/// [`run_pipeline_supervised`] for the degradation ladder.
 ///
 /// # Errors
 ///
 /// Returns an error when the dataset is empty, `k == 0`, sampling is
 /// impossible (`k` larger than the dataset), the dataset contains
 /// non-finite coordinates (possible only through
-/// [`Dataset::from_flat_unchecked`]), or a compression stage yields a
-/// degenerate summary.
+/// [`Dataset::from_flat_unchecked`]), a compression stage yields a
+/// degenerate summary, or the supervisor stopped the run
+/// ([`PipelineError::Cancelled`] / [`PipelineError::DeadlineExceeded`] /
+/// [`PipelineError::WorkerPanic`]).
 pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
     if ds.is_empty() {
         return Err(PipelineError::EmptyDataset);
@@ -224,6 +355,11 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     // future zero-copy ingest) can bypass that. A NaN here would silently
     // poison every distance downstream, so fail with a typed error instead.
     ds.validate()?;
+    // Arm the supervisor: the caller's token (or a private one) plus the
+    // budget deadline, measured from here. With nothing armed every check
+    // is one atomic load, amortized over the tick cadence.
+    let token = cfg.cancel.clone().unwrap_or_default();
+    let sup = Supervisor::new(token, cfg.budget.deadline);
     // Every span and instant below records under this run's id (worker
     // threads inherit it through linked span handles), so concurrent and
     // consecutive runs stay separable in one trace buffer.
@@ -243,13 +379,16 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     // ------------------------------------------------------ step 1
     let t0 = Instant::now();
     let span_compression = db_obs::span!("pipeline.compression");
+    fault::inject("compression", sup.token());
     let needs_members = cfg.recovery != Recovery::Naive;
+    let compression_stop = |stop| stop_error(stop, PipelinePhase::Compression);
     let (stats, reps, assignment): (Vec<Cf>, Dataset, Option<Vec<u32>>) = match &cfg.compressor {
         Compressor::Sample { seed } => {
             // `Bubbles` implies `needs_members` (it is non-naive), so the
             // member-recovering route is gated on `needs_members` alone.
             if needs_members {
-                let c = compress_by_sampling_threaded(ds, cfg.k, *seed, cfg.threads)?;
+                let c = compress_by_sampling_supervised(ds, cfg.k, *seed, cfg.threads, &sup)
+                    .map_err(|e| compress_error(e, PipelinePhase::Compression))?;
                 (c.stats, c.reps, Some(c.assignment))
             } else {
                 // Naive SA: just the sample, no classification pass.
@@ -258,6 +397,7 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
                         SamplingError::SampleLargerThanData { k: cfg.k, n: ds.len() }.into()
                     );
                 }
+                sup.check().map_err(compression_stop)?;
                 let mut rng = Rng::seed_from_u64(*seed);
                 let mut ids: Vec<usize> = rng.sample_indices(ds.len(), cfg.k);
                 ids.sort_unstable();
@@ -267,24 +407,39 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
             }
         }
         Compressor::Birch(params) => {
-            let cfs = birch(ds, cfg.k, params);
+            let cfs = birch_supervised(ds, cfg.k, params, &sup).map_err(compression_stop)?;
             let reps = centroids_of(ds.dim(), &cfs)?;
             // Step 4 of Fig. 13 / step 4 of Fig. 8: the CF variants must
             // classify the original objects to recover them. The bubbles
             // themselves always come from the CFs (Fig. 13 step 2), not
             // from the re-classification.
-            let assignment = needs_members.then(|| nn_classify_parallel(ds, &reps, cfg.threads));
+            let assignment = match needs_members {
+                true => Some(
+                    nn_classify_supervised(ds, &reps, cfg.threads, &sup)
+                        .map_err(compression_stop)?,
+                ),
+                false => None,
+            };
             (cfs, reps, assignment)
         }
         Compressor::Bfr(params) => {
+            // BFR's internal passes are short; supervision brackets them.
+            sup.check().map_err(compression_stop)?;
             let cfs = bfr_compress(ds, params).all_cfs();
             let reps = centroids_of(ds.dim(), &cfs)?;
-            let assignment = needs_members.then(|| nn_classify_parallel(ds, &reps, cfg.threads));
+            let assignment = match needs_members {
+                true => Some(
+                    nn_classify_supervised(ds, &reps, cfg.threads, &sup)
+                        .map_err(compression_stop)?,
+                ),
+                false => None,
+            };
             (cfs, reps, assignment)
         }
         Compressor::GridSquash { bins_per_dim } => {
             // Squashing knows the exact region membership of every point;
             // no re-classification pass is needed.
+            sup.check().map_err(compression_stop)?;
             let r = squash_compress(ds, *bins_per_dim);
             let reps = centroids_of(ds.dim(), &r.regions)?;
             (r.regions, reps, needs_members.then_some(r.assignment))
@@ -297,16 +452,29 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     // ------------------------------------------------------ step 2
     let t1 = Instant::now();
     let span_clustering = db_obs::span!("pipeline.clustering");
+    fault::inject("clustering", sup.token());
+    let clustering_stop = |stop| stop_error(stop, PipelinePhase::Clustering);
     let (rep_ordering, bubble_space) = match cfg.recovery {
-        Recovery::Naive | Recovery::Weighted => (optics_points(&reps, &cfg.optics), None),
+        Recovery::Naive | Recovery::Weighted => {
+            (optics_points_supervised(&reps, &cfg.optics, &sup).map_err(clustering_stop)?, None)
+        }
         Recovery::Bubbles => {
             let bubbles: Vec<DataBubble> =
                 stats.iter().map(DataBubble::try_from_cf).collect::<Result<_, _>>()?;
             let mut space = BubbleSpace::try_new(bubbles)?;
             // All k² distances once, in parallel rows, instead of O(k)
             // scan-and-sorts per walk step; results are bit-identical.
-            space.precompute_matrix(cfg.threads, cfg.matrix_max_k);
-            let ordering = optics(&space, &cfg.optics);
+            // Skipped (still bit-identical) when the budget's matrix byte
+            // cap would be exceeded.
+            space
+                .precompute_matrix_supervised(
+                    cfg.threads,
+                    cfg.matrix_max_k,
+                    cfg.budget.max_matrix_bytes,
+                    &sup,
+                )
+                .map_err(clustering_stop)?;
+            let ordering = optics_supervised(&space, &cfg.optics, &sup).map_err(clustering_stop)?;
             (ordering, Some(space))
         }
     };
@@ -316,6 +484,8 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     // ------------------------------------------------------ step 3
     let t2 = Instant::now();
     let span_recovery = db_obs::span!("pipeline.recovery");
+    fault::inject("recovery", sup.token());
+    let recovery_stop = |stop| stop_error(stop, PipelinePhase::Recovery);
     let expanded = match cfg.recovery {
         Recovery::Naive => None,
         Recovery::Weighted | Recovery::Bubbles => {
@@ -327,14 +497,22 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
                 members[a as usize].push(i);
             }
             Some(match cfg.recovery {
-                Recovery::Weighted => expand_weighted(&rep_ordering, &members),
+                Recovery::Weighted => expand_weighted_supervised(&rep_ordering, &members, &sup)
+                    .map_err(recovery_stop)?,
                 Recovery::Bubbles => {
                     let Some(space) = bubble_space.as_ref() else {
                         return Err(PipelineError::Internal(
                             "bubble space missing for bubble recovery",
                         ));
                     };
-                    expand_bubbles(&rep_ordering, &members, space, cfg.optics.min_pts)
+                    expand_bubbles_supervised(
+                        &rep_ordering,
+                        &members,
+                        space,
+                        cfg.optics.min_pts,
+                        &sup,
+                    )
+                    .map_err(recovery_stop)?
                 }
                 Recovery::Naive => unreachable!(),
             })
@@ -349,7 +527,91 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
         n_representatives: reps.len(),
         timings: PipelineTimings { compression, clustering, recovery },
         run_id: run_id.get(),
+        degradations: Vec::new(),
     })
+}
+
+/// Maximum number of degradation-ladder retries of
+/// [`run_pipeline_supervised`] (halve `k`; disable the distance matrix;
+/// drop to a single thread).
+const MAX_DEGRADATIONS: usize = 3;
+
+/// Runs a pipeline under its budget with BIRCH-style graceful degradation:
+/// when an attempt overruns [`RunBudget::deadline`], it is retried with a
+/// coarser configuration — the paper's own quality-vs-cost dial — instead
+/// of failing outright. The rungs, applied cumulatively:
+///
+/// 1. halve `k` (fewer representatives: quadratic savings in the
+///    clustering phase, linear in classification);
+/// 2. disable the precomputed distance matrix (`matrix_max_k = 0`:
+///    bounded memory, on-the-fly distances);
+/// 3. drop to a single worker thread (no spawn overhead on tiny budgets).
+///
+/// Each attempt gets a fresh deadline of the same duration. Rungs taken
+/// are recorded in [`PipelineOutput::degradations`], counted under
+/// `pipeline.degradations`, and visible as `pipeline.degraded` trace
+/// instants; the outcome is reported to [`db_obs::health`] (served by
+/// `db-obsd`'s `/healthz`). Cancellations and worker panics are **not**
+/// retried: a cancel is a caller decision and a panic is a bug a coarser
+/// config would only mask.
+///
+/// # Errors
+///
+/// As [`run_pipeline`]; [`PipelineError::DeadlineExceeded`] only after
+/// the whole ladder is exhausted.
+pub fn run_pipeline_supervised(
+    ds: &Dataset,
+    cfg: &PipelineConfig,
+) -> Result<PipelineOutput, PipelineError> {
+    let mut attempt = cfg.clone();
+    let mut degradations: Vec<Degradation> = Vec::new();
+    loop {
+        match run_pipeline(ds, &attempt) {
+            Ok(mut out) => {
+                out.degradations = degradations;
+                if out.degradations.is_empty() {
+                    db_obs::health::report_ok();
+                } else {
+                    db_obs::health::report_degraded(format!(
+                        "pipeline degraded {} rung(s): {}",
+                        out.degradations.len(),
+                        out.degradations
+                            .iter()
+                            .map(|d| d.action.as_str())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    ));
+                }
+                return Ok(out);
+            }
+            Err(cause @ PipelineError::DeadlineExceeded { .. })
+                if degradations.len() < MAX_DEGRADATIONS =>
+            {
+                let action = match degradations.len() {
+                    0 => {
+                        attempt.k = (attempt.k / 2).max(1);
+                        format!("halved k to {}", attempt.k)
+                    }
+                    1 => {
+                        attempt.matrix_max_k = 0;
+                        "disabled the distance matrix".to_string()
+                    }
+                    _ => {
+                        attempt.threads = NonZeroUsize::new(1);
+                        "dropped to a single thread".to_string()
+                    }
+                };
+                db_obs::counter!("pipeline.degradations").incr();
+                db_obs::trace_instant!("pipeline.degraded", "rung", degradations.len() + 1);
+                db_obs::log_warn!("pipeline over budget ({cause}); retrying coarser: {action}");
+                degradations.push(Degradation { cause, action });
+            }
+            Err(e) => {
+                db_obs::health::report_failing(e.to_string());
+                return Err(e);
+            }
+        }
+    }
 }
 
 /// Centroid dataset of a CF collection. Fallible: a compressor handed

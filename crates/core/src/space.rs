@@ -5,6 +5,7 @@ use std::num::NonZeroUsize;
 
 use db_optics::OpticsSpace;
 use db_spatial::Neighbor;
+use db_supervise::{Stop, Supervisor};
 
 use crate::bubble::{BubbleError, DataBubble};
 use crate::distance::bubble_distance;
@@ -83,13 +84,50 @@ impl BubbleSpace {
     /// `false`) when the space is empty or holds more than `max_k` bubbles
     /// — the on-the-fly path stays in place with identical results.
     pub fn precompute_matrix(&mut self, threads: Option<NonZeroUsize>, max_k: usize) -> bool {
-        if self.bubbles.is_empty() || self.bubbles.len() > max_k {
-            return false;
+        match self.precompute_matrix_supervised(threads, max_k, None, &Supervisor::unlimited()) {
+            Ok(built) => built,
+            Err(stop) => panic!("unsupervised matrix precompute stopped: {stop}"),
         }
-        let m = BubbleDistanceMatrix::build(&self.bubbles, threads);
+    }
+
+    /// [`BubbleSpace::precompute_matrix`] under supervision and an
+    /// optional memory budget. When `max_bytes` is set and the matrix
+    /// would exceed it, the build is skipped (returns `Ok(false)`, counted
+    /// under `pipeline.matrix_skipped_budget`) and the on-the-fly path
+    /// stays in place — a quality-preserving degradation: results are
+    /// bit-identical, only the query cost changes.
+    ///
+    /// # Errors
+    ///
+    /// [`Stop`] when the build was cancelled, overran the deadline, or a
+    /// row worker panicked. The space is left matrix-free in that case.
+    pub fn precompute_matrix_supervised(
+        &mut self,
+        threads: Option<NonZeroUsize>,
+        max_k: usize,
+        max_bytes: Option<usize>,
+        sup: &Supervisor,
+    ) -> Result<bool, Stop> {
+        if self.bubbles.is_empty() || self.bubbles.len() > max_k {
+            return Ok(false);
+        }
+        if let Some(cap) = max_bytes {
+            // 12 bytes per cell: u32 id + f64 distance (see
+            // `BubbleDistanceMatrix::memory_bytes`).
+            let projected = self.bubbles.len() * self.bubbles.len() * 12;
+            if projected > cap {
+                db_obs::counter!("pipeline.matrix_skipped_budget").incr();
+                db_obs::log_debug!(
+                    "matrix skipped: projected {projected} bytes > budget {cap} bytes \
+                     (falling back to on-the-fly distances, results unchanged)"
+                );
+                return Ok(false);
+            }
+        }
+        let m = BubbleDistanceMatrix::build_supervised(&self.bubbles, threads, sup)?;
         db_obs::gauge!("optics.matrix_bytes").set(m.memory_bytes() as i64);
         self.matrix = Some(m);
-        true
+        Ok(true)
     }
 
     /// Whether neighbourhood queries are matrix-backed.

@@ -146,4 +146,47 @@ fn workload_guard() {
         );
         println!("guard passed: instrumentation overhead {:.2}% <= 5%", (ratio - 1.0) * 100.0);
     }
+
+    supervision_guard(bare);
+}
+
+/// Asserts that running the instrumented workload under an armed-but-idle
+/// supervisor (no deadline, token never cancelled — the default for every
+/// pipeline run without a budget) stays within the same 5% envelope. The
+/// per-chunk cost is one `Ticker::tick` — a decrement and, every 64
+/// chunks, a relaxed atomic load plus an `Instant::now` — which is the
+/// densest check cadence the pipelines use relative to their chunk sizes.
+fn supervision_guard(bare: f64) {
+    use db_supervise::{Supervisor, Ticker};
+
+    const CHUNKS: u64 = 2_000;
+
+    let sup = Supervisor::unlimited();
+    let mut ticker = Ticker::new(&sup, 64);
+    // Warm: first tick consults the supervisor immediately.
+    assert!(ticker.tick().is_ok());
+
+    let mut runs = Vec::new();
+    for rep in 0..7u64 {
+        let start = Instant::now();
+        let mut acc = rep;
+        for c in 0..CHUNKS {
+            if ticker.tick().is_err() {
+                unreachable!("unlimited supervisor never stops");
+            }
+            let _span = db_obs::span!("bench.workload_chunk");
+            db_obs::counter!("bench.workload_items").add(1);
+            acc = chunk(black_box(acc ^ c));
+        }
+        black_box(acc);
+        runs.push(start.elapsed().as_secs_f64());
+    }
+    runs.sort_by(f64::total_cmp);
+    let supervised = runs[3];
+    let ratio = supervised / bare;
+
+    println!("workload under idle supervision, median of 7 x {CHUNKS} chunks:");
+    println!("  supervised         {supervised:8.4} s (ratio {ratio:.4} vs bare)");
+    assert!(ratio <= 1.05, "supervised/bare ratio {ratio:.4} exceeds 1.05 with no budget set");
+    println!("guard passed: idle supervision overhead {:.2}% <= 5%", (ratio - 1.0) * 100.0);
 }

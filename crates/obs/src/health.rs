@@ -1,0 +1,129 @@
+//! Process-wide health state for the last supervised pipeline run.
+//!
+//! `run_pipeline_supervised` reports here after every attempt ladder:
+//! [`report_ok`] for a clean run, [`report_degraded`] when one or more
+//! degradation rungs were taken, [`report_failing`] when even the coarsest
+//! configuration failed. `db-obsd`'s `/healthz` endpoint renders the
+//! state (and answers `503` while failing), so an operator watching the
+//! endpoint sees budget pressure without scraping metrics.
+//!
+//! The state is a single process-global slot: last report wins. Before
+//! any report the status is [`Status::Unknown`], which `/healthz` treats
+//! as healthy (the process is up, no run has failed).
+
+use std::sync::Mutex;
+
+/// Coarse health of the last supervised run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// No supervised run has reported yet.
+    Unknown,
+    /// Last run completed without degradation.
+    Ok,
+    /// Last run completed, but only after degrading the configuration.
+    Degraded,
+    /// Last run failed even after the full degradation ladder.
+    Failing,
+}
+
+impl Status {
+    /// Lowercase wire name, as rendered by `/healthz`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Unknown => "unknown",
+            Status::Ok => "ok",
+            Status::Degraded => "degraded",
+            Status::Failing => "failing",
+        }
+    }
+}
+
+/// A health report: status plus an optional human-readable detail line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Coarse status of the last run.
+    pub status: Status,
+    /// Detail line (degradation rungs taken, or the failure message).
+    pub detail: String,
+}
+
+static STATE: Mutex<Option<Report>> = Mutex::new(None);
+
+fn store(report: Report) {
+    // Poisoning is impossible in practice (no panic between lock and
+    // drop), but recover anyway: health must never take the process down.
+    match STATE.lock() {
+        Ok(mut slot) => *slot = Some(report),
+        Err(poisoned) => *poisoned.into_inner() = Some(report),
+    }
+}
+
+/// Records a clean run.
+pub fn report_ok() {
+    store(Report { status: Status::Ok, detail: String::new() });
+}
+
+/// Records a run that succeeded only after degradation.
+pub fn report_degraded(detail: impl Into<String>) {
+    store(Report { status: Status::Degraded, detail: detail.into() });
+}
+
+/// Records a run that failed outright.
+pub fn report_failing(detail: impl Into<String>) {
+    store(Report { status: Status::Failing, detail: detail.into() });
+}
+
+/// Returns the current report ([`Status::Unknown`] before any report).
+pub fn current() -> Report {
+    let slot = match STATE.lock() {
+        Ok(slot) => slot,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    slot.clone().unwrap_or(Report { status: Status::Unknown, detail: String::new() })
+}
+
+/// Clears the state back to [`Status::Unknown`] (tests, experiment reset).
+pub fn reset() {
+    match STATE.lock() {
+        Ok(mut slot) => *slot = None,
+        Err(poisoned) => *poisoned.into_inner() = None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The slot is process-global; serialize the tests that touch it.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn lock() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn starts_unknown_and_tracks_last_report() {
+        let _guard = lock();
+        reset();
+        assert_eq!(current(), Report { status: Status::Unknown, detail: String::new() });
+        report_ok();
+        assert_eq!(current().status, Status::Ok);
+        report_degraded("halved k to 8");
+        let r = current();
+        assert_eq!(r.status, Status::Degraded);
+        assert_eq!(r.detail, "halved k to 8");
+        report_failing("deadline exceeded during clustering after 0.051s");
+        assert_eq!(current().status, Status::Failing);
+        reset();
+        assert_eq!(current().status, Status::Unknown);
+    }
+
+    #[test]
+    fn status_wire_names() {
+        assert_eq!(Status::Unknown.as_str(), "unknown");
+        assert_eq!(Status::Ok.as_str(), "ok");
+        assert_eq!(Status::Degraded.as_str(), "degraded");
+        assert_eq!(Status::Failing.as_str(), "failing");
+    }
+}

@@ -35,6 +35,7 @@
 //! ```
 
 mod export;
+pub mod health;
 mod json;
 mod logger;
 mod snapshot;

@@ -11,7 +11,8 @@
 //! | `GET /trace`   | the tracing ring buffers as Chrome trace JSON
 //! |                | (empty `traceEvents` unless `DB_TRACE=1` and the
 //! |                | `tracing` feature are on)                           |
-//! | `GET /healthz` | `ok`                                                |
+//! | `GET /healthz` | last supervised-run health from [`db_obs::health`]:
+//! |                | `200 ok` / `200 degraded: …` / `503 failing: …`     |
 //!
 //! The server is deliberately minimal — thread-per-connection,
 //! `Connection: close`, no TLS, no keep-alive — because its job is to be
@@ -23,6 +24,15 @@
 //! Errors are typed ([`ObsdError`]); in particular binding a busy port
 //! reports [`ObsdError::Bind`] with an address-in-use message instead of
 //! panicking, so callers can print a clear diagnostic and exit.
+//!
+//! Request parsing is defensive: the whole request head (request line +
+//! headers) is read through a hard byte cap, so a client streaming an
+//! endless request line is answered `431` after at most
+//! [`MAX_HEAD_BYTES`] bytes instead of growing a string unboundedly, and
+//! a half-open client that stops sending mid-head gets `408` when the
+//! read timeout fires.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -159,66 +169,141 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
     }
 }
 
-/// Upper bound on request head size; anything larger is a bad request.
-const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Hard cap on the request head (request line + headers). The reader
+/// itself is truncated at this limit, so an attacker streaming an endless
+/// request line costs at most this much memory and gets a `431`.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Hard cap on a single request line. Generous for `GET /metrics`-class
+/// paths; far below [`MAX_HEAD_BYTES`] so header room remains.
+pub const MAX_REQUEST_LINE_BYTES: usize = 2 * 1024;
+
+/// How the request head ended.
+enum Head {
+    /// Complete head, with the request line extracted.
+    Complete(String),
+    /// The head (or the request line alone) exceeded its byte cap.
+    Oversized,
+    /// The client stopped sending before completing the head.
+    HalfOpen,
+    /// Connection unusable (reset, clone failure, empty read).
+    Dead,
+}
+
+/// Reads the request head from `reader` (already capped at
+/// [`MAX_HEAD_BYTES`] by a [`io::Read::take`]) and classifies it.
+fn read_head(reader: &mut impl BufRead) -> Head {
+    let mut request_line = String::new();
+    match reader.read_line(&mut request_line) {
+        Ok(0) => return Head::Dead,
+        // `take` makes a cap overrun look like clean EOF: no newline.
+        Ok(_) if !request_line.ends_with('\n') => return Head::Oversized,
+        Ok(_) if request_line.len() > MAX_REQUEST_LINE_BYTES => return Head::Oversized,
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) => return Head::HalfOpen,
+        Err(_) => return Head::Dead,
+    }
+    // Drain the headers so well-behaved clients don't see a reset.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            // EOF before the blank line: either the `take` cap truncated
+            // the head, or the client half-closed; both get a clean 4xx.
+            Ok(0) => return Head::Oversized,
+            Ok(_) if line == "\r\n" || line == "\n" => return Head::Complete(request_line),
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => return Head::HalfOpen,
+            Err(_) => return Head::Dead,
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
 
 fn handle_connection(stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let mut reader = BufReader::new(match stream.try_clone() {
+    let clone = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
-    });
+    };
+    let mut reader = BufReader::new(io::Read::take(clone, MAX_HEAD_BYTES as u64));
 
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() || request_line.is_empty() {
-        return;
-    }
-    // Drain the headers so well-behaved clients don't see a reset.
-    let mut drained = request_line.len();
-    loop {
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(n) => {
-                drained += n;
-                if line == "\r\n" || line == "\n" || drained > MAX_HEAD_BYTES {
-                    break;
-                }
-            }
-            Err(_) => break,
+    let request_line = match read_head(&mut reader) {
+        Head::Complete(line) => line,
+        Head::Oversized => {
+            respond(&stream, 431, "text/plain; charset=utf-8", "request head too large\n");
+            // Closing with unread input pending triggers a TCP reset that
+            // can discard the response; drain (bounded) so the client
+            // actually sees the 431.
+            return drain_excess(stream);
         }
-    }
+        Head::HalfOpen => {
+            return respond(&stream, 408, "text/plain; charset=utf-8", "request timeout\n");
+        }
+        Head::Dead => return,
+    };
 
     let mut parts = request_line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m, p),
-        _ => return respond(stream, 400, "text/plain; charset=utf-8", "bad request\n"),
+        _ => return respond(&stream, 400, "text/plain; charset=utf-8", "bad request\n"),
     };
     if method != "GET" {
-        return respond(stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
+        return respond(&stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
     }
     // Ignore any query string: `/metrics?x=1` is still /metrics.
     match path.split('?').next().unwrap_or(path) {
-        "/healthz" => respond(stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        "/healthz" => {
+            let report = db_obs::health::current();
+            let (status, body) = match report.status {
+                db_obs::health::Status::Unknown | db_obs::health::Status::Ok => {
+                    (200, "ok\n".to_string())
+                }
+                db_obs::health::Status::Degraded => (200, format!("degraded: {}\n", report.detail)),
+                db_obs::health::Status::Failing => (503, format!("failing: {}\n", report.detail)),
+            };
+            respond(&stream, status, "text/plain; charset=utf-8", &body)
+        }
         "/metrics" => {
             let body = db_obs::prometheus_text(&db_obs::snapshot());
-            respond(stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
+            respond(&stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
         }
         "/trace" => {
             let body = db_obs::trace_json(&db_obs::trace::events());
-            respond(stream, 200, "application/json", &body)
+            respond(&stream, 200, "application/json", &body)
         }
-        _ => respond(stream, 404, "text/plain; charset=utf-8", "not found\n"),
+        _ => respond(&stream, 404, "text/plain; charset=utf-8", "not found\n"),
     }
 }
 
-fn respond(mut stream: TcpStream, status: u16, content_type: &str, body: &str) {
+/// Discards whatever the client is still sending, bounded in bytes and by
+/// the socket read timeout, then half-closes. Used after an early error
+/// response so the pending input does not turn the close into a reset.
+fn drain_excess(stream: TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut stream = stream;
+    let mut scratch = [0u8; 1024];
+    let mut budget: usize = 256 * 1024;
+    while budget > 0 {
+        match io::Read::read(&mut stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+fn respond(mut stream: &TcpStream, status: u16, content_type: &str, body: &str) {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     let head = format!(

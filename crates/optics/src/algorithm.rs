@@ -5,9 +5,15 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use db_spatial::{Dataset, Neighbor};
+use db_supervise::{Stop, Supervisor, Ticker};
 
 use crate::ordering::{ClusterOrdering, OrderingEntry, UNDEFINED};
 use crate::space::{OpticsParams, OpticsSpace, PointSpace};
+
+/// Cooperative-check cadence of the walk: every processed object costs a
+/// neighbourhood query (O(k) or a matrix-row lookup), so consulting the
+/// supervisor every 16 objects reacts well within the 50ms target.
+const WALK_TICK: u32 = 16;
 
 /// A seed-list entry ordered by (reachability, id); the heap is a min-heap
 /// over this ordering, with lazy deletion of stale entries.
@@ -37,9 +43,32 @@ impl Ord for Seed {
 ///
 /// Panics if `min_pts == 0` or `eps < 0`.
 pub fn optics<S: OpticsSpace>(space: &S, params: &OpticsParams) -> ClusterOrdering {
+    match optics_supervised(space, params, &Supervisor::unlimited()) {
+        Ok(ordering) => ordering,
+        Err(stop) => panic!("unsupervised OPTICS walk stopped: {stop}"),
+    }
+}
+
+/// [`optics`] under supervision: the walk consults `sup` every
+/// [`WALK_TICK`] processed objects. On `Err` the partial ordering is
+/// discarded; on `Ok` the result is bit-for-bit the unsupervised one.
+///
+/// # Errors
+///
+/// [`Stop`] when cancelled or past the deadline.
+///
+/// # Panics
+///
+/// Panics if `min_pts == 0` or `eps < 0`.
+pub fn optics_supervised<S: OpticsSpace>(
+    space: &S,
+    params: &OpticsParams,
+    sup: &Supervisor,
+) -> Result<ClusterOrdering, Stop> {
     assert!(params.min_pts >= 1, "MinPts must be at least 1");
     assert!(params.eps >= 0.0, "eps must be non-negative");
     let _span = db_obs::span!("optics.walk");
+    let mut ticker = Ticker::new(sup, WALK_TICK);
     let n = space.len();
     let mut ordering = ClusterOrdering {
         entries: Vec::with_capacity(n),
@@ -92,6 +121,7 @@ pub fn optics<S: OpticsSpace>(space: &S, params: &OpticsParams) -> ClusterOrderi
         if processed[start] {
             continue;
         }
+        ticker.tick()?;
         // A fresh walk start has undefined reachability.
         process(
             start,
@@ -108,6 +138,7 @@ pub fn optics<S: OpticsSpace>(space: &S, params: &OpticsParams) -> ClusterOrderi
                 db_obs::counter!("optics.stale_seed_skips").incr();
                 continue;
             }
+            ticker.tick()?;
             process(id, r, &mut processed, &mut reach, &mut heap, &mut neighbors, &mut ordering);
         }
     }
@@ -117,7 +148,7 @@ pub fn optics<S: OpticsSpace>(space: &S, params: &OpticsParams) -> ClusterOrderi
         params.eps,
         params.min_pts
     );
-    ordering
+    Ok(ordering)
 }
 
 /// Convenience wrapper: OPTICS over a plain dataset with an automatically
@@ -126,6 +157,21 @@ pub fn optics_points(ds: &Dataset, params: &OpticsParams) -> ClusterOrdering {
     let eps_hint = params.eps.is_finite().then_some(params.eps);
     let space = PointSpace::new(ds, eps_hint);
     optics(&space, params)
+}
+
+/// [`optics_points`] under supervision (see [`optics_supervised`]).
+///
+/// # Errors
+///
+/// [`Stop`] when cancelled or past the deadline.
+pub fn optics_points_supervised(
+    ds: &Dataset,
+    params: &OpticsParams,
+    sup: &Supervisor,
+) -> Result<ClusterOrdering, Stop> {
+    let eps_hint = params.eps.is_finite().then_some(params.eps);
+    let space = PointSpace::new(ds, eps_hint);
+    optics_supervised(&space, params, sup)
 }
 
 #[cfg(test)]

@@ -48,7 +48,7 @@ mod space;
 mod tree;
 mod xi;
 
-pub use algorithm::{optics, optics_points};
+pub use algorithm::{optics, optics_points, optics_points_supervised, optics_supervised};
 pub use dbscan::{dbscan, dbscan_core};
 pub use ordering::{extract_dbscan, median_smooth, ClusterOrdering, OrderingEntry, UNDEFINED};
 pub use params::{k_distances, suggest_cut, suggest_eps};

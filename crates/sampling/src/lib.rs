@@ -38,7 +38,10 @@ pub mod squash;
 
 pub use bfr::{bfr_compress, BfrParams, BfrResult};
 pub use incremental::IncrementalCompression;
-pub use parallel::{accumulate_stats_parallel, nn_classify_parallel};
+pub use parallel::{
+    accumulate_stats_parallel, accumulate_stats_supervised, nn_classify_parallel,
+    nn_classify_supervised,
+};
 pub use squash::{squash_compress, SquashResult};
 
 use std::fmt;
@@ -47,6 +50,7 @@ use std::num::NonZeroUsize;
 use db_birch::Cf;
 use db_rng::Rng;
 use db_spatial::{auto_index, Dataset, SpatialIndex};
+use db_supervise::{Stop, Supervisor};
 
 /// Errors of the sampling compressor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +78,40 @@ impl fmt::Display for SamplingError {
 }
 
 impl std::error::Error for SamplingError {}
+
+/// Why a supervised compression did not produce a result: the arguments
+/// were invalid, or the supervisor stopped the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressStop {
+    /// Argument validation failed (same conditions as the unsupervised
+    /// entry points).
+    Sampling(SamplingError),
+    /// The run was cancelled, overran its deadline, or a worker panicked.
+    Stopped(Stop),
+}
+
+impl fmt::Display for CompressStop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressStop::Sampling(e) => e.fmt(f),
+            CompressStop::Stopped(s) => s.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CompressStop {}
+
+impl From<SamplingError> for CompressStop {
+    fn from(e: SamplingError) -> Self {
+        CompressStop::Sampling(e)
+    }
+}
+
+impl From<Stop> for CompressStop {
+    fn from(s: Stop) -> Self {
+        CompressStop::Stopped(s)
+    }
+}
 
 /// The result of sampling + one-pass NN classification: `k` representative
 /// points with their accumulated sufficient statistics, plus the
@@ -152,11 +190,37 @@ pub fn compress_by_sampling_threaded(
     seed: u64,
     threads: Option<NonZeroUsize>,
 ) -> Result<CompressedSample, SamplingError> {
+    match compress_by_sampling_supervised(ds, k, seed, threads, &Supervisor::unlimited()) {
+        Ok(c) => Ok(c),
+        Err(CompressStop::Sampling(e)) => Err(e),
+        // Unreachable without fault injection: an unlimited supervisor with
+        // a fresh token never stops cooperatively, and a worker panic
+        // should keep panicking callers that did not opt into supervision.
+        Err(CompressStop::Stopped(stop)) => panic!("unsupervised compression stopped: {stop}"),
+    }
+}
+
+/// [`compress_by_sampling_threaded`] under supervision: the classification
+/// and accumulation passes consult `sup` on an amortized tick and capture
+/// worker panics. On [`CompressStop::Stopped`] no partial result escapes;
+/// on `Ok` the result is bit-for-bit the unsupervised one.
+///
+/// # Errors
+///
+/// [`CompressStop::Sampling`] when `k == 0` or `k > ds.len()`;
+/// [`CompressStop::Stopped`] when the supervisor halted the run.
+pub fn compress_by_sampling_supervised(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    threads: Option<NonZeroUsize>,
+    sup: &Supervisor,
+) -> Result<CompressedSample, CompressStop> {
     if k == 0 {
-        return Err(SamplingError::ZeroSampleSize);
+        return Err(SamplingError::ZeroSampleSize.into());
     }
     if k > ds.len() {
-        return Err(SamplingError::SampleLargerThanData { k, n: ds.len() });
+        return Err(SamplingError::SampleLargerThanData { k, n: ds.len() }.into());
     }
     let _span = db_obs::span!("sampling.compress");
     let mut rng = Rng::seed_from_u64(seed);
@@ -165,8 +229,8 @@ pub fn compress_by_sampling_threaded(
     db_obs::counter!("sampling.reps_sampled").add(k as u64);
 
     let reps = ds.subset(&sample_ids);
-    let mut assignment = nn_classify_parallel(ds, &reps, threads);
-    let stats = accumulate_stats_parallel(ds, &assignment, k, threads);
+    let mut assignment = nn_classify_supervised(ds, &reps, threads, sup)?;
+    let stats = accumulate_stats_supervised(ds, &assignment, k, threads, sup)?;
 
     // Duplicate objects can put identical points into the sample; every
     // copy then classifies to the lowest-id one, leaving the others'

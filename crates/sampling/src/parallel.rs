@@ -28,6 +28,17 @@ use std::num::NonZeroUsize;
 
 use db_birch::Cf;
 use db_spatial::{auto_index, AnyIndex, Dataset, SpatialIndex};
+use db_supervise::{catch_shared, fault, first_stop, panic_message, Stop, Supervisor, Ticker};
+
+/// Cooperative-check cadence for the classification loop. Each item is a
+/// nearest-neighbour query (µs-scale), so consulting the supervisor every
+/// 256 items keeps the reaction latency far under the 50ms target while
+/// the per-item cost stays one local integer decrement.
+const CLASSIFY_TICK: u32 = 256;
+
+/// Check cadence for statistics accumulation, whose per-item work is a
+/// single Welford update (ns-scale).
+const STATS_TICK: u32 = 1024;
 
 /// Resolves a thread-count knob: `None` means available parallelism, and
 /// the result is clamped to `[1, work_items]`.
@@ -40,15 +51,26 @@ pub(crate) fn resolve_threads(threads: Option<NonZeroUsize>, work_items: usize) 
 
 /// Classifies the points `offset..offset + out.len()` of `ds` against the
 /// prebuilt index, writing into `out`. Shared, uninstrumented core of both
-/// the sequential and the parallel classification paths.
-fn classify_into(ds: &Dataset, reps: &Dataset, index: &AnyIndex, offset: usize, out: &mut [u32]) {
+/// the sequential and the parallel classification paths. On `Err` the
+/// caller discards `out` wholesale, so partially-written slots never leak.
+fn classify_into(
+    ds: &Dataset,
+    reps: &Dataset,
+    index: &AnyIndex,
+    offset: usize,
+    out: &mut [u32],
+    sup: &Supervisor,
+) -> Result<(), Stop> {
+    let mut ticker = Ticker::new(sup, CLASSIFY_TICK);
     for (i, slot) in out.iter_mut().enumerate() {
+        ticker.tick()?;
         let p = ds.point(offset + i);
         let nn = index.nearest(reps, p).expect("reps non-empty");
         // Lossless: `Dataset` caps its length at `Dataset::MAX_POINTS`
         // (u32 ids), enforced at the ingest boundary.
         *slot = nn.id as u32;
     }
+    Ok(())
 }
 
 /// Classifies every point of `ds` to its nearest point in `reps` using
@@ -64,6 +86,33 @@ pub fn nn_classify_parallel(
     reps: &Dataset,
     threads: Option<NonZeroUsize>,
 ) -> Vec<u32> {
+    match nn_classify_supervised(ds, reps, threads, &Supervisor::unlimited()) {
+        Ok(out) => out,
+        // Unreachable without fault injection: a fresh unlimited supervisor
+        // never stops cooperatively, and a genuine worker panic should keep
+        // panicking callers that did not opt into supervision.
+        Err(stop) => panic!("unsupervised classification stopped: {stop}"),
+    }
+}
+
+/// [`nn_classify_parallel`] under supervision: consults `sup` every
+/// [`CLASSIFY_TICK`] points and captures worker panics. On `Err` all
+/// partial output is discarded; on `Ok` the result is bit-for-bit the
+/// unsupervised one.
+///
+/// # Errors
+///
+/// [`Stop`] when cancelled, past the deadline, or a worker panicked.
+///
+/// # Panics
+///
+/// Panics if `reps` is empty or dimensionalities differ.
+pub fn nn_classify_supervised(
+    ds: &Dataset,
+    reps: &Dataset,
+    threads: Option<NonZeroUsize>,
+    sup: &Supervisor,
+) -> Result<Vec<u32>, Stop> {
     assert!(!reps.is_empty(), "cannot classify against an empty representative set");
     assert_eq!(ds.dim(), reps.dim(), "dimensionality mismatch");
     let threads = resolve_threads(threads, ds.len());
@@ -76,26 +125,44 @@ pub fn nn_classify_parallel(
     let index = auto_index(reps, None);
     let mut out = vec![0u32; ds.len()];
     if threads <= 1 {
-        classify_into(ds, reps, &index, 0, &mut out);
+        classify_into(ds, reps, &index, 0, &mut out, sup)?;
     } else {
         // Worker time links back into the parent span (it lands in the
         // parent's child-time, not self-time) and workers record under
-        // the parent's trace run id.
+        // the parent's trace run id. Each body runs under panic capture so
+        // one bad block surfaces as `Stop::Panicked`, not a process abort.
         let parent = span.handle();
         let chunk = ds.len().div_ceil(threads);
+        let mut results: Vec<Result<(), Stop>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
-            for (t, slice) in out.chunks_mut(chunk).enumerate() {
-                let index = &index;
-                let parent = &parent;
-                scope.spawn(move || {
-                    let _s = db_obs::span_linked!("sampling.classify_chunk", parent);
-                    classify_into(ds, reps, index, t * chunk, slice)
-                });
+            let handles: Vec<_> = out
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(t, slice)| {
+                    let index = &index;
+                    let parent = &parent;
+                    scope.spawn(move || {
+                        catch_shared(|| {
+                            let _s = db_obs::span_linked!("sampling.classify_chunk", parent);
+                            fault::inject("classify.worker", sup.token());
+                            classify_into(ds, reps, index, t * chunk, slice, sup)
+                        })
+                    })
+                })
+                .collect();
+            for handle in handles {
+                // `catch_shared` already converted panics, so join only
+                // fails on a panic *outside* the capture (e.g. in the span
+                // destructor); fold that in rather than unwinding.
+                results.push(handle.join().unwrap_or_else(|payload| {
+                    Err(Stop::Panicked { message: panic_message(payload.as_ref()) })
+                }));
             }
         });
+        first_stop(results)?;
     }
     db_obs::counter!("sampling.points_classified").add(out.len() as u64);
-    out
+    Ok(out)
 }
 
 /// Fixed block length for statistics accumulation: independent of the
@@ -120,45 +187,89 @@ pub fn accumulate_stats_parallel(
     k: usize,
     threads: Option<NonZeroUsize>,
 ) -> Vec<Cf> {
+    match accumulate_stats_supervised(ds, assignment, k, threads, &Supervisor::unlimited()) {
+        Ok(stats) => stats,
+        Err(stop) => panic!("unsupervised accumulation stopped: {stop}"),
+    }
+}
+
+/// [`accumulate_stats_parallel`] under supervision: consults `sup` every
+/// [`STATS_TICK`] points and captures worker panics; per-block partials
+/// are discarded wholesale on `Err`, so no partially-merged statistics
+/// escape. On `Ok` the result is bit-for-bit the unsupervised one.
+///
+/// # Errors
+///
+/// [`Stop`] when cancelled, past the deadline, or a worker panicked.
+///
+/// # Panics
+///
+/// Panics if an assignment is out of range or lengths differ.
+pub fn accumulate_stats_supervised(
+    ds: &Dataset,
+    assignment: &[u32],
+    k: usize,
+    threads: Option<NonZeroUsize>,
+    sup: &Supervisor,
+) -> Result<Vec<Cf>, Stop> {
     assert_eq!(ds.len(), assignment.len(), "assignment length mismatch");
     let mut span = db_obs::span!("sampling.accumulate_stats");
     let block = stats_block_len(ds.len());
     let n_blocks = ds.len().div_ceil(block).max(1);
     let threads = resolve_threads(threads, n_blocks);
 
-    let accumulate_block = |b: usize| -> Vec<Cf> {
+    let accumulate_block = |b: usize| -> Result<Vec<Cf>, Stop> {
+        let mut ticker = Ticker::new(sup, STATS_TICK);
         let lo = b * block;
         let hi = (lo + block).min(ds.len());
         let mut stats = vec![Cf::empty(ds.dim()); k];
         for i in lo..hi {
+            ticker.tick()?;
             stats[assignment[i] as usize].add_point(ds.point(i));
         }
-        stats
+        Ok(stats)
     };
 
     let mut partials: Vec<Vec<Cf>> = Vec::with_capacity(n_blocks);
     if threads <= 1 {
         for b in 0..n_blocks {
-            partials.push(accumulate_block(b));
+            partials.push(accumulate_block(b)?);
         }
     } else {
         partials.resize(n_blocks, Vec::new());
         // Each block lands in its own pre-assigned slot, so the subsequent
-        // in-order merge is independent of the thread schedule.
+        // in-order merge is independent of the thread schedule. Worker
+        // bodies run under panic capture; their outcomes merge via
+        // `first_stop` (a captured panic outranks a cooperative stop).
         let parent = span.handle();
         let per_thread = n_blocks.div_ceil(threads);
         let accumulate_block = &accumulate_block;
+        let mut results: Vec<Result<(), Stop>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
-            for (t, slots) in partials.chunks_mut(per_thread).enumerate() {
-                let parent = &parent;
-                scope.spawn(move || {
-                    let _s = db_obs::span_linked!("sampling.accumulate_chunk", parent);
-                    for (j, slot) in slots.iter_mut().enumerate() {
-                        *slot = accumulate_block(t * per_thread + j);
-                    }
-                });
+            let handles: Vec<_> = partials
+                .chunks_mut(per_thread)
+                .enumerate()
+                .map(|(t, slots)| {
+                    let parent = &parent;
+                    scope.spawn(move || {
+                        catch_shared(|| {
+                            let _s = db_obs::span_linked!("sampling.accumulate_chunk", parent);
+                            fault::inject("stats.worker", sup.token());
+                            for (j, slot) in slots.iter_mut().enumerate() {
+                                *slot = accumulate_block(t * per_thread + j)?;
+                            }
+                            Ok(())
+                        })
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().unwrap_or_else(|payload| {
+                    Err(Stop::Panicked { message: panic_message(payload.as_ref()) })
+                }));
             }
         });
+        first_stop(results)?;
     }
 
     // Merge in block order (stable Chan–Golub–LeVeque merge via AddAssign):
@@ -175,7 +286,7 @@ pub fn accumulate_stats_parallel(
     if stats.len() < k {
         stats.resize(k, Cf::empty(ds.dim()));
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]

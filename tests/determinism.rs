@@ -10,8 +10,12 @@
 //! evaluation on adversarial corpora.
 
 use std::num::NonZeroUsize;
+use std::time::Duration;
 
-use data_bubbles::pipeline::{run_pipeline, Compressor, PipelineConfig, PipelineOutput, Recovery};
+use data_bubbles::pipeline::{
+    run_pipeline, CancelToken, Compressor, PipelineConfig, PipelineError, PipelineOutput, Recovery,
+    RunBudget,
+};
 use db_birch::BirchParams;
 use db_optics::OpticsParams;
 use db_spatial::Dataset;
@@ -112,6 +116,74 @@ fn thread_knob_composes_with_matrix_knob_on_adversarial_input() {
                 &format!("matrix_max_k={matrix_max_k} threads={threads:?}"),
             );
         }
+    }
+}
+
+#[test]
+fn an_armed_but_unfired_budget_changes_nothing() {
+    // Supervision's determinism contract: arming a deadline, a matrix
+    // byte cap that never binds, and a cancellation token that is never
+    // cancelled must leave every one of the six variants bit-for-bit
+    // identical to the unsupervised run.
+    let ds = two_squares();
+    for (ctx, compressor, recovery) in six_pipelines(40, 7) {
+        let mut cfg = PipelineConfig::new(40, compressor, recovery, params());
+        let base = run_pipeline(&ds, &cfg).unwrap();
+        cfg.budget = RunBudget {
+            deadline: Some(Duration::from_secs(3600)),
+            max_matrix_bytes: Some(usize::MAX),
+        };
+        cfg.cancel = Some(CancelToken::new());
+        let supervised = run_pipeline(&ds, &cfg).unwrap();
+        assert_identical(&base, &supervised, &format!("{ctx} under an idle budget"));
+    }
+}
+
+#[test]
+fn mid_run_cancellation_is_typed_and_a_retry_is_bit_identical() {
+    // A second thread flips the token while the pipeline runs. Whatever
+    // phase the cancellation lands in, the run must stop with the typed
+    // error — never a panic, never partial output — and an immediately
+    // retried run (fresh token) must be bit-identical to the baseline.
+    let ds = two_squares();
+    for (ctx, compressor, recovery) in six_pipelines(40, 7) {
+        let mut cfg = PipelineConfig::new(40, compressor, recovery, params());
+        let base = run_pipeline(&ds, &cfg).unwrap();
+
+        // Scan cancellation delays until one lands mid-run; a pre-
+        // cancelled token (delay 0) guarantees at least one typed hit
+        // even on a machine fast enough to outrun every sleep.
+        let mut saw_cancelled = false;
+        for delay_us in [0u64, 50, 200, 1000, 5000] {
+            let token = CancelToken::new();
+            cfg.cancel = Some(token.clone());
+            let result = std::thread::scope(|s| {
+                let canceller = s.spawn(move || {
+                    if delay_us > 0 {
+                        std::thread::sleep(Duration::from_micros(delay_us));
+                    }
+                    token.cancel();
+                });
+                if delay_us == 0 {
+                    // Guarantee the flip lands before the first check.
+                    canceller.join().expect("canceller thread");
+                }
+                run_pipeline(&ds, &cfg)
+            });
+            match result {
+                Err(PipelineError::Cancelled { .. }) => saw_cancelled = true,
+                // The run beat the cancel to the finish line; that race
+                // is legal, and the output must still be untouched.
+                Ok(out) => assert_identical(&base, &out, &format!("{ctx} outran cancel")),
+                other => panic!("{ctx}: expected Cancelled or success, got {other:?}"),
+            }
+        }
+        assert!(saw_cancelled, "{ctx}: the pre-cancelled token must yield a typed Cancelled");
+
+        // Retry with a fresh, uncancelled token: bit-identical.
+        cfg.cancel = Some(CancelToken::new());
+        let retried = run_pipeline(&ds, &cfg).unwrap();
+        assert_identical(&base, &retried, &format!("{ctx} retried after cancellation"));
     }
 }
 
