@@ -1,0 +1,197 @@
+//! Ingest-throughput benchmark for the streaming service (ISSUE 8).
+//!
+//! ```text
+//! ingest_throughput [--n N] [--stream N] [--k K] [--seed S] [--out FILE]
+//! ```
+//!
+//! Measures, at several batch sizes, how fast points are absorbed into a
+//! live `IncrementalCompression` (a) directly and (b) through the
+//! service's `POST /ingest` HTTP path, plus the latency of a full
+//! recluster of the post-absorb compression. The report is written as
+//! machine-readable JSON to `BENCH_pr8.json` (or `--out`) with `*_s`
+//! leaves, the input format of `bench-diff`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use data_bubbles::pipeline::{recluster_from_compression, Compressor, PipelineConfig, Recovery};
+use db_obs::Json;
+use db_optics::OpticsParams;
+use db_sampling::{compress_by_sampling, IncrementalCompression};
+use db_serve::{BubbleService, ServeServer, ServiceConfig};
+use db_spatial::Dataset;
+
+const USAGE: &str = "usage: ingest_throughput [--n N] [--stream N] [--k K] [--seed S] [--out FILE]";
+
+fn blobs(n: usize, seed: u64) -> Dataset {
+    let params = db_datagen::SeparatedBlobsParams { n, ..Default::default() };
+    db_datagen::separated_blobs(&params, seed).data
+}
+
+fn chunk_dataset(ds: &Dataset, batch: usize) -> Vec<Dataset> {
+    let rows: Vec<&[f64]> = ds.iter().collect();
+    rows.chunks(batch)
+        .map(|chunk| {
+            let mut part = Dataset::new(ds.dim()).expect("dim");
+            for row in chunk {
+                part.push(row).expect("finite");
+            }
+            part
+        })
+        .collect()
+}
+
+fn absorb_run(base: &IncrementalCompression, batches: &[Dataset], n: usize) -> (f64, Duration) {
+    let mut inc = base.clone();
+    let t0 = Instant::now();
+    for b in batches {
+        inc.try_absorb_all(b).expect("absorb");
+    }
+    let elapsed = t0.elapsed();
+    assert_eq!(inc.n_objects(), base.n_objects() + n);
+    (n as f64 / elapsed.as_secs_f64().max(1e-12), elapsed)
+}
+
+fn post_ingest(addr: std::net::SocketAddr, body: &str) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    stream
+        .write_all(
+            format!(
+                "POST /ingest HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    assert!(out.starts_with("HTTP/1.1 200"), "ingest failed: {}", &out[..out.len().min(200)]);
+}
+
+fn ingest_json(batch: &Dataset) -> String {
+    let rows: Vec<String> = batch
+        .iter()
+        .map(|p| {
+            let coords: Vec<String> = p.iter().map(|c| format!("{c:?}")).collect();
+            format!("[{}]", coords.join(","))
+        })
+        .collect();
+    format!("{{\"points\":[{}]}}", rows.join(","))
+}
+
+fn main() -> ExitCode {
+    let mut n = 10_000usize;
+    let mut stream_n = 10_000usize;
+    let mut k = 200usize;
+    let mut seed = 2001u64;
+    let mut out_path = String::from("BENCH_pr8.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        let parsed = match arg.as_str() {
+            "--n" => value("--n").and_then(|v| v.parse().map(|x| n = x).map_err(|e| e.to_string())),
+            "--stream" => value("--stream")
+                .and_then(|v| v.parse().map(|x| stream_n = x).map_err(|e| e.to_string())),
+            "--k" => value("--k").and_then(|v| v.parse().map(|x| k = x).map_err(|e| e.to_string())),
+            "--seed" => {
+                value("--seed").and_then(|v| v.parse().map(|x| seed = x).map_err(|e| e.to_string()))
+            }
+            "--out" => value("--out").map(|v| out_path = v),
+            other => Err(format!("unknown argument {other}\n{USAGE}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let base = blobs(n, seed);
+    let stream_points = blobs(stream_n, seed.wrapping_add(1));
+    let compressed = compress_by_sampling(&base, k, seed).expect("compress");
+    let live = IncrementalCompression::from_sample(&compressed);
+    let optics = OpticsParams { eps: f64::INFINITY, min_pts: 40 };
+
+    let mut runs = Vec::new();
+
+    // Direct absorb throughput by batch size.
+    for batch in [1usize, 64, 1024] {
+        let batches = chunk_dataset(&stream_points, batch);
+        let (pps, elapsed) = absorb_run(&live, &batches, stream_n);
+        println!("absorb   batch={batch:>5}: {pps:>12.0} points/s");
+        runs.push(Json::Obj(vec![
+            ("mode".into(), Json::Str("absorb".into())),
+            ("batch_size".into(), Json::Int(batch as i64)),
+            ("elapsed_s".into(), Json::Num(elapsed.as_secs_f64())),
+            ("points_per_s".into(), Json::Num(pps)),
+        ]));
+    }
+
+    // HTTP ingest throughput (staleness triggers disabled so the measure
+    // is pure ingest, not recluster interference).
+    {
+        let mut cfg = ServiceConfig::new(optics, 4.0);
+        cfg.max_absorbed = usize::MAX;
+        cfg.max_mass_fraction = f64::INFINITY;
+        let svc = Arc::new(BubbleService::new(live.clone(), cfg).expect("service"));
+        let mut server = ServeServer::start("127.0.0.1:0", Arc::clone(&svc)).expect("bind");
+        let addr = server.addr();
+        let batches = chunk_dataset(&stream_points, 1024);
+        let bodies: Vec<String> = batches.iter().map(ingest_json).collect();
+        let t0 = Instant::now();
+        for body in &bodies {
+            post_ingest(addr, body);
+        }
+        let elapsed = t0.elapsed();
+        let pps = stream_n as f64 / elapsed.as_secs_f64().max(1e-12);
+        println!("http     batch= 1024: {pps:>12.0} points/s");
+        runs.push(Json::Obj(vec![
+            ("mode".into(), Json::Str("http_ingest".into())),
+            ("batch_size".into(), Json::Int(1024)),
+            ("elapsed_s".into(), Json::Num(elapsed.as_secs_f64())),
+            ("points_per_s".into(), Json::Num(pps)),
+        ]));
+        server.shutdown();
+    }
+
+    // Recluster latency on the post-absorb compression.
+    let recluster = {
+        let mut inc = live.clone();
+        inc.try_absorb_all(&stream_points).expect("absorb");
+        let cfg = PipelineConfig::new(k, Compressor::Sample { seed }, Recovery::Bubbles, optics);
+        let t0 = Instant::now();
+        let out = recluster_from_compression(&inc, &cfg).expect("recluster");
+        let elapsed = t0.elapsed();
+        println!(
+            "recluster: {:.3}s (clustering {:.3}s, recovery {:.3}s)",
+            elapsed.as_secs_f64(),
+            out.timings.clustering.as_secs_f64(),
+            out.timings.recovery.as_secs_f64()
+        );
+        Json::Obj(vec![
+            ("elapsed_s".into(), Json::Num(elapsed.as_secs_f64())),
+            ("clustering_s".into(), Json::Num(out.timings.clustering.as_secs_f64())),
+            ("recovery_s".into(), Json::Num(out.timings.recovery.as_secs_f64())),
+            ("n_representatives".into(), Json::Int(out.n_representatives as i64)),
+        ])
+    };
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("pr8_ingest_throughput".into())),
+        ("n_base".into(), Json::Int(n as i64)),
+        ("n_stream".into(), Json::Int(stream_n as i64)),
+        ("k".into(), Json::Int(k as i64)),
+        ("seed".into(), Json::Int(seed as i64)),
+        ("runs".into(), Json::Arr(runs)),
+        ("recluster".into(), recluster),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, report.render_pretty()) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

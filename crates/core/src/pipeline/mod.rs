@@ -26,7 +26,7 @@ use db_optics::{optics_points_supervised, optics_supervised, ClusterOrdering, Op
 use db_rng::Rng;
 use db_sampling::{
     bfr_compress, compress_by_sampling_supervised, nn_classify_supervised, squash_compress,
-    BfrParams, CompressStop, SamplingError,
+    BfrParams, CompressStop, IncrementalCompression, SamplingError,
 };
 use db_spatial::{Dataset, SpatialError};
 use db_supervise::{fault, Stop, Supervisor};
@@ -449,6 +449,39 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     let compression = t0.elapsed();
     db_obs::trace_instant!("pipeline.compressed", "n_representatives", reps.len());
 
+    // ------------------------------------------------------ steps 2–3
+    let cr = cluster_and_recover(&reps, &stats, assignment.as_deref(), cfg, &sup)?;
+
+    Ok(PipelineOutput {
+        rep_ordering: cr.rep_ordering,
+        expanded: cr.expanded,
+        n_representatives: reps.len(),
+        timings: PipelineTimings { compression, clustering: cr.clustering, recovery: cr.recovery },
+        run_id: run_id.get(),
+        degradations: Vec::new(),
+    })
+}
+
+/// Output of the shared clustering + recovery stages (steps 2–3).
+struct ClusterRecover {
+    rep_ordering: ClusterOrdering,
+    expanded: Option<ExpandedOrdering>,
+    clustering: Duration,
+    recovery: Duration,
+}
+
+/// Steps 2–3 shared by [`run_pipeline`] and
+/// [`recluster_from_compression`]: OPTICS over the representatives (as
+/// points or Data Bubbles, with the supervised matrix precompute) followed
+/// by the configured recovery expansion. `assignment` maps every original
+/// object to its representative and is required for non-naive recoveries.
+fn cluster_and_recover(
+    reps: &Dataset,
+    stats: &[Cf],
+    assignment: Option<&[u32]>,
+    cfg: &PipelineConfig,
+    sup: &Supervisor,
+) -> Result<ClusterRecover, PipelineError> {
     // ------------------------------------------------------ step 2
     let t1 = Instant::now();
     let span_clustering = db_obs::span!("pipeline.clustering");
@@ -456,7 +489,7 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     let clustering_stop = |stop| stop_error(stop, PipelinePhase::Clustering);
     let (rep_ordering, bubble_space) = match cfg.recovery {
         Recovery::Naive | Recovery::Weighted => {
-            (optics_points_supervised(&reps, &cfg.optics, &sup).map_err(clustering_stop)?, None)
+            (optics_points_supervised(reps, &cfg.optics, sup).map_err(clustering_stop)?, None)
         }
         Recovery::Bubbles => {
             let bubbles: Vec<DataBubble> =
@@ -471,10 +504,10 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
                     cfg.threads,
                     cfg.matrix_max_k,
                     cfg.budget.max_matrix_bytes,
-                    &sup,
+                    sup,
                 )
                 .map_err(clustering_stop)?;
-            let ordering = optics_supervised(&space, &cfg.optics, &sup).map_err(clustering_stop)?;
+            let ordering = optics_supervised(&space, &cfg.optics, sup).map_err(clustering_stop)?;
             (ordering, Some(space))
         }
     };
@@ -489,7 +522,7 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     let expanded = match cfg.recovery {
         Recovery::Naive => None,
         Recovery::Weighted | Recovery::Bubbles => {
-            let Some(assignment) = assignment.as_ref() else {
+            let Some(assignment) = assignment else {
                 return Err(PipelineError::Internal("classification did not run before recovery"));
             };
             let mut members = vec![Vec::new(); reps.len()];
@@ -497,7 +530,7 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
                 members[a as usize].push(i);
             }
             Some(match cfg.recovery {
-                Recovery::Weighted => expand_weighted_supervised(&rep_ordering, &members, &sup)
+                Recovery::Weighted => expand_weighted_supervised(&rep_ordering, &members, sup)
                     .map_err(recovery_stop)?,
                 Recovery::Bubbles => {
                     let Some(space) = bubble_space.as_ref() else {
@@ -510,7 +543,7 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
                         &members,
                         space,
                         cfg.optics.min_pts,
-                        &sup,
+                        sup,
                     )
                     .map_err(recovery_stop)?
                 }
@@ -521,14 +554,128 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     drop(span_recovery);
     let recovery = t2.elapsed();
 
+    Ok(ClusterRecover { rep_ordering, expanded, clustering, recovery })
+}
+
+/// Re-runs the clustering and recovery stages (steps 2–3) on a live
+/// [`IncrementalCompression`] — the paper's warehouse loop: absorb inserts
+/// via CF additivity, then re-run OPTICS on the (cheap) compressed set
+/// whenever a fresh cluster ordering is wanted. No compression pass runs:
+/// the representatives, sufficient statistics and classification come
+/// from `inc` as-is, so on a compression with zero absorbs the output is
+/// bit-for-bit the [`run_pipeline`] output the compression came from
+/// (same reps, stats and assignment ⇒ same ordering and expansion).
+///
+/// `cfg.k` and `cfg.compressor` are ignored (the compression fixes both);
+/// `cfg.recovery`, `cfg.optics` and the execution/budget knobs apply
+/// exactly as in [`run_pipeline`]. [`PipelineTimings::compression`] is
+/// zero.
+///
+/// # Errors
+///
+/// As [`run_pipeline`], except the compression-argument errors cannot
+/// occur. [`PipelineError::Cancelled`] / [`PipelineError::DeadlineExceeded`]
+/// / [`PipelineError::WorkerPanic`] surface exactly as there.
+pub fn recluster_from_compression(
+    inc: &IncrementalCompression,
+    cfg: &PipelineConfig,
+) -> Result<PipelineOutput, PipelineError> {
+    let reps = inc.representatives();
+    if reps.is_empty() {
+        return Err(PipelineError::EmptyDataset);
+    }
+    // The absorb boundary validates every point, but re-check the
+    // representatives defensively, mirroring `run_pipeline`.
+    reps.validate()?;
+    let token = cfg.cancel.clone().unwrap_or_default();
+    let sup = Supervisor::new(token, cfg.budget.deadline);
+    let run_id = db_obs::RunId::next();
+    let _run = run_id.enter();
+    let _span = db_obs::span!("pipeline.recluster");
+    db_obs::counter!("pipeline.reclusters").incr();
+    db_obs::trace_instant!("pipeline.recluster.start", "n_objects", inc.n_objects());
+
+    let cr = cluster_and_recover(reps, inc.stats(), Some(inc.assignment()), cfg, &sup)?;
     Ok(PipelineOutput {
-        rep_ordering,
-        expanded,
+        rep_ordering: cr.rep_ordering,
+        expanded: cr.expanded,
         n_representatives: reps.len(),
-        timings: PipelineTimings { compression, clustering, recovery },
+        timings: PipelineTimings {
+            compression: Duration::ZERO,
+            clustering: cr.clustering,
+            recovery: cr.recovery,
+        },
         run_id: run_id.get(),
         degradations: Vec::new(),
     })
+}
+
+/// [`recluster_from_compression`] with the degradation ladder of
+/// [`run_pipeline_supervised`], minus the halve-`k` rung (the compression
+/// fixes `k`): on [`PipelineError::DeadlineExceeded`] the retry first
+/// disables the precomputed distance matrix, then drops to a single
+/// thread, each attempt under a fresh deadline. Cancellations and worker
+/// panics are never retried. The outcome is reported to
+/// [`db_obs::health`] exactly as for supervised pipeline runs — except
+/// for cancellations, which are a caller decision, not a service failure.
+///
+/// # Errors
+///
+/// As [`recluster_from_compression`];
+/// [`PipelineError::DeadlineExceeded`] only after both rungs failed.
+pub fn recluster_supervised(
+    inc: &IncrementalCompression,
+    cfg: &PipelineConfig,
+) -> Result<PipelineOutput, PipelineError> {
+    let mut attempt = cfg.clone();
+    let mut degradations: Vec<Degradation> = Vec::new();
+    loop {
+        match recluster_from_compression(inc, &attempt) {
+            Ok(mut out) => {
+                out.degradations = degradations;
+                if out.degradations.is_empty() {
+                    db_obs::health::report_ok();
+                } else {
+                    db_obs::health::report_degraded(format!(
+                        "recluster degraded {} rung(s): {}",
+                        out.degradations.len(),
+                        out.degradations
+                            .iter()
+                            .map(|d| d.action.as_str())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    ));
+                }
+                return Ok(out);
+            }
+            Err(cause @ PipelineError::DeadlineExceeded { .. }) if degradations.len() < 2 => {
+                let action = match degradations.len() {
+                    0 => {
+                        attempt.matrix_max_k = 0;
+                        "disabled the distance matrix".to_string()
+                    }
+                    _ => {
+                        attempt.threads = NonZeroUsize::new(1);
+                        "dropped to a single thread".to_string()
+                    }
+                };
+                db_obs::counter!("pipeline.degradations").incr();
+                db_obs::trace_instant!("pipeline.degraded", "rung", degradations.len() + 1);
+                db_obs::log_warn!("recluster over budget ({cause}); retrying coarser: {action}");
+                degradations.push(Degradation { cause, action });
+            }
+            Err(e @ PipelineError::Cancelled { .. }) => {
+                // A superseded or withdrawn recluster is not a health
+                // event: the cache keeps serving and a newer run owns the
+                // health slot.
+                return Err(e);
+            }
+            Err(e) => {
+                db_obs::health::report_failing(e.to_string());
+                return Err(e);
+            }
+        }
+    }
 }
 
 /// Maximum number of degradation-ladder retries of

@@ -72,17 +72,42 @@ impl Dendrogram {
         self.cut_after(self.n - k)
     }
 
-    /// Cuts at a height: clusters are the components after applying all
-    /// merges with `dist <= height`.
+    /// Cuts at a height: clusters are the components after applying **all**
+    /// merges with `dist <= height` — not just the leading run of them.
+    /// [`Dendrogram::new`] allows heights to *decrease* by up to its
+    /// `1e-9` tolerance, so a qualifying merge can follow a non-qualifying
+    /// one; a prefix scan (`take_while`) would silently drop it.
+    ///
+    /// NaN-hardened in the `!(d <= cut)` style of DBSCAN extraction: a
+    /// merge qualifies only when `dist <= height` is *affirmatively* true,
+    /// so a NaN height (or a NaN merge distance) applies no merge — every
+    /// leaf stays its own cluster, never a half-applied prefix.
     pub fn cut_at_distance(&self, height: f64) -> Vec<i32> {
-        let applied = self.merges.iter().take_while(|m| m.dist <= height).count();
-        self.cut_after(applied)
+        // `m.dist <= height` is false for NaN on either side, which is the
+        // safe (do-not-merge) side; do not rewrite as `!(m.dist > height)`,
+        // which would treat NaN as qualifying.
+        self.cut_where(|m| m.dist <= height)
     }
 
     /// Labels after applying the first `applied` merges.
     fn cut_after(&self, applied: usize) -> Vec<i32> {
-        // Union-find over nodes 0..n+applied.
-        let mut parent: Vec<usize> = (0..self.n + applied).collect();
+        let mut take = applied;
+        self.cut_where(move |_| {
+            let apply = take > 0;
+            take = take.saturating_sub(1);
+            apply
+        })
+    }
+
+    /// Labels after applying exactly the merges selected by `apply`
+    /// (called once per merge, in merge order). A merge that references
+    /// the cluster node of an unapplied merge simply does not inherit that
+    /// merge's members — components are whatever the applied merges
+    /// connect.
+    fn cut_where(&self, mut apply: impl FnMut(&Merge) -> bool) -> Vec<i32> {
+        // Union-find over all nodes 0..2n−1 (unapplied cluster nodes stay
+        // isolated roots that no leaf maps to).
+        let mut parent: Vec<usize> = (0..(2 * self.n).saturating_sub(1)).collect();
         fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
@@ -90,7 +115,10 @@ impl Dendrogram {
             }
             x
         }
-        for (i, m) in self.merges.iter().take(applied).enumerate() {
+        for (i, m) in self.merges.iter().enumerate() {
+            if !apply(m) {
+                continue;
+            }
             let node = self.n + i;
             let ra = find(&mut parent, m.a);
             let rb = find(&mut parent, m.b);
@@ -206,6 +234,47 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn decreasing_heights_panic() {
         Dendrogram::new(3, vec![Merge { a: 0, b: 1, dist: 2.0 }, Merge { a: 2, b: 3, dist: 1.0 }]);
+    }
+
+    #[test]
+    fn cut_at_distance_counts_all_qualifying_merges_when_non_monotone() {
+        // `new` tolerates heights decreasing by up to 1e-9, so this
+        // dendrogram is legal: merge 1 sits *below* merge 0. A cut between
+        // the two heights must apply merge 1 (leaves 2,3) even though the
+        // preceding merge 0 does not qualify — the old `take_while` prefix
+        // scan dropped it.
+        let low = 1.0 - 1e-9;
+        let d = Dendrogram::new(
+            4,
+            vec![
+                Merge { a: 0, b: 1, dist: 1.0 },
+                Merge { a: 2, b: 3, dist: low },
+                Merge { a: 4, b: 5, dist: 5.0 },
+            ],
+        );
+        let cut = d.cut_at_distance(1.0 - 5e-10);
+        assert_ne!(cut[0], cut[1], "non-qualifying merge 0 was applied");
+        assert_eq!(cut[2], cut[3], "qualifying merge 1 was dropped");
+        assert_ne!(cut[0], cut[2]);
+        // At or above both heights the pairs merge as usual.
+        let both = d.cut_at_distance(1.0);
+        assert_eq!(both[0], both[1]);
+        assert_eq!(both[2], both[3]);
+        assert_ne!(both[0], both[2]);
+    }
+
+    #[test]
+    fn cut_at_nan_height_applies_no_merges() {
+        // NaN compares false with everything: no merge qualifies, so every
+        // leaf is its own cluster (the documented safe side), rather than
+        // an accidental artifact of where a prefix scan stopped.
+        let d = two_pair_dendrogram();
+        assert_eq!(d.cut_at_distance(f64::NAN), vec![0, 1, 2, 3]);
+        // And a NaN merge height never merges: legal only in a 2-leaf
+        // dendrogram (the monotonicity assert has no predecessor to check).
+        let d = Dendrogram::new(2, vec![Merge { a: 0, b: 1, dist: f64::NAN }]);
+        assert_eq!(d.cut_at_distance(10.0), vec![0, 1]);
+        assert_eq!(d.cut_at_distance(f64::INFINITY), vec![0, 1]);
     }
 
     #[test]

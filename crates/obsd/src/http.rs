@@ -1,0 +1,349 @@
+//! A minimal, hardened HTTP/1.1 server over [`std::net`] with pluggable
+//! routing — the transport shared by the telemetry endpoint
+//! ([`crate::TelemetryServer`]) and the streaming clustering service
+//! (`db-serve`).
+//!
+//! The server is deliberately small — thread-per-connection,
+//! `Connection: close`, no TLS, no keep-alive — because its job is to be
+//! scraped and poked a few times a second at most while a pipeline runs.
+//! What it *is* careful about is hostile input: the request head is read
+//! through a hard byte cap (endless request lines get `431` after at most
+//! [`MAX_HEAD_BYTES`] bytes), half-open clients are answered `408` when
+//! the read timeout fires, and request bodies are accepted only up to
+//! [`MAX_BODY_BYTES`] (`413` beyond, with a bounded drain so the client
+//! actually sees the response instead of a TCP reset).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::ObsdError;
+
+/// Hard cap on the request head (request line + headers). The reader
+/// itself is truncated at this limit, so an attacker streaming an endless
+/// request line costs at most this much memory and gets a `431`.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Hard cap on a single request line. Generous for `GET /metrics`-class
+/// paths; far below [`MAX_HEAD_BYTES`] so header room remains.
+pub const MAX_REQUEST_LINE_BYTES: usize = 2 * 1024;
+
+/// Hard cap on a request body (`Content-Length` beyond this is answered
+/// `413` without reading the body). Sized for batched point ingests:
+/// ~4 MiB of JSON is tens of thousands of points per request.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request, as handed to a [`Handler`].
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase as sent.
+    pub method: String,
+    /// Path without the query string (`/label`, not `/label?point=1`).
+    pub path: String,
+    /// The query string after `?`, if any (not URL-decoded).
+    pub query: Option<String>,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Looks up a `key=value` pair in the query string (no decoding; the
+    /// service's parameters are plain numbers and commas).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .as_deref()?
+            .split('&')
+            .find_map(|kv| kv.split_once('=').filter(|(k, _)| *k == key).map(|(_, v)| v))
+    }
+}
+
+/// A response to send back. Construct via the helpers.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200` plain-text response.
+    pub fn ok_text(body: impl Into<String>) -> Self {
+        Self::text(200, body)
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response { status, content_type: "text/plain; charset=utf-8".into(), body: body.into() }
+    }
+
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response { status, content_type: "application/json".into(), body: body.into() }
+    }
+
+    /// The conventional `404 not found` body.
+    pub fn not_found() -> Self {
+        Self::text(404, "not found\n")
+    }
+
+    /// The conventional `405 method not allowed` body.
+    pub fn method_not_allowed() -> Self {
+        Self::text(405, "method not allowed\n")
+    }
+}
+
+/// A request handler: pure function from request to response, called on
+/// the per-connection thread. Must be cheap or internally bounded — it
+/// blocks only its own connection, never the accept loop.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// A running HTTP server. Dropping it shuts the listener down (best
+/// effort); call [`HttpServer::shutdown`] to do so explicitly and join
+/// the accept thread.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+    /// port) and starts serving `handler` in a background accept thread
+    /// named `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsdError::Bind`] when the address cannot be bound; the server
+    /// never panics on I/O.
+    pub fn start(addr: &str, name: &str, handler: Arc<Handler>) -> Result<HttpServer, ObsdError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|source| ObsdError::Bind { addr: addr.to_string(), source })?;
+        let local = listener.local_addr().map_err(|source| ObsdError::Accept { source })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("{name}-accept"))
+                .spawn(move || accept_loop(&listener, &stop, &handler))
+                .map_err(|source| ObsdError::Accept { source })?
+        };
+        Ok(HttpServer { addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins it. Idempotent.
+    /// In-flight request handlers finish on their own threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept call blocks until a connection arrives; poke it.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, handler: &Arc<Handler>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                // Short-lived handler; detached so a slow client never
+                // stalls the accept loop.
+                let handler = Arc::clone(handler);
+                let _ = std::thread::Builder::new()
+                    .name("db-obsd-conn".into())
+                    .spawn(move || handle_connection(stream, handler.as_ref()));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Transient accept errors (e.g. aborted handshakes) are
+                // not worth dying over; bail only when asked to stop.
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// How the request head ended.
+enum Head {
+    /// Complete head: the request line plus the parsed `Content-Length`
+    /// (0 when absent or unparseable).
+    Complete(String, usize),
+    /// The head (or the request line alone) exceeded its byte cap.
+    Oversized,
+    /// The client stopped sending before completing the head.
+    HalfOpen,
+    /// Connection unusable (reset, clone failure, empty read).
+    Dead,
+}
+
+/// Reads the request head from `reader` (already capped at
+/// [`MAX_HEAD_BYTES`] by a [`io::Read::take`]) and classifies it.
+fn read_head(reader: &mut impl BufRead) -> Head {
+    let mut request_line = String::new();
+    match reader.read_line(&mut request_line) {
+        Ok(0) => return Head::Dead,
+        // `take` makes a cap overrun look like clean EOF: no newline.
+        Ok(_) if !request_line.ends_with('\n') => return Head::Oversized,
+        Ok(_) if request_line.len() > MAX_REQUEST_LINE_BYTES => return Head::Oversized,
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) => return Head::HalfOpen,
+        Err(_) => return Head::Dead,
+    }
+    // Drain the headers so well-behaved clients don't see a reset,
+    // remembering Content-Length for body-carrying requests.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            // EOF before the blank line: either the `take` cap truncated
+            // the head, or the client half-closed; both get a clean 4xx.
+            Ok(0) => return Head::Oversized,
+            Ok(_) if line == "\r\n" || line == "\n" => {
+                return Head::Complete(request_line, content_length)
+            }
+            Ok(_) => {
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().unwrap_or(0);
+                    }
+                }
+            }
+            Err(e) if is_timeout(&e) => return Head::HalfOpen,
+            Err(_) => return Head::Dead,
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+fn handle_connection(stream: TcpStream, handler: &Handler) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let clone = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(Read::take(clone, MAX_HEAD_BYTES as u64));
+
+    let (request_line, content_length) = match read_head(&mut reader) {
+        Head::Complete(line, len) => (line, len),
+        Head::Oversized => {
+            respond(&stream, 431, "text/plain; charset=utf-8", "request head too large\n");
+            // Closing with unread input pending triggers a TCP reset that
+            // can discard the response; drain (bounded) so the client
+            // actually sees the 431.
+            return drain_excess(stream);
+        }
+        Head::HalfOpen => {
+            return respond(&stream, 408, "text/plain; charset=utf-8", "request timeout\n");
+        }
+        Head::Dead => return,
+    };
+
+    let mut parts = request_line.split_whitespace();
+    let (method, raw_path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return respond(&stream, 400, "text/plain; charset=utf-8", "bad request\n"),
+    };
+
+    // Read the body, bounded. Bodies on GETs are tolerated and drained.
+    if content_length > MAX_BODY_BYTES {
+        respond(&stream, 413, "text/plain; charset=utf-8", "request body too large\n");
+        return drain_excess(stream);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        // The head reader was capped; its `take` may already hold buffered
+        // body bytes and its remaining limit may be short of the body.
+        // Extend the limit by exactly what is still missing.
+        let buffered = reader.buffer().len();
+        let missing = content_length.saturating_sub(buffered) as u64;
+        reader.get_mut().set_limit(missing);
+        match reader.read_exact(&mut body) {
+            Ok(()) => {}
+            Err(e) if is_timeout(&e) => {
+                return respond(&stream, 408, "text/plain; charset=utf-8", "request timeout\n");
+            }
+            Err(_) => return,
+        }
+    }
+
+    let (path, query) = match raw_path.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (raw_path.to_string(), None),
+    };
+    let request = Request { method: method.to_string(), path, query, body };
+    let response = handler(&request);
+    respond(&stream, response.status, &response.content_type, &response.body);
+}
+
+/// Discards whatever the client is still sending, bounded in bytes and by
+/// the socket read timeout, then half-closes. Used after an early error
+/// response so the pending input does not turn the close into a reset.
+fn drain_excess(stream: TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut stream = stream;
+    let mut scratch = [0u8; 1024];
+    let mut budget: usize = 256 * 1024;
+    while budget > 0 {
+        match Read::read(&mut stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+fn respond(mut stream: &TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(body.as_bytes()));
+    let _ = stream.flush();
+}

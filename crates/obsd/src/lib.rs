@@ -1,7 +1,14 @@
-//! `db-obsd`: a zero-dependency telemetry endpoint for long runs.
+//! `db-obsd`: a zero-dependency HTTP layer and telemetry endpoint.
 //!
-//! [`TelemetryServer::start`] binds a [`std::net::TcpListener`] and serves
-//! the process's live observability state over plain HTTP/1.1:
+//! Two things live here:
+//!
+//! 1. [`http`] — a minimal, hardened HTTP/1.1 server over [`std::net`]
+//!    with a pluggable [`http::Handler`]: capped request heads (`431`),
+//!    capped bodies (`413`), half-open timeouts (`408`), typed bind
+//!    errors, clean shutdown. `db-serve` builds the streaming clustering
+//!    service on top of it.
+//! 2. [`TelemetryServer`] — the classic telemetry endpoint, now a thin
+//!    wrapper serving [`telemetry_response`] over an [`http::HttpServer`]:
 //!
 //! | route          | body                                                |
 //! |----------------|-----------------------------------------------------|
@@ -14,35 +21,27 @@
 //! | `GET /healthz` | last supervised-run health from [`db_obs::health`]:
 //! |                | `200 ok` / `200 degraded: …` / `503 failing: …`     |
 //!
-//! The server is deliberately minimal — thread-per-connection,
-//! `Connection: close`, no TLS, no keep-alive — because its job is to be
-//! scraped by `curl`/Prometheus a few times a second at most while a
-//! pipeline runs, with zero effect on the run itself. Every request
-//! handler only *reads* shared state (a metrics snapshot or a seqlock
-//! ring copy), so scrapes never block the instrumented code.
+//! Every telemetry handler only *reads* shared state (a metrics snapshot
+//! or a seqlock ring copy), so scrapes never block the instrumented code.
 //!
 //! Errors are typed ([`ObsdError`]); in particular binding a busy port
 //! reports [`ObsdError::Bind`] with an address-in-use message instead of
 //! panicking, so callers can print a clear diagnostic and exit.
-//!
-//! Request parsing is defensive: the whole request head (request line +
-//! headers) is read through a hard byte cap, so a client streaming an
-//! endless request line is answered `431` after at most
-//! [`MAX_HEAD_BYTES`] bytes instead of growing a string unboundedly, and
-//! a half-open client that stops sending mid-head gets `408` when the
-//! read timeout fires.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use std::fmt;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
+pub mod http;
 
-/// Everything that can go wrong running the telemetry server.
+use std::fmt;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+pub use http::{
+    Handler, HttpServer, Request, Response, MAX_BODY_BYTES, MAX_HEAD_BYTES, MAX_REQUEST_LINE_BYTES,
+};
+
+/// Everything that can go wrong running a server from this crate.
 #[derive(Debug)]
 pub enum ObsdError {
     /// Binding the listen address failed (port in use, bad address,
@@ -88,14 +87,47 @@ impl std::error::Error for ObsdError {
     }
 }
 
+/// Answers the three telemetry routes (`/metrics`, `/trace`, `/healthz`).
+///
+/// Telemetry is read-only, so any non-`GET` method is `405` — even on a
+/// path another composed handler might accept for `POST`. Callers
+/// composing their own routes (like `db-serve`) should therefore try
+/// their routes *first* and fall back to this for everything else.
+pub fn telemetry_response(req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::method_not_allowed();
+    }
+    match req.path.as_str() {
+        "/healthz" => {
+            let report = db_obs::health::current();
+            match report.status {
+                db_obs::health::Status::Unknown | db_obs::health::Status::Ok => {
+                    Response::ok_text("ok\n")
+                }
+                db_obs::health::Status::Degraded => {
+                    Response::text(200, format!("degraded: {}\n", report.detail))
+                }
+                db_obs::health::Status::Failing => {
+                    Response::text(503, format!("failing: {}\n", report.detail))
+                }
+            }
+        }
+        "/metrics" => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
+            body: db_obs::prometheus_text(&db_obs::snapshot()),
+        },
+        "/trace" => Response::json(200, db_obs::trace_json(&db_obs::trace::events())),
+        _ => Response::not_found(),
+    }
+}
+
 /// A running telemetry endpoint. Dropping it shuts the listener down
 /// (best effort); call [`TelemetryServer::shutdown`] to do so explicitly
 /// and join the accept thread.
 #[derive(Debug)]
 pub struct TelemetryServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    inner: HttpServer,
 }
 
 impl TelemetryServer {
@@ -107,210 +139,18 @@ impl TelemetryServer {
     /// [`ObsdError::Bind`] when the address cannot be bound; the server
     /// never panics on I/O.
     pub fn start(addr: &str) -> Result<TelemetryServer, ObsdError> {
-        let listener = TcpListener::bind(addr)
-            .map_err(|source| ObsdError::Bind { addr: addr.to_string(), source })?;
-        let local = listener.local_addr().map_err(|source| ObsdError::Accept { source })?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_thread = {
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("db-obsd-accept".into())
-                .spawn(move || accept_loop(&listener, &stop))
-                .map_err(|source| ObsdError::Accept { source })?
-        };
-        Ok(TelemetryServer { addr: local, stop, accept_thread: Some(accept_thread) })
+        let inner = HttpServer::start(addr, "db-obsd", Arc::new(telemetry_response))?;
+        Ok(TelemetryServer { inner })
     }
 
     /// The address actually bound (resolves port `0`).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
     /// Stops accepting, wakes the accept loop, and joins it. Idempotent.
     /// In-flight request handlers finish on their own threads.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        // The accept call blocks until a connection arrives; poke it.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.inner.shutdown();
     }
-}
-
-impl Drop for TelemetryServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if stop.load(Ordering::Acquire) {
-                    return;
-                }
-                // Short-lived handler; detached so a slow client never
-                // stalls the accept loop.
-                let _ = std::thread::Builder::new()
-                    .name("db-obsd-conn".into())
-                    .spawn(move || handle_connection(stream));
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => {
-                // Transient accept errors (e.g. aborted handshakes) are
-                // not worth dying over; bail only when asked to stop.
-                if stop.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// Hard cap on the request head (request line + headers). The reader
-/// itself is truncated at this limit, so an attacker streaming an endless
-/// request line costs at most this much memory and gets a `431`.
-pub const MAX_HEAD_BYTES: usize = 8 * 1024;
-
-/// Hard cap on a single request line. Generous for `GET /metrics`-class
-/// paths; far below [`MAX_HEAD_BYTES`] so header room remains.
-pub const MAX_REQUEST_LINE_BYTES: usize = 2 * 1024;
-
-/// How the request head ended.
-enum Head {
-    /// Complete head, with the request line extracted.
-    Complete(String),
-    /// The head (or the request line alone) exceeded its byte cap.
-    Oversized,
-    /// The client stopped sending before completing the head.
-    HalfOpen,
-    /// Connection unusable (reset, clone failure, empty read).
-    Dead,
-}
-
-/// Reads the request head from `reader` (already capped at
-/// [`MAX_HEAD_BYTES`] by a [`io::Read::take`]) and classifies it.
-fn read_head(reader: &mut impl BufRead) -> Head {
-    let mut request_line = String::new();
-    match reader.read_line(&mut request_line) {
-        Ok(0) => return Head::Dead,
-        // `take` makes a cap overrun look like clean EOF: no newline.
-        Ok(_) if !request_line.ends_with('\n') => return Head::Oversized,
-        Ok(_) if request_line.len() > MAX_REQUEST_LINE_BYTES => return Head::Oversized,
-        Ok(_) => {}
-        Err(e) if is_timeout(&e) => return Head::HalfOpen,
-        Err(_) => return Head::Dead,
-    }
-    // Drain the headers so well-behaved clients don't see a reset.
-    loop {
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            // EOF before the blank line: either the `take` cap truncated
-            // the head, or the client half-closed; both get a clean 4xx.
-            Ok(0) => return Head::Oversized,
-            Ok(_) if line == "\r\n" || line == "\n" => return Head::Complete(request_line),
-            Ok(_) => {}
-            Err(e) if is_timeout(&e) => return Head::HalfOpen,
-            Err(_) => return Head::Dead,
-        }
-    }
-}
-
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
-}
-
-fn handle_connection(stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let clone = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(io::Read::take(clone, MAX_HEAD_BYTES as u64));
-
-    let request_line = match read_head(&mut reader) {
-        Head::Complete(line) => line,
-        Head::Oversized => {
-            respond(&stream, 431, "text/plain; charset=utf-8", "request head too large\n");
-            // Closing with unread input pending triggers a TCP reset that
-            // can discard the response; drain (bounded) so the client
-            // actually sees the 431.
-            return drain_excess(stream);
-        }
-        Head::HalfOpen => {
-            return respond(&stream, 408, "text/plain; charset=utf-8", "request timeout\n");
-        }
-        Head::Dead => return,
-    };
-
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
-        (Some(m), Some(p)) => (m, p),
-        _ => return respond(&stream, 400, "text/plain; charset=utf-8", "bad request\n"),
-    };
-    if method != "GET" {
-        return respond(&stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
-    }
-    // Ignore any query string: `/metrics?x=1` is still /metrics.
-    match path.split('?').next().unwrap_or(path) {
-        "/healthz" => {
-            let report = db_obs::health::current();
-            let (status, body) = match report.status {
-                db_obs::health::Status::Unknown | db_obs::health::Status::Ok => {
-                    (200, "ok\n".to_string())
-                }
-                db_obs::health::Status::Degraded => (200, format!("degraded: {}\n", report.detail)),
-                db_obs::health::Status::Failing => (503, format!("failing: {}\n", report.detail)),
-            };
-            respond(&stream, status, "text/plain; charset=utf-8", &body)
-        }
-        "/metrics" => {
-            let body = db_obs::prometheus_text(&db_obs::snapshot());
-            respond(&stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
-        }
-        "/trace" => {
-            let body = db_obs::trace_json(&db_obs::trace::events());
-            respond(&stream, 200, "application/json", &body)
-        }
-        _ => respond(&stream, 404, "text/plain; charset=utf-8", "not found\n"),
-    }
-}
-
-/// Discards whatever the client is still sending, bounded in bytes and by
-/// the socket read timeout, then half-closes. Used after an early error
-/// response so the pending input does not turn the close into a reset.
-fn drain_excess(stream: TcpStream) {
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut stream = stream;
-    let mut scratch = [0u8; 1024];
-    let mut budget: usize = 256 * 1024;
-    while budget > 0 {
-        match io::Read::read(&mut stream, &mut scratch) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => budget = budget.saturating_sub(n),
-        }
-    }
-}
-
-fn respond(mut stream: &TcpStream, status: u16, content_type: &str, body: &str) {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        408 => "Request Timeout",
-        431 => "Request Header Fields Too Large",
-        503 => "Service Unavailable",
-        _ => "Error",
-    };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(body.as_bytes()));
-    let _ = stream.flush();
 }

@@ -1,0 +1,184 @@
+//! `serve` — run the streaming clustering service from the command line.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--n N] [--k K] [--dim D] [--seed S]
+//!       [--label-cut H] [--eps E] [--min-pts M]
+//!       [--max-absorbed N] [--max-mass-fraction F]
+//!       [--deadline-ms MS] [--max-seconds SECS]
+//! ```
+//!
+//! Bootstraps a compression from a synthetic blob corpus (`--n` points,
+//! `--dim` dimensions, `--k` representatives), then serves ingest and
+//! queries until `POST /shutdown` arrives (or `--max-seconds` elapses, as
+//! a safety net for scripted runs). The bound address is printed on
+//! stdout as `listening on <addr>` so scripts can scrape it.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use db_obsd::{HttpServer, Request, Response};
+use db_optics::OpticsParams;
+use db_sampling::{compress_by_sampling, IncrementalCompression};
+use db_serve::{service_response, BubbleService, ServiceConfig};
+use db_supervise::RunBudget;
+
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--n N] [--k K] [--dim D] [--seed S] \
+                     [--label-cut H] [--eps E] [--min-pts M] [--max-absorbed N] \
+                     [--max-mass-fraction F] [--deadline-ms MS] [--max-seconds SECS]";
+
+struct Options {
+    addr: String,
+    n: usize,
+    k: usize,
+    dim: usize,
+    seed: u64,
+    label_cut: f64,
+    eps: f64,
+    min_pts: usize,
+    max_absorbed: usize,
+    max_mass_fraction: f64,
+    deadline_ms: Option<u64>,
+    max_seconds: Option<u64>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:0".into(),
+        n: 5000,
+        k: 100,
+        dim: 2,
+        seed: 2001,
+        label_cut: 4.0,
+        eps: f64::INFINITY,
+        min_pts: 40,
+        max_absorbed: 512,
+        max_mass_fraction: 0.2,
+        deadline_ms: None,
+        max_seconds: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--n" => opts.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--k" => opts.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--dim" => opts.dim = value("--dim")?.parse().map_err(|e| format!("--dim: {e}"))?,
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--label-cut" => {
+                opts.label_cut =
+                    value("--label-cut")?.parse().map_err(|e| format!("--label-cut: {e}"))?
+            }
+            "--eps" => opts.eps = value("--eps")?.parse().map_err(|e| format!("--eps: {e}"))?,
+            "--min-pts" => {
+                opts.min_pts = value("--min-pts")?.parse().map_err(|e| format!("--min-pts: {e}"))?
+            }
+            "--max-absorbed" => {
+                opts.max_absorbed =
+                    value("--max-absorbed")?.parse().map_err(|e| format!("--max-absorbed: {e}"))?
+            }
+            "--max-mass-fraction" => {
+                opts.max_mass_fraction = value("--max-mass-fraction")?
+                    .parse()
+                    .map_err(|e| format!("--max-mass-fraction: {e}"))?
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--max-seconds" => {
+                opts.max_seconds = Some(
+                    value("--max-seconds")?.parse().map_err(|e| format!("--max-seconds: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let params = db_datagen::SeparatedBlobsParams {
+        n: opts.n,
+        n_clusters: 3,
+        dim: opts.dim,
+        ..Default::default()
+    };
+    let data = db_datagen::separated_blobs(&params, opts.seed);
+    let compressed = match compress_by_sampling(&data.data, opts.k, opts.seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bootstrap compression failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let live = IncrementalCompression::from_sample(&compressed);
+
+    let mut cfg =
+        ServiceConfig::new(OpticsParams { eps: opts.eps, min_pts: opts.min_pts }, opts.label_cut);
+    cfg.max_absorbed = opts.max_absorbed;
+    cfg.max_mass_fraction = opts.max_mass_fraction;
+    if let Some(ms) = opts.deadline_ms {
+        cfg.budget = RunBudget::with_deadline(Duration::from_millis(ms));
+    }
+
+    let service = match BubbleService::new(live, cfg) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("initial recluster failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Compose the service routes with a shutdown endpoint: scripts POST
+    // /shutdown for a clean, joined exit instead of SIGKILL.
+    let stop = Arc::new(AtomicBool::new(false));
+    let handler = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        Arc::new(move |req: &Request| {
+            if req.method == "POST" && req.path == "/shutdown" {
+                stop.store(true, Ordering::Release);
+                return Response::ok_text("shutting down\n");
+            }
+            service_response(&service, req)
+        })
+    };
+    let mut http = match HttpServer::start(&opts.addr, "db-serve", handler) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("listening on {}", http.addr());
+    let started = Instant::now();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let Some(secs) = opts.max_seconds {
+            if started.elapsed() >= Duration::from_secs(secs) {
+                eprintln!("--max-seconds elapsed; shutting down");
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    http.shutdown();
+    service.shutdown();
+    println!("bye");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,94 @@
+//! Oracle cross-check for `Dendrogram::cut_at_distance` (ISSUE 8
+//! satellite): single-link theory says the clusters at height `h` are the
+//! connected components of the threshold graph with an edge wherever
+//! `dist(i, j) <= h`. The fixed cut (apply **all** qualifying merges, not
+//! a `take_while` prefix) must agree with a brute-force component
+//! computation at every interesting height.
+
+use db_oracle::exact_single_link_points;
+use db_spatial::{euclidean, Dataset};
+
+fn blobs(n: usize, seed: u64) -> Dataset {
+    let params = db_datagen::SeparatedBlobsParams { n, ..Default::default() };
+    db_datagen::separated_blobs(&params, seed).data
+}
+
+/// Brute-force single-link clusters at height `h`: connected components
+/// of the `dist <= h` threshold graph, labelled densely in first-point
+/// order (the same label convention the dendrogram cut uses).
+fn threshold_components(ds: &Dataset, h: f64) -> Vec<i32> {
+    let n = ds.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // NaN-safe: only an affirmative `<= h` connects.
+            if euclidean(ds.point(i), ds.point(j)) <= h {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut labels = vec![-1i32; n];
+    let mut next = 0i32;
+    let mut by_root = std::collections::HashMap::new();
+    for (i, label) in labels.iter_mut().enumerate() {
+        let r = find(&mut parent, i);
+        *label = *by_root.entry(r).or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        });
+    }
+    labels
+}
+
+/// Same partition up to label names.
+fn assert_same_partition(a: &[i32], b: &[i32], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}");
+    let mut map = std::collections::HashMap::new();
+    let mut rev = std::collections::HashMap::new();
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(*map.entry(*x).or_insert(*y), *y, "{ctx}: partitions differ");
+        assert_eq!(*rev.entry(*y).or_insert(*x), *x, "{ctx}: partitions differ");
+    }
+}
+
+#[test]
+fn cut_at_distance_agrees_with_threshold_components() {
+    for seed in [11, 29, 47] {
+        let ds = blobs(60, seed);
+        let dendrogram = exact_single_link_points(&ds);
+        // Probe just below, at, and just above every merge height, plus
+        // extremes.
+        let mut heights: Vec<f64> = vec![0.0, f64::INFINITY];
+        for m in dendrogram.merges() {
+            heights.push(m.dist * (1.0 - 1e-12));
+            heights.push(m.dist);
+            heights.push(m.dist * (1.0 + 1e-12));
+        }
+        for h in heights {
+            let cut = dendrogram.cut_at_distance(h);
+            let components = threshold_components(&ds, h);
+            assert_same_partition(&cut, &components, &format!("seed={seed} h={h}"));
+        }
+    }
+}
+
+#[test]
+fn nan_height_is_all_singletons_for_oracle_dendrograms() {
+    let ds = blobs(30, 3);
+    let dendrogram = exact_single_link_points(&ds);
+    let cut = dendrogram.cut_at_distance(f64::NAN);
+    let expected: Vec<i32> = (0..ds.len() as i32).collect();
+    assert_eq!(cut, expected, "NaN height must apply no merge");
+    assert_same_partition(&cut, &threshold_components(&ds, f64::NAN), "NaN");
+}
