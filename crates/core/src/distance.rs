@@ -29,12 +29,36 @@ pub fn bubble_distance(b: &DataBubble, c: &DataBubble, same_object: bool) -> f64
         return 0.0;
     }
     assert_eq!(b.dim(), c.dim(), "dimensionality mismatch");
-    let center_dist = db_spatial::euclidean(b.rep(), c.rep());
-    let gap = center_dist - (b.extent() + c.extent());
+    bubble_distance_from_parts(
+        db_spatial::euclidean(b.rep(), c.rep()),
+        b.extent(),
+        c.extent(),
+        b.nndist(1),
+        c.nndist(1),
+    )
+}
+
+/// The combine step of Definition 6 on precomputed parts: the center
+/// distance, both extents and both expected 1-NN distances.
+///
+/// This is the exact arithmetic of [`bubble_distance`] (same operand
+/// order, so the same bits); it exists so batched callers — the
+/// [`crate::BubbleDistanceMatrix`] row build feeds whole rows of center
+/// distances from the block kernel — can hoist the per-bubble parts out
+/// of the O(k²) loop without diverging from the scalar path.
+#[inline]
+pub fn bubble_distance_from_parts(
+    center_dist: f64,
+    extent_b: f64,
+    extent_c: f64,
+    nn1_b: f64,
+    nn1_c: f64,
+) -> f64 {
+    let gap = center_dist - (extent_b + extent_c);
     if gap >= 0.0 {
-        gap + b.nndist(1) + c.nndist(1)
+        gap + nn1_b + nn1_c
     } else {
-        b.nndist(1).max(c.nndist(1))
+        nn1_b.max(nn1_c)
     }
 }
 

@@ -62,7 +62,7 @@ pub mod pipeline;
 mod space;
 
 pub use bubble::{BubbleError, DataBubble};
-pub use distance::{bubble_distance, virtual_reachability};
+pub use distance::{bubble_distance, bubble_distance_from_parts, virtual_reachability};
 pub use hierarchy::{bubble_dendrogram, expand_bubble_cut, try_bubble_dendrogram};
 pub use matrix::{BubbleDistanceMatrix, DEFAULT_MAX_MATRIX_K};
 pub use metric_bubble::{compress_metric, MetricBubbleSpace, MetricCompression, MetricDataBubble};

@@ -4,7 +4,7 @@
 //! The OPTICS walk over bubbles asks for the ε-neighbourhood of every
 //! bubble at least once, and sub-MinPts expansion may ask for unbounded
 //! neighbourhoods again — each query an exhaustive O(k) scan plus an
-//! O(k log k) sort. [`bubble_distance`] is exactly symmetric in IEEE
+//! O(k log k) sort. [`crate::bubble_distance`] is exactly symmetric in IEEE
 //! floats ((x−y)² == (y−x)², commutative additions, `max`), so the whole
 //! matrix can be evaluated once up front; every later query is then a
 //! binary search for the ε prefix of a pre-sorted row.
@@ -25,7 +25,7 @@ use db_spatial::Neighbor;
 use db_supervise::{catch_shared, fault, first_stop, panic_message, Stop, Supervisor};
 
 use crate::bubble::DataBubble;
-use crate::distance::bubble_distance;
+use crate::distance::bubble_distance_from_parts;
 
 /// Default cap on the number of bubbles for which the matrix is
 /// precomputed. A row costs 12 bytes per entry (`u32` id + `f64`
@@ -90,16 +90,49 @@ impl BubbleDistanceMatrix {
         let threads = resolve_threads(threads, k);
         db_obs::gauge!("optics.matrix_threads").set(threads as i64);
 
+        // Hoist the per-bubble parts of Definition 6 out of the O(k²)
+        // loop: a flat row-major block of representatives for the batched
+        // center-distance kernel, plus extents and expected 1-NN
+        // distances. Pure per-bubble functions, so hoisting is bit-neutral.
+        let dim = bubbles[0].dim();
+        let mut reps_flat = Vec::with_capacity(k * dim);
+        let mut extents = Vec::with_capacity(k);
+        let mut nn1 = Vec::with_capacity(k);
+        for b in bubbles {
+            assert_eq!(b.dim(), dim, "dimensionality mismatch");
+            reps_flat.extend_from_slice(b.rep());
+            extents.push(b.extent());
+            nn1.push(b.nndist(1));
+        }
+        let reps_flat = &reps_flat;
+        let (extents, nn1) = (&extents, &nn1);
+
         let mut ids = vec![0u32; cells];
         let mut dists = vec![0f64; cells];
-        let fill_row = |i: usize, id_row: &mut [u32], dist_row: &mut [f64]| {
-            let b = &bubbles[i];
-            let mut row: Vec<(f64, u32)> = bubbles
+        // `scratch` holds one row of squared center distances; each worker
+        // brings its own so rows stay independent.
+        let fill_row = |i: usize,
+                        id_row: &mut [u32],
+                        dist_row: &mut [f64],
+                        scratch: &mut Vec<f64>| {
+            scratch.resize(k, 0.0);
+            db_spatial::dists_to_block(&reps_flat[i * dim..(i + 1) * dim], reps_flat, dim, scratch);
+            let (e_i, n_i) = (extents[i], nn1[i]);
+            let mut row: Vec<(f64, u32)> = scratch
                 .iter()
                 .enumerate()
                 // Lossless: `j < k` and the compressors cap k at the
                 // dataset length, which `Dataset` bounds by `u32` ids.
-                .map(|(j, c)| (bubble_distance(b, c, i == j), j as u32))
+                .map(|(j, &d2)| {
+                    let d = if i == j {
+                        0.0
+                    } else {
+                        // `d2.sqrt()` is bit-identical to the scalar path's
+                        // `euclidean(rep_i, rep_j)` (shared kernel).
+                        bubble_distance_from_parts(d2.sqrt(), e_i, extents[j], n_i, nn1[j])
+                    };
+                    (d, j as u32)
+                })
                 .collect();
             // Same comparator as the on-the-fly neighbourhood sort.
             row.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
@@ -110,9 +143,15 @@ impl BubbleDistanceMatrix {
         };
 
         if threads <= 1 {
+            let mut scratch = Vec::new();
             for i in 0..k {
                 sup.check()?;
-                fill_row(i, &mut ids[i * k..(i + 1) * k], &mut dists[i * k..(i + 1) * k]);
+                fill_row(
+                    i,
+                    &mut ids[i * k..(i + 1) * k],
+                    &mut dists[i * k..(i + 1) * k],
+                    &mut scratch,
+                );
             }
         } else {
             // Contiguous row blocks per thread; rows are independent, so
@@ -138,12 +177,14 @@ impl BubbleDistanceMatrix {
                                 fault::inject("matrix.worker", sup.token());
                                 let first = t * rows_per_thread;
                                 let rows = id_block.len() / k;
+                                let mut scratch = Vec::new();
                                 for r in 0..rows {
                                     sup.check()?;
                                     fill_row(
                                         first + r,
                                         &mut id_block[r * k..(r + 1) * k],
                                         &mut dist_block[r * k..(r + 1) * k],
+                                        &mut scratch,
                                     );
                                 }
                                 Ok(())

@@ -1,7 +1,27 @@
 //! Brute-force ε-range and k-NN queries: the ground truth for every
 //! spatial index in `db-spatial`.
+//!
+//! The sweeps stream the flat point buffer through the cache-blocked
+//! [`db_spatial::dists_to_block`] kernel, so the oracle evaluates the
+//! *same canonical reduction order* as production (one set of bits to
+//! verify, not two). The oracle's independence is preserved one level
+//! down: `tests/kernel_equivalence.rs` pins the kernel bit-for-bit
+//! against a plain indexed-loop emulation of the documented order.
 
-use db_spatial::{euclidean_sq, Dataset, Neighbor};
+use db_spatial::{dists_to_block, Dataset, Neighbor};
+
+/// Rows per kernel block of the brute-force sweeps.
+const BLOCK_ROWS: usize = 256;
+
+/// Squared distances from `q` to every point, via the blocked kernel.
+fn all_sq_dists(ds: &Dataset, q: &[f64]) -> Vec<f64> {
+    let dim = ds.dim();
+    let mut out = vec![0.0f64; ds.len()];
+    for (chunk, o) in ds.as_flat().chunks(BLOCK_ROWS * dim).zip(out.chunks_mut(BLOCK_ROWS)) {
+        dists_to_block(q, chunk, dim, &mut o[..chunk.len() / dim]);
+    }
+    out
+}
 
 /// The exact ε-neighbourhood of `q`: every point with distance ≤ `eps`,
 /// sorted ascending by `(distance, id)` — the canonical result order of
@@ -19,11 +39,11 @@ pub fn exact_range(ds: &Dataset, q: &[f64], eps: f64) -> Vec<Neighbor> {
         return Vec::new();
     }
     let eps_sq = eps * eps;
-    let mut out: Vec<Neighbor> = (0..ds.len())
-        .filter_map(|id| {
-            let d2 = euclidean_sq(ds.point(id), q);
-            (d2 <= eps_sq).then(|| Neighbor::new(id, d2.sqrt()))
-        })
+    let mut out: Vec<Neighbor> = all_sq_dists(ds, q)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, d2)| d2 <= eps_sq)
+        .map(|(id, d2)| Neighbor::new(id, d2.sqrt()))
         .collect();
     out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     out
@@ -36,7 +56,7 @@ pub fn exact_range(ds: &Dataset, q: &[f64], eps: f64) -> Vec<Neighbor> {
 /// mirroring the indexes, so boundary ties resolve identically.
 pub fn exact_knn(ds: &Dataset, q: &[f64], k: usize) -> Vec<Neighbor> {
     let mut all: Vec<(f64, usize)> =
-        (0..ds.len()).map(|id| (euclidean_sq(ds.point(id), q), id)).collect();
+        all_sq_dists(ds, q).into_iter().enumerate().map(|(id, d2)| (d2, id)).collect();
     all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     all.truncate(k);
     let mut out: Vec<Neighbor> =

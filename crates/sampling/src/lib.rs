@@ -40,7 +40,7 @@ pub use bfr::{bfr_compress, BfrParams, BfrResult};
 pub use incremental::IncrementalCompression;
 pub use parallel::{
     accumulate_stats_parallel, accumulate_stats_supervised, nn_classify_parallel,
-    nn_classify_supervised,
+    nn_classify_supervised, NN_KERNEL_MAX_REPS,
 };
 pub use squash::{squash_compress, SquashResult};
 
@@ -49,7 +49,7 @@ use std::num::NonZeroUsize;
 
 use db_birch::Cf;
 use db_rng::Rng;
-use db_spatial::{auto_index, Dataset, SpatialIndex};
+use db_spatial::Dataset;
 use db_supervise::{Stop, Supervisor};
 
 /// Errors of the sampling compressor.
@@ -260,6 +260,12 @@ pub fn compress_by_sampling_supervised(
 /// Classifies every point of `ds` to its nearest point in `reps`
 /// (1-NN classification; ties broken by lower representative index).
 ///
+/// Small representative sets (≤ [`parallel::NN_KERNEL_MAX_REPS`], the
+/// paper's operating point) go through the batched distance kernel —
+/// whole query blocks against the flat representative block, comparing in
+/// squared space with zero square roots — larger ones through a spatial
+/// index; the two routes are bit-for-bit identical.
+///
 /// # Panics
 ///
 /// Panics if `reps` is empty or dimensionalities differ.
@@ -267,11 +273,13 @@ pub fn nn_classify(ds: &Dataset, reps: &Dataset) -> Vec<u32> {
     assert!(!reps.is_empty(), "cannot classify against an empty representative set");
     assert_eq!(ds.dim(), reps.dim(), "dimensionality mismatch");
     let _span = db_obs::span!("sampling.nn_classify");
-    let index = auto_index(reps, None);
-    let mut out = Vec::with_capacity(ds.len());
-    for p in ds.iter() {
-        let nn = index.nearest(reps, p).expect("reps non-empty");
-        out.push(nn.id as u32);
+    let backend = parallel::ClassifyBackend::new(reps);
+    let mut out = vec![0u32; ds.len()];
+    match parallel::classify_into(ds, reps, &backend, 0, &mut out, &Supervisor::unlimited()) {
+        Ok(()) => {}
+        // Unreachable without fault injection: an unlimited supervisor
+        // never stops cooperatively.
+        Err(stop) => panic!("unsupervised classification stopped: {stop}"),
     }
     db_obs::counter!("sampling.points_classified").add(out.len() as u64);
     out

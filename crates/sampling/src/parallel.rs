@@ -27,8 +27,44 @@
 use std::num::NonZeroUsize;
 
 use db_birch::Cf;
-use db_spatial::{auto_index, AnyIndex, Dataset, SpatialIndex};
+use db_spatial::{auto_index, kernels, AnyIndex, Dataset, SpatialIndex};
 use db_supervise::{catch_shared, fault, first_stop, panic_message, Stop, Supervisor, Ticker};
+
+/// Largest representative set classified through the batched brute-force
+/// kernel ([`kernels::nn_block`]) instead of a spatial index. At the
+/// paper's operating point (k in the low hundreds) the dense O(n·k) kernel
+/// beats index traversal: it streams the flat representative block through
+/// cache with zero pointer chasing and zero square roots, while an index
+/// query pays tree/bound overhead per point to prune a set this small.
+/// Beyond this size the index's asymptotics win. Both backends are
+/// bit-for-bit identical (same canonical squared distances, same
+/// `(dist, id)` tie-break), pinned by `tests/kernel_equivalence.rs`.
+pub const NN_KERNEL_MAX_REPS: usize = 256;
+
+/// Query rows per kernel pass of the batched backend: the query tile and
+/// its squared-distance buffer stay stack/L1-resident while the rep block
+/// is re-streamed per tile.
+const CLASSIFY_BLOCK: usize = 128;
+
+/// How a classification pass finds nearest representatives. Chosen once
+/// per pass from the representative count only — never from the thread
+/// count — so the route (and its metrics trail) is deterministic.
+pub(crate) enum ClassifyBackend {
+    /// Batched brute-force over the flat representative block.
+    Kernel,
+    /// Prebuilt spatial index, for large representative sets.
+    Index(AnyIndex),
+}
+
+impl ClassifyBackend {
+    pub(crate) fn new(reps: &Dataset) -> Self {
+        if reps.len() <= NN_KERNEL_MAX_REPS {
+            ClassifyBackend::Kernel
+        } else {
+            ClassifyBackend::Index(auto_index(reps, None))
+        }
+    }
+}
 
 /// Cooperative-check cadence for the classification loop. Each item is a
 /// nearest-neighbour query (µs-scale), so consulting the supervisor every
@@ -50,25 +86,58 @@ pub(crate) fn resolve_threads(threads: Option<NonZeroUsize>, work_items: usize) 
 }
 
 /// Classifies the points `offset..offset + out.len()` of `ds` against the
-/// prebuilt index, writing into `out`. Shared, uninstrumented core of both
+/// chosen backend, writing into `out`. Shared, uninstrumented core of both
 /// the sequential and the parallel classification paths. On `Err` the
 /// caller discards `out` wholesale, so partially-written slots never leak.
-fn classify_into(
+pub(crate) fn classify_into(
     ds: &Dataset,
     reps: &Dataset,
-    index: &AnyIndex,
+    backend: &ClassifyBackend,
     offset: usize,
     out: &mut [u32],
     sup: &Supervisor,
 ) -> Result<(), Stop> {
     let mut ticker = Ticker::new(sup, CLASSIFY_TICK);
-    for (i, slot) in out.iter_mut().enumerate() {
-        ticker.tick()?;
-        let p = ds.point(offset + i);
-        let nn = index.nearest(reps, p).expect("reps non-empty");
-        // Lossless: `Dataset` caps its length at `Dataset::MAX_POINTS`
-        // (u32 ids), enforced at the ingest boundary.
-        *slot = nn.id as u32;
+    match backend {
+        ClassifyBackend::Kernel => {
+            let dim = ds.dim();
+            let flat = ds.as_flat();
+            let reps_flat = reps.as_flat();
+            let mut d2 = [0.0f64; CLASSIFY_BLOCK];
+            let n = out.len();
+            let mut i = 0;
+            while i < n {
+                let rows = CLASSIFY_BLOCK.min(n - i);
+                // One tick per point keeps the supervision cadence (and its
+                // fault-injection schedule) identical to the index route.
+                for _ in 0..rows {
+                    ticker.tick()?;
+                }
+                let lo = (offset + i) * dim;
+                // `nn_block` scans reps in ascending-id order per query, so
+                // ids land directly in `out` with the `(dist, id)`
+                // tie-break; the chunk offset cannot affect the winners.
+                kernels::nn_block(
+                    &flat[lo..lo + rows * dim],
+                    reps_flat,
+                    dim,
+                    &mut out[i..i + rows],
+                    &mut d2[..rows],
+                );
+                i += rows;
+            }
+            db_obs::counter!("spatial.dist_evals").add(n as u64 * reps.len() as u64);
+        }
+        ClassifyBackend::Index(index) => {
+            for (i, slot) in out.iter_mut().enumerate() {
+                ticker.tick()?;
+                let p = ds.point(offset + i);
+                let nn = index.nearest(reps, p).expect("reps non-empty");
+                // Lossless: `Dataset` caps its length at
+                // `Dataset::MAX_POINTS` (u32 ids), enforced at ingest.
+                *slot = nn.id as u32;
+            }
+        }
     }
     Ok(())
 }
@@ -122,10 +191,10 @@ pub fn nn_classify_supervised(
 
     let mut span = db_obs::span!("sampling.nn_classify");
     db_obs::gauge!("sampling.classify_threads").set(threads as i64);
-    let index = auto_index(reps, None);
+    let backend = ClassifyBackend::new(reps);
     let mut out = vec![0u32; ds.len()];
     if threads <= 1 {
-        classify_into(ds, reps, &index, 0, &mut out, sup)?;
+        classify_into(ds, reps, &backend, 0, &mut out, sup)?;
     } else {
         // Worker time links back into the parent span (it lands in the
         // parent's child-time, not self-time) and workers record under
@@ -139,13 +208,13 @@ pub fn nn_classify_supervised(
                 .chunks_mut(chunk)
                 .enumerate()
                 .map(|(t, slice)| {
-                    let index = &index;
+                    let backend = &backend;
                     let parent = &parent;
                     scope.spawn(move || {
                         catch_shared(|| {
                             let _s = db_obs::span_linked!("sampling.classify_chunk", parent);
                             fault::inject("classify.worker", sup.token());
-                            classify_into(ds, reps, index, t * chunk, slice, sup)
+                            classify_into(ds, reps, backend, t * chunk, slice, sup)
                         })
                     })
                 })

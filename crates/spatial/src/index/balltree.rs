@@ -11,9 +11,15 @@ use std::collections::BinaryHeap;
 
 use crate::dataset::Dataset;
 use crate::index::{sort_neighbors, Neighbor, SpatialIndex};
-use crate::metric::{Metric, SquaredEuclidean};
+use crate::kernels;
+use crate::metric::{Euclidean, Metric, SquaredEuclidean};
 
 const LEAF_SIZE: usize = 16;
+
+/// Rows per kernel flush of the leaf scan loops. Regular leaves hold at
+/// most [`LEAF_SIZE`] ids, but the zero-radius degenerate case produces
+/// one arbitrarily large leaf, so leaves are chunked.
+const LEAF_BATCH: usize = 64;
 
 #[derive(Debug, Clone)]
 struct Ball {
@@ -144,6 +150,8 @@ impl SpatialIndex for BallTree {
         }
         let eps_sq = eps * eps;
         let (mut visited, mut pruned, mut evals) = (0u64, 0u64, 0u64);
+        let flat = ds.as_flat();
+        let mut buf = [0.0f64; LEAF_BATCH];
         let mut stack = vec![0usize];
         // Node-level pruning uses a sqrt-round-tripped lower bound; relax it
         // slightly so boundary-exact points can never be pruned (membership
@@ -158,10 +166,21 @@ impl SpatialIndex for BallTree {
             match self.nodes[node] {
                 Node::Leaf { start, end } => {
                     evals += (end - start) as u64;
-                    for &id in &self.ids[start as usize..end as usize] {
-                        let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
-                        if d2 <= eps_sq {
-                            out.push(Neighbor::new(id as usize, d2.sqrt()));
+                    for chunk in self.ids[start as usize..end as usize].chunks(LEAF_BATCH) {
+                        kernels::dists_to_indexed(
+                            q,
+                            flat,
+                            self.dim,
+                            chunk,
+                            &mut buf[..chunk.len()],
+                        );
+                        for (&id, &d2) in chunk.iter().zip(&buf[..chunk.len()]) {
+                            if d2 <= eps_sq {
+                                out.push(Neighbor::new(
+                                    id as usize,
+                                    Euclidean.surrogate_to_dist(d2),
+                                ));
+                            }
                         }
                     }
                 }
@@ -175,6 +194,9 @@ impl SpatialIndex for BallTree {
         db_obs::counter!("spatial.nodes_visited").add(visited);
         db_obs::counter!("spatial.subtrees_pruned").add(pruned);
         db_obs::counter!("spatial.dist_evals").add(evals);
+        // One sqrt per `min_dist` bound (each popped node) plus one per
+        // reported neighbor.
+        db_obs::counter!("spatial.sqrt_evals").add(out.len() as u64 + visited + pruned);
         sort_neighbors(out);
     }
 
@@ -199,7 +221,9 @@ impl SpatialIndex for BallTree {
             }
         }
         let k = k.min(self.n);
-        let (mut visited, mut evals) = (0u64, 0u64);
+        let (mut visited, mut evals, mut bound_sqrts) = (0u64, 0u64, 0u64);
+        let flat = ds.as_flat();
+        let mut buf = [0.0f64; LEAF_BATCH];
         let mut best: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
         let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
         frontier.push(Reverse(Cand(0.0, 0)));
@@ -219,18 +243,27 @@ impl SpatialIndex for BallTree {
             match self.nodes[node] {
                 Node::Leaf { start, end } => {
                     evals += (end - start) as u64;
-                    for &id in &self.ids[start as usize..end as usize] {
-                        let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
-                        let cand = Cand(d2, id as usize);
-                        if best.len() < k {
-                            best.push(cand);
-                        } else if cand < *best.peek().expect("non-empty") {
-                            best.pop();
-                            best.push(cand);
+                    for chunk in self.ids[start as usize..end as usize].chunks(LEAF_BATCH) {
+                        kernels::dists_to_indexed(
+                            q,
+                            flat,
+                            self.dim,
+                            chunk,
+                            &mut buf[..chunk.len()],
+                        );
+                        for (&id, &d2) in chunk.iter().zip(&buf[..chunk.len()]) {
+                            let cand = Cand(d2, id as usize);
+                            if best.len() < k {
+                                best.push(cand);
+                            } else if cand < *best.peek().expect("non-empty") {
+                                best.pop();
+                                best.push(cand);
+                            }
                         }
                     }
                 }
                 Node::Split { left } => {
+                    bound_sqrts += 2;
                     for child in [left as usize, left as usize + 1] {
                         frontier.push(Reverse(Cand(self.min_dist(child, q), child)));
                     }
@@ -241,7 +274,12 @@ impl SpatialIndex for BallTree {
         db_obs::counter!("spatial.nodes_visited").add(visited);
         db_obs::counter!("spatial.subtrees_pruned").add(frontier.len() as u64);
         db_obs::counter!("spatial.dist_evals").add(evals);
-        out.extend(best.into_iter().map(|Cand(d2, id)| Neighbor::new(id, d2.sqrt())));
+        // One sqrt per `min_dist` bound on pushed children plus one per
+        // reported neighbor.
+        db_obs::counter!("spatial.sqrt_evals").add(best.len() as u64 + bound_sqrts);
+        out.extend(
+            best.into_iter().map(|Cand(d2, id)| Neighbor::new(id, Euclidean.surrogate_to_dist(d2))),
+        );
         sort_neighbors(out);
     }
 }

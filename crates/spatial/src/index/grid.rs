@@ -11,11 +11,16 @@ use std::collections::HashMap;
 
 use crate::dataset::Dataset;
 use crate::index::{sort_neighbors, Neighbor, SpatialIndex};
-use crate::metric::{Metric, SquaredEuclidean};
+use crate::kernels;
+use crate::metric::{Euclidean, Metric};
 
 /// Maximum dimensionality for which a grid is built; beyond this the 3^d
 /// neighbourhood enumeration dominates and a KD-tree should be used.
 pub const MAX_GRID_DIM: usize = 6;
+
+/// Candidate ids gathered from cell enumeration before each kernel flush.
+/// Stack-resident so the query loops stay allocation-free.
+const GATHER_ROWS: usize = 256;
 
 /// A uniform grid index with a fixed cell width.
 #[derive(Debug, Clone)]
@@ -175,17 +180,43 @@ impl SpatialIndex for GridIndex {
         if self.n == 0 || eps.is_nan() || eps < 0.0 {
             return;
         }
+        // Candidates from cell enumeration are batched into a stack buffer
+        // and flushed through the gathered kernel, so the per-candidate
+        // cost is one gather + one squared distance (squared-surrogate
+        // convention: compare against ε², sqrt only reported results).
         let eps_sq = eps * eps;
+        let flat = ds.as_flat();
+        let dim = self.dim;
+        let mut ids = [0u32; GATHER_ROWS];
+        let mut d2s = [0.0f64; GATHER_ROWS];
+        let mut pending = 0usize;
         let mut evals = 0u64;
         self.visit_box(q, eps, |id| {
-            evals += 1;
-            let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
-            if d2 <= eps_sq {
-                out.push(Neighbor::new(id as usize, d2.sqrt()));
+            ids[pending] = id;
+            pending += 1;
+            if pending == GATHER_ROWS {
+                kernels::dists_to_indexed(q, flat, dim, &ids, &mut d2s);
+                for (&d2, &id) in d2s.iter().zip(&ids) {
+                    if d2 <= eps_sq {
+                        out.push(Neighbor::new(id as usize, Euclidean.surrogate_to_dist(d2)));
+                    }
+                }
+                evals += GATHER_ROWS as u64;
+                pending = 0;
             }
         });
+        if pending > 0 {
+            kernels::dists_to_indexed(q, flat, dim, &ids[..pending], &mut d2s[..pending]);
+            for (&d2, &id) in d2s[..pending].iter().zip(&ids[..pending]) {
+                if d2 <= eps_sq {
+                    out.push(Neighbor::new(id as usize, Euclidean.surrogate_to_dist(d2)));
+                }
+            }
+            evals += pending as u64;
+        }
         db_obs::counter!("spatial.range_queries").incr();
         db_obs::counter!("spatial.dist_evals").add(evals);
+        db_obs::counter!("spatial.sqrt_evals").add(out.len() as u64);
         sort_neighbors(out);
     }
 
@@ -200,27 +231,50 @@ impl SpatialIndex for GridIndex {
         db_obs::counter!("spatial.knn_queries").incr();
         // Grow the search radius ring by ring until the k-th candidate is
         // provably within the scanned box.
+        let flat = ds.as_flat();
+        let dim = self.dim;
+        let mut ids = [0u32; GATHER_ROWS];
+        let mut d2s = [0.0f64; GATHER_ROWS];
         let mut radius = self.cell;
         let mut cands: Vec<Neighbor> = Vec::new();
         loop {
             cands.clear();
+            let mut pending = 0usize;
             self.visit_box(q, radius, |id| {
-                let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
-                cands.push(Neighbor::new(id as usize, d2));
+                ids[pending] = id;
+                pending += 1;
+                if pending == GATHER_ROWS {
+                    kernels::dists_to_indexed(q, flat, dim, &ids, &mut d2s);
+                    cands.extend(
+                        d2s.iter().zip(&ids).map(|(&d2, &id)| Neighbor::new(id as usize, d2)),
+                    );
+                    pending = 0;
+                }
             });
+            if pending > 0 {
+                kernels::dists_to_indexed(q, flat, dim, &ids[..pending], &mut d2s[..pending]);
+                cands.extend(
+                    d2s[..pending]
+                        .iter()
+                        .zip(&ids[..pending])
+                        .map(|(&d2, &id)| Neighbor::new(id as usize, d2)),
+                );
+            }
             db_obs::counter!("spatial.dist_evals").add(cands.len() as u64);
             if cands.len() >= k {
                 cands.select_nth_unstable_by(k - 1, |a, b| {
                     a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id))
                 });
-                let kth = cands[k - 1].dist.sqrt();
+                let kth = Euclidean.surrogate_to_dist(cands[k - 1].dist);
+                db_obs::counter!("spatial.sqrt_evals").incr();
                 // Every unscanned point is farther than `radius` (box
                 // half-width) from q, so if the k-th distance fits inside we
                 // are done.
                 if kth <= radius {
                     cands.truncate(k);
+                    db_obs::counter!("spatial.sqrt_evals").add(cands.len() as u64);
                     for n in &mut cands {
-                        n.dist = n.dist.sqrt();
+                        n.dist = Euclidean.surrogate_to_dist(n.dist);
                     }
                     sort_neighbors(&mut cands);
                     out.extend_from_slice(&cands);
@@ -237,8 +291,9 @@ impl SpatialIndex for GridIndex {
                     a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id))
                 });
                 cands.truncate(k);
+                db_obs::counter!("spatial.sqrt_evals").add(cands.len() as u64);
                 for n in &mut cands {
-                    n.dist = n.dist.sqrt();
+                    n.dist = Euclidean.surrogate_to_dist(n.dist);
                 }
                 sort_neighbors(&mut cands);
                 out.extend_from_slice(&cands);

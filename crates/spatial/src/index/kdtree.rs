@@ -10,9 +10,15 @@ use std::collections::BinaryHeap;
 
 use crate::dataset::Dataset;
 use crate::index::{sort_neighbors, Neighbor, SpatialIndex};
-use crate::metric::{Metric, SquaredEuclidean};
+use crate::kernels;
+use crate::metric::{Euclidean, Metric};
 
 const LEAF_SIZE: usize = 16;
+
+/// Rows per kernel flush of the leaf scan loops. Regular leaves hold at
+/// most [`LEAF_SIZE`] ids, but the all-points-identical degenerate case
+/// produces one arbitrarily large leaf, so leaves are chunked.
+const LEAF_BATCH: usize = 64;
 
 #[derive(Debug, Clone)]
 enum Node {
@@ -115,6 +121,8 @@ impl SpatialIndex for KdTree {
         // Per-query tallies, flushed to the global counters once at the
         // end so the hot loop stays free of shared-memory traffic.
         let (mut visited, mut pruned, mut evals) = (0u64, 0u64, 0u64);
+        let flat = ds.as_flat();
+        let mut buf = [0.0f64; LEAF_BATCH];
         // Iterative DFS; prune subtrees whose slab distance exceeds eps.
         let mut stack: Vec<(usize, f64)> = vec![(0, 0.0)];
         while let Some((node, min_d2)) = stack.pop() {
@@ -126,10 +134,21 @@ impl SpatialIndex for KdTree {
             match self.nodes[node] {
                 Node::Leaf { start, end } => {
                     evals += (end - start) as u64;
-                    for &id in &self.ids[start as usize..end as usize] {
-                        let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
-                        if d2 <= eps_sq {
-                            out.push(Neighbor::new(id as usize, d2.sqrt()));
+                    for chunk in self.ids[start as usize..end as usize].chunks(LEAF_BATCH) {
+                        kernels::dists_to_indexed(
+                            q,
+                            flat,
+                            self.dim,
+                            chunk,
+                            &mut buf[..chunk.len()],
+                        );
+                        for (&id, &d2) in chunk.iter().zip(&buf[..chunk.len()]) {
+                            if d2 <= eps_sq {
+                                out.push(Neighbor::new(
+                                    id as usize,
+                                    Euclidean.surrogate_to_dist(d2),
+                                ));
+                            }
                         }
                     }
                 }
@@ -152,6 +171,7 @@ impl SpatialIndex for KdTree {
         db_obs::counter!("spatial.nodes_visited").add(visited);
         db_obs::counter!("spatial.subtrees_pruned").add(pruned);
         db_obs::counter!("spatial.dist_evals").add(evals);
+        db_obs::counter!("spatial.sqrt_evals").add(out.len() as u64);
         sort_neighbors(out);
     }
 
@@ -180,6 +200,8 @@ impl SpatialIndex for KdTree {
 
         let k = k.min(self.n);
         let (mut visited, mut evals) = (0u64, 0u64);
+        let flat = ds.as_flat();
+        let mut buf = [0.0f64; LEAF_BATCH];
         let mut best: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
         // Best-first traversal of the tree.
         let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
@@ -196,14 +218,22 @@ impl SpatialIndex for KdTree {
             match self.nodes[node] {
                 Node::Leaf { start, end } => {
                     evals += (end - start) as u64;
-                    for &id in &self.ids[start as usize..end as usize] {
-                        let d2 = SquaredEuclidean.dist(q, ds.point(id as usize));
-                        let cand = Cand(d2, id as usize);
-                        if best.len() < k {
-                            best.push(cand);
-                        } else if cand < *best.peek().expect("non-empty") {
-                            best.pop();
-                            best.push(cand);
+                    for chunk in self.ids[start as usize..end as usize].chunks(LEAF_BATCH) {
+                        kernels::dists_to_indexed(
+                            q,
+                            flat,
+                            self.dim,
+                            chunk,
+                            &mut buf[..chunk.len()],
+                        );
+                        for (&id, &d2) in chunk.iter().zip(&buf[..chunk.len()]) {
+                            let cand = Cand(d2, id as usize);
+                            if best.len() < k {
+                                best.push(cand);
+                            } else if cand < *best.peek().expect("non-empty") {
+                                best.pop();
+                                best.push(cand);
+                            }
                         }
                     }
                 }
@@ -224,7 +254,10 @@ impl SpatialIndex for KdTree {
         db_obs::counter!("spatial.nodes_visited").add(visited);
         db_obs::counter!("spatial.subtrees_pruned").add(frontier.len() as u64);
         db_obs::counter!("spatial.dist_evals").add(evals);
-        out.extend(best.into_iter().map(|Cand(d2, id)| Neighbor::new(id, d2.sqrt())));
+        db_obs::counter!("spatial.sqrt_evals").add(best.len() as u64);
+        out.extend(
+            best.into_iter().map(|Cand(d2, id)| Neighbor::new(id, Euclidean.surrogate_to_dist(d2))),
+        );
         sort_neighbors(out);
     }
 }

@@ -3,7 +3,12 @@
 
 use crate::dataset::Dataset;
 use crate::index::{sort_neighbors, Neighbor, SpatialIndex};
-use crate::metric::{Metric, SquaredEuclidean};
+use crate::kernels;
+use crate::metric::{Euclidean, Metric};
+
+/// Rows per kernel block of the scan loops: 256 squared distances fit in a
+/// 2 KiB stack buffer and keep each coordinate tile L1-resident.
+const BLOCK_ROWS: usize = 256;
 
 /// An index that answers every query by scanning all points.
 #[derive(Debug, Clone)]
@@ -29,15 +34,23 @@ impl SpatialIndex for LinearScan {
         if eps.is_nan() || eps < 0.0 {
             return; // negative eps would square into a positive radius
         }
+        // Squared-surrogate convention: compare d² against ε² in the scan
+        // and convert only reported results back to distances.
         let eps_sq = eps * eps;
-        for (id, p) in ds.iter().enumerate() {
-            let d2 = SquaredEuclidean.dist(q, p);
-            if d2 <= eps_sq {
-                out.push(Neighbor::new(id, d2.sqrt()));
+        let dim = ds.dim();
+        let mut buf = [0.0f64; BLOCK_ROWS];
+        for (b, chunk) in ds.as_flat().chunks(BLOCK_ROWS * dim).enumerate() {
+            let rows = chunk.len() / dim;
+            kernels::dists_to_block(q, chunk, dim, &mut buf[..rows]);
+            for (j, &d2) in buf[..rows].iter().enumerate() {
+                if d2 <= eps_sq {
+                    out.push(Neighbor::new(b * BLOCK_ROWS + j, Euclidean.surrogate_to_dist(d2)));
+                }
             }
         }
         db_obs::counter!("spatial.range_queries").incr();
         db_obs::counter!("spatial.dist_evals").add(self.n as u64);
+        db_obs::counter!("spatial.sqrt_evals").add(out.len() as u64);
         sort_neighbors(out);
     }
 
@@ -47,22 +60,32 @@ impl SpatialIndex for LinearScan {
         if k == 0 {
             return;
         }
-        // Collect all distances, partially select the k smallest.
-        let mut all: Vec<Neighbor> = ds
-            .iter()
-            .enumerate()
-            .map(|(id, p)| Neighbor::new(id, SquaredEuclidean.dist(q, p)))
-            .collect();
+        // Collect all squared distances block by block, partially select
+        // the k smallest, and convert only those k to true distances.
+        let dim = ds.dim();
+        let mut all: Vec<Neighbor> = Vec::with_capacity(self.n);
+        let mut buf = [0.0f64; BLOCK_ROWS];
+        for (b, chunk) in ds.as_flat().chunks(BLOCK_ROWS * dim).enumerate() {
+            let rows = chunk.len() / dim;
+            kernels::dists_to_block(q, chunk, dim, &mut buf[..rows]);
+            all.extend(
+                buf[..rows]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &d2)| Neighbor::new(b * BLOCK_ROWS + j, d2)),
+            );
+        }
         let k = k.min(all.len());
         if k == 0 {
             return;
         }
         db_obs::counter!("spatial.knn_queries").incr();
         db_obs::counter!("spatial.dist_evals").add(self.n as u64);
+        db_obs::counter!("spatial.sqrt_evals").add(k as u64);
         all.select_nth_unstable_by(k - 1, |a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         all.truncate(k);
         for n in &mut all {
-            n.dist = n.dist.sqrt();
+            n.dist = Euclidean.surrogate_to_dist(n.dist);
         }
         sort_neighbors(&mut all);
         out.extend_from_slice(&all);

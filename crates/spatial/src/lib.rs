@@ -7,6 +7,9 @@
 //!   operate on datasets or on summaries derived from them.
 //! * [`Metric`] — distance functions ([`Euclidean`], [`SquaredEuclidean`],
 //!   [`Manhattan`], [`Chebyshev`]).
+//! * [`kernels`] — batched, cache-blocked squared-distance kernels with a
+//!   fixed lane-reduction order; the canonical distance arithmetic every
+//!   index, classifier and oracle sweep shares (see DESIGN.md §13).
 //! * [`SpatialIndex`] — ε-range, k-NN and 1-NN queries. Three
 //!   implementations with identical semantics: [`LinearScan`] (the always
 //!   correct baseline), [`KdTree`] (good for moderate dimensions) and
@@ -32,6 +35,7 @@
 mod dataset;
 mod error;
 pub mod io;
+pub mod kernels;
 mod metric;
 pub mod vptree;
 
@@ -45,6 +49,7 @@ pub use index::kdtree::KdTree;
 pub use index::linear::LinearScan;
 pub use index::{auto_index, AnyIndex, Neighbor, SpatialIndex};
 pub use io::{read_csv, read_csv_from, write_csv, write_csv_to, CsvError, CsvOptions};
+pub use kernels::{dist_tile, dists_to_block, dists_to_indexed, nn_block};
 pub use metric::{Chebyshev, Euclidean, Manhattan, Metric, SquaredEuclidean};
 pub use vptree::{MetricNeighbor, VpTree};
 

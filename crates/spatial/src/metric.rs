@@ -52,15 +52,14 @@ impl Metric for Euclidean {
 pub struct SquaredEuclidean;
 
 impl Metric for SquaredEuclidean {
+    /// Delegates to [`crate::kernels::sq_dist`], the canonical fixed
+    /// lane-reduction kernel, so every scalar call site in the workspace
+    /// produces bit-for-bit the same value as the batched block kernels.
+    /// (For d ≤ 3 this is also bit-identical to the historic
+    /// left-to-right loop; see `crate::kernels` for the contract.)
     #[inline]
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
-        debug_assert_eq!(a.len(), b.len());
-        let mut acc = 0.0;
-        for (&x, &y) in a.iter().zip(b) {
-            let d = x - y;
-            acc += d * d;
-        }
-        acc
+        crate::kernels::sq_dist(a, b)
     }
 }
 
@@ -84,7 +83,18 @@ impl Metric for Chebyshev {
     #[inline]
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
+        // `f64::max` returns the other operand when one side is NaN, so a
+        // `fold(0.0, f64::max)` silently drops NaN lanes and reports a
+        // finite distance for garbage input. Propagate NaN instead: a NaN
+        // coordinate must poison the distance, as it does for the L1 and
+        // L2 metrics (whose sums propagate NaN natively).
+        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, |acc, d| {
+            if acc.is_nan() || d.is_nan() {
+                f64::NAN
+            } else {
+                acc.max(d)
+            }
+        })
     }
 }
 
@@ -128,6 +138,30 @@ mod tests {
         assert_eq!(Euclidean.dist(&A, &B), Euclidean.dist(&B, &A));
         assert_eq!(Manhattan.dist(&A, &B), Manhattan.dist(&B, &A));
         assert_eq!(Chebyshev.dist(&A, &B), Chebyshev.dist(&B, &A));
+    }
+
+    #[test]
+    fn chebyshev_propagates_nan() {
+        let nan = [1.0, f64::NAN, 3.0];
+        assert!(Chebyshev.dist(&A, &nan).is_nan());
+        assert!(Chebyshev.dist(&nan, &A).is_nan());
+        // NaN in a non-final lane must not be absorbed by a later max.
+        let early = [f64::NAN, 2.0, 3.0];
+        assert!(Chebyshev.dist(&A, &early).is_nan());
+        // The other metrics already propagate; pin that too.
+        assert!(Euclidean.dist(&A, &nan).is_nan());
+        assert!(Manhattan.dist(&A, &nan).is_nan());
+    }
+
+    #[test]
+    fn squared_euclidean_matches_kernel_bitwise() {
+        let a: Vec<f64> = (0..9).map(|i| i as f64 * 0.37 + 0.1).collect();
+        let b: Vec<f64> = (0..9).map(|i| i as f64 * -0.53 + 2.0).collect();
+        for d in 1..=9 {
+            let s = SquaredEuclidean.dist(&a[..d], &b[..d]);
+            let k = crate::kernels::sq_dist_reference(&a[..d], &b[..d]);
+            assert_eq!(s.to_bits(), k.to_bits(), "d = {d}");
+        }
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!
 //! The tree stores object *ids*; all geometry flows through the provided
 //! closure, which must be a metric (symmetry + triangle inequality —
-//! pruning is unsound otherwise).
+//! pruning is unsound otherwise). Floating-point *rounding* of a true
+//! metric is tolerated: pruning bounds carry a small relative slack
+//! ([`PRUNE_SLACK`]) so triangle-inequality violations of a few ulps —
+//! inevitable when distances are `fl(√Σd²)` from the coordinate kernels —
+//! never drop a true result. `tests/vptree_ulp.rs` pins this.
 
 /// One query result: object id + distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +42,16 @@ enum Node {
 }
 
 const LEAF_SIZE: usize = 8;
+
+/// Relative pruning slack. A closure that returns *rounded* distances of
+/// a true metric (e.g. `fl(√Σd²)` Euclidean) can violate the triangle
+/// inequality by a few ulps, which makes exact-arithmetic pruning drop
+/// points sitting precisely on a query boundary. Every prune test is
+/// therefore widened by `PRUNE_SLACK × (sum of the magnitudes involved)`
+/// — enough for correctly rounded metrics up to a few hundred dimensions.
+/// Widening is always sound: it only admits extra node visits, and the
+/// exhaustive leaf/vantage predicates decide actual membership.
+const PRUNE_SLACK: f64 = 32.0 * f64::EPSILON;
 
 /// A vantage-point tree over object ids `0..n`.
 ///
@@ -113,7 +127,8 @@ impl VpTree {
                     if d <= *radius { (*inside, *outside) } else { (*outside, *inside) };
                 self.search(first, dq, best);
                 let boundary_gap = (d - radius).abs();
-                if boundary_gap <= best.dist {
+                let slack = PRUNE_SLACK * (d + radius + best.dist);
+                if boundary_gap <= best.dist + slack {
                     self.search(second, dq, best);
                 }
             }
@@ -152,10 +167,11 @@ impl VpTree {
                 if d <= eps {
                     out.push(MetricNeighbor { id: *vantage, dist: d });
                 }
-                if d - eps <= *radius {
+                let slack = PRUNE_SLACK * (d + eps + *radius);
+                if d - eps <= *radius + slack {
                     self.range_rec(*inside, dq, eps, out);
                 }
-                if d + eps > *radius {
+                if d + eps > *radius - slack {
                     self.range_rec(*outside, dq, eps, out);
                 }
             }
