@@ -1,0 +1,105 @@
+//! The suppression budget: a checked-in ledger of how many allows each
+//! rule is permitted.
+//!
+//! The point is review visibility, not ceremony: a new `db-audit:
+//! allow(...)` anywhere in the tree changes a per-rule count, the budget
+//! file stops matching, CI fails, and the diff that fixes CI is a
+//! one-line edit to `audit.budget` that a reviewer cannot miss. Removed
+//! allows fail the same way (the comparison is exact, not `<=`), so the
+//! budget never goes stale.
+//!
+//! Format: one `<rule> <count>` pair per line; blank lines and `#`
+//! comments ignored. Rules with zero used suppressions may be omitted.
+
+use crate::engine::Report;
+use std::collections::BTreeMap;
+
+/// A budget mismatch, rendered for humans.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BudgetError(pub String);
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Parses a budget file's contents.
+///
+/// # Errors
+///
+/// [`BudgetError`] on a malformed line.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, BudgetError> {
+    let mut out = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(rule), Some(count), None) = (it.next(), it.next(), it.next()) else {
+            return Err(BudgetError(format!("budget line {}: expected `<rule> <count>`", i + 1)));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| BudgetError(format!("budget line {}: bad count `{count}`", i + 1)))?;
+        out.insert(rule.to_string(), count);
+    }
+    Ok(out)
+}
+
+/// Compares a report's used-suppression counts against the budget.
+///
+/// # Errors
+///
+/// [`BudgetError`] listing every drifted rule.
+pub fn check(report: &Report, budget: &BTreeMap<String, usize>) -> Result<(), BudgetError> {
+    let mut drift = Vec::new();
+    for (rule, &want) in budget {
+        let got = report.suppressions.get(rule).copied().unwrap_or(0);
+        if got != want {
+            drift.push(format!("{rule}: budget {want}, found {got}"));
+        }
+    }
+    for (rule, &got) in &report.suppressions {
+        if !budget.contains_key(rule) && got != 0 {
+            drift.push(format!("{rule}: budget 0 (absent), found {got}"));
+        }
+    }
+    if drift.is_empty() {
+        Ok(())
+    } else {
+        Err(BudgetError(format!(
+            "suppression budget drift — update audit.budget if the new allows are justified:\n  {}",
+            drift.join("\n  ")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_check_roundtrip() {
+        let b = parse("# comment\nno-naked-sqrt 3\n\nno-wallclock-in-core 6\n").unwrap();
+        assert_eq!(b.len(), 2);
+        let mut r = Report::default();
+        r.suppressions.insert("no-naked-sqrt".into(), 3);
+        r.suppressions.insert("no-wallclock-in-core".into(), 6);
+        assert!(check(&r, &b).is_ok());
+        r.suppressions.insert("no-naked-sqrt".into(), 4);
+        assert!(check(&r, &b).is_err());
+        // An allow for a rule the budget doesn't list at all also drifts.
+        r.suppressions.insert("no-naked-sqrt".into(), 3);
+        r.suppressions.insert("total-cmp".into(), 1);
+        assert!(check(&r, &b).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse("just-a-rule\n").is_err());
+        assert!(parse("rule NaN\n").is_err());
+        assert!(parse("rule 1 extra\n").is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! The rule engine: source files, findings, and the suppression
+//! protocol.
+//!
+//! # Suppressions
+//!
+//! A finding is silenced with an *allow comment* on the offending line or
+//! on its own line directly above (stacking is fine):
+//!
+//! ```text
+//! // db-audit: allow(no-wallclock-in-core) -- timing metadata only,
+//! // never influences clustering output
+//! let t0 = Instant::now();
+//! ```
+//!
+//! The `-- reason` is mandatory: an allow without one is itself a finding
+//! (`bad-allow`), as is an allow that matches no finding (`unused-allow`)
+//! or names a rule that does not exist. Allows live in plain `//` (or
+//! `/* */`) comments with the marker leading — doc comments cannot
+//! suppress, so documentation may show the syntax freely. This is what
+//! keeps the baseline at *zero unexplained suppressions*: every deviation
+//! from an invariant is written down next to the code that needs it, and
+//! the checked-in budget file (see `--budget`) makes the total count
+//! reviewable.
+
+use crate::lexer::Lexed;
+use crate::rules::{all_rules, Rule};
+use std::collections::BTreeMap;
+
+/// One analyzed source file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes, e.g.
+    /// `crates/serve/src/service.rs`.
+    pub path: String,
+    /// The crate the file belongs to: the directory name under
+    /// `crates/`, or `"workspace-root"` for the umbrella package's own
+    /// `src/` and `tests/`.
+    pub crate_name: String,
+    /// True when the file lives under a `tests/`, `benches/` or
+    /// `examples/` directory — the whole file is test context then.
+    pub in_test_dir: bool,
+    /// The lexed view.
+    pub lexed: Lexed,
+}
+
+impl SourceFile {
+    /// Builds a file from a workspace-relative path and its contents.
+    pub fn new(path: &str, text: &str) -> Self {
+        let path = path.replace('\\', "/");
+        let parts: Vec<&str> = path.split('/').collect();
+        let crate_name = match parts.first() {
+            Some(&"crates") if parts.len() > 1 => parts[1].to_string(),
+            _ => "workspace-root".to_string(),
+        };
+        let in_test_dir =
+            parts.iter().any(|p| matches!(*p, "tests" | "benches" | "examples" | "fixtures"));
+        SourceFile { path, crate_name, in_test_dir, lexed: Lexed::new(text) }
+    }
+
+    /// Whether a 1-based line is test context (test directory or inside
+    /// a `#[cfg(test)]` / `#[test]` region).
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test_dir || self.lexed.is_test_line(line)
+    }
+
+    /// Iterates the masked *production* lines: `(line number, text)`
+    /// excluding test context.
+    pub fn prod_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.lexed.lines().filter(|(n, _)| !self.is_test_line(*n))
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `no-naked-sqrt`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to suppress it legitimately).
+    pub suggestion: String,
+}
+
+impl Finding {
+    /// Renders `path:line:col [rule] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{} [{}] {}\n    help: {}",
+            self.path, self.line, self.col, self.rule, self.message, self.suggestion
+        )
+    }
+}
+
+/// One parsed allow comment.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: String,
+    /// The line the allow governs.
+    target_line: usize,
+    /// Where the comment itself sits (for diagnostics).
+    at_line: usize,
+    reason_present: bool,
+    used: bool,
+}
+
+/// The result of auditing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings (not suppressed), in file/line order.
+    pub findings: Vec<Finding>,
+    /// Per-rule count of *used* suppressions across the tree.
+    pub suppressions: BTreeMap<String, usize>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+}
+
+/// Marker prefix of an allow comment.
+const ALLOW_MARKER: &str = "db-audit: allow(";
+
+/// Parses the allow comments of one file. Malformed allows are returned
+/// as findings immediately.
+fn collect_allows(
+    file: &SourceFile,
+    known_rules: &[&str],
+    findings: &mut Vec<Finding>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    // Line → has non-comment code, from the masked text.
+    let masked_nonempty: Vec<bool> =
+        file.lexed.masked.lines().map(|l| !l.trim().is_empty()).collect();
+
+    for c in &file.lexed.comments {
+        // Allows live in plain comments only, and the marker must lead:
+        // doc comments (`///`, `//!`, `/**`, `/*!`) merely *talk about*
+        // the syntax, they never suppress anything.
+        let body = if let Some(b) = c.text.strip_prefix("//") {
+            if b.starts_with('/') || b.starts_with('!') {
+                continue;
+            }
+            b
+        } else if let Some(b) = c.text.strip_prefix("/*") {
+            if b.starts_with('*') || b.starts_with('!') {
+                continue;
+            }
+            b
+        } else {
+            continue;
+        };
+        let Some(rest) = body.trim_start().strip_prefix(ALLOW_MARKER) else { continue };
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                rule: "bad-allow",
+                path: file.path.clone(),
+                line: c.line,
+                col: c.col,
+                message: "malformed allow comment: missing `)`".into(),
+                suggestion: "write `// db-audit: allow(<rule>) -- <reason>`".into(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !known_rules.contains(&rule.as_str()) {
+            findings.push(Finding {
+                rule: "bad-allow",
+                path: file.path.clone(),
+                line: c.line,
+                col: c.col,
+                message: format!("allow names unknown rule `{rule}`"),
+                suggestion: "run `db-audit --list-rules` for the rule catalogue".into(),
+            });
+            continue;
+        }
+        let reason = rest[close + 1..].trim();
+        let reason_present =
+            reason.strip_prefix("--").map(str::trim).is_some_and(|r| !r.is_empty());
+        if !reason_present {
+            findings.push(Finding {
+                rule: "bad-allow",
+                path: file.path.clone(),
+                line: c.line,
+                col: c.col,
+                message: format!("allow({rule}) has no reason"),
+                suggestion: "suppressions must explain themselves: \
+                             `// db-audit: allow(<rule>) -- <reason>`"
+                    .into(),
+            });
+            continue;
+        }
+        // Trailing allow governs its own line; an allow on a line of its
+        // own governs the next line that has code (skipping further
+        // comment-only/blank lines so allows can stack or wrap).
+        let own_line_has_code = masked_nonempty.get(c.line - 1).copied().unwrap_or(false);
+        let target_line = if own_line_has_code {
+            c.line
+        } else {
+            let mut l = c.line + 1;
+            while l <= masked_nonempty.len() && !masked_nonempty[l - 1] {
+                l += 1;
+            }
+            l
+        };
+        allows.push(Allow { rule, target_line, at_line: c.line, reason_present, used: false });
+    }
+    allows
+}
+
+/// Runs `rules` over `files`, applies suppressions, and returns the
+/// report. When `full_rule_set` is false (a `--rule` subset is active),
+/// unused allows are not reported — an allow for a rule that did not run
+/// is not evidence of anything.
+pub fn run(files: &[SourceFile], rules: &[&dyn Rule], full_rule_set: bool) -> Report {
+    let known: Vec<&str> = all_rules().iter().map(|r| r.id()).collect();
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+
+    for file in files {
+        let mut raw = Vec::new();
+        let mut allows = collect_allows(file, &known, &mut raw);
+        for rule in rules {
+            rule.check(file, &mut raw);
+        }
+        // Apply suppressions. `bad-allow` findings are never suppressible.
+        for f in raw {
+            if f.rule != "bad-allow" {
+                if let Some(a) = allows
+                    .iter_mut()
+                    .find(|a| a.rule == f.rule && a.target_line == f.line && a.reason_present)
+                {
+                    a.used = true;
+                    *report.suppressions.entry(a.rule.clone()).or_insert(0) += 1;
+                    continue;
+                }
+            }
+            report.findings.push(f);
+        }
+        if full_rule_set {
+            for a in &allows {
+                if !a.used {
+                    report.findings.push(Finding {
+                        rule: "unused-allow",
+                        path: file.path.clone(),
+                        line: a.at_line,
+                        col: 1,
+                        message: format!(
+                            "allow({}) on line {} suppresses nothing",
+                            a.rule, a.target_line
+                        ),
+                        suggestion: "delete the stale allow (the violation it excused is gone)"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)).then(a.col.cmp(&b.col)));
+    report
+}
+
+/// Convenience for tests: analyze one in-memory file with the given
+/// rules (all rules when `rules` is empty); unused-allow checking is on
+/// only for the full set.
+pub fn analyze_source(path: &str, text: &str, rule_ids: &[&str]) -> Report {
+    let files = vec![SourceFile::new(path, text)];
+    let all = all_rules();
+    let selected: Vec<&dyn Rule> = if rule_ids.is_empty() {
+        all.iter().map(|r| &**r).collect()
+    } else {
+        all.iter().filter(|r| rule_ids.contains(&r.id())).map(|r| &**r).collect()
+    };
+    run(&files, &selected, rule_ids.is_empty())
+}

@@ -1,0 +1,499 @@
+//! A small Rust lexer: just enough syntax awareness for line-oriented
+//! lint rules to be trustworthy.
+//!
+//! The rules in this crate are token scans, and a naive token scan over
+//! raw source text lies constantly: `".unwrap()"` inside a string, a
+//! `partial_cmp` in a doc comment, a `'a` lifetime read as an unclosed
+//! char literal. This lexer produces a *masked* view of a file in which
+//! the contents of every comment and string literal are replaced by
+//! spaces (newlines and delimiters are kept, so byte offsets, line
+//! numbers, and columns all still line up with the original source), plus
+//! side tables of the comments and string literals that were masked out —
+//! comments carry the `db-audit: allow(...)` suppressions, and string
+//! literals carry the metric names the `counter-naming` rule checks.
+//!
+//! On top of the masked text a second pass tracks brace nesting to mark
+//! *test regions*: the body of any item annotated `#[cfg(test)]` /
+//! `#[test]` / `#[bench]`, and any inline `mod tests { ... }`. Rules use
+//! the per-line test mask to confine themselves to production code.
+//!
+//! Handled explicitly, because each one has burned a grep-based audit
+//! before: nested block comments, raw strings with arbitrary `#` fences,
+//! byte and raw-byte strings, raw identifiers (`r#fn` is not a string),
+//! char literals vs lifetimes (`'a'` vs `'a`), and escaped quotes.
+
+/// A comment stripped from the source, with its position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// 1-based column (in bytes) of the comment's first character.
+    pub col: usize,
+    /// The raw comment text, including the `//` / `/*` delimiters.
+    pub text: String,
+}
+
+/// A string literal stripped from the source, with its position.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// 1-based column (in bytes) of the opening quote.
+    pub col: usize,
+    /// The literal's content between the quotes, still in escaped form.
+    pub content: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// The source with comment and string contents blanked to spaces.
+    /// Same byte length as the input; newlines preserved.
+    pub masked: String,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// All string literals, in source order.
+    pub strings: Vec<StrLit>,
+    /// `test_mask[i]` is true when 0-based line `i` lies inside a test
+    /// region (`#[cfg(test)]` / `#[test]` / `#[bench]` item body or an
+    /// inline `mod tests`).
+    pub test_mask: Vec<bool>,
+}
+
+impl Lexed {
+    /// Lexes `src`. Never fails: unterminated constructs simply mask to
+    /// the end of the file, which is the forgiving behavior a linter
+    /// wants (rustc will reject the file anyway).
+    pub fn new(src: &str) -> Self {
+        let (masked, comments, strings) = mask(src);
+        let test_mask = mark_test_regions(&masked);
+        Lexed { masked, comments, strings, test_mask }
+    }
+
+    /// Iterates `(1-based line number, masked line text)`.
+    pub fn lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.masked.lines().enumerate().map(|(i, l)| (i + 1, l))
+    }
+
+    /// Whether a 1-based line is inside a test region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_mask.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+}
+
+/// First pass: the character-level state machine producing the masked
+/// text and the comment/string side tables.
+fn mask(src: &str) -> (String, Vec<Comment>, Vec<StrLit>) {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+
+    // (line, col) bookkeeping: both 1-based, col counts bytes.
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut i = 0usize;
+
+    // Blank `out[a..b]` to spaces, preserving newlines.
+    let blank = |out: &mut Vec<u8>, a: usize, b: usize| {
+        for c in &mut out[a..b] {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+    };
+    // Advance (line, col) over `src[a..b]`.
+    fn advance(bytes: &[u8], a: usize, b: usize, line: &mut usize, col: &mut usize) {
+        for &c in &bytes[a..b] {
+            if c == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let rest = &bytes[i..];
+
+        // Line comment (//, ///, //!).
+        if rest.starts_with(b"//") {
+            let end = memchr_newline(bytes, i);
+            comments.push(Comment {
+                line,
+                col,
+                text: String::from_utf8_lossy(&bytes[i..end]).into_owned(),
+            });
+            blank(&mut out, i, end);
+            advance(bytes, i, end, &mut line, &mut col);
+            i = end;
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if rest.starts_with(b"/*") {
+            let (start_line, start_col) = (line, col);
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j..].starts_with(b"/*") {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j..].starts_with(b"*/") {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                col: start_col,
+                text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+            });
+            blank(&mut out, i, j);
+            advance(bytes, i, j, &mut line, &mut col);
+            i = j;
+            continue;
+        }
+
+        // Raw string: r"..." / r#"..."# / br"..." / br##"..."## — but NOT
+        // a raw identifier like r#fn. Byte strings b"..." share the
+        // normal-string scanner below.
+        if c == b'r' || (c == b'b' && rest.len() > 1 && rest[1] == b'r') {
+            let hash_start = if c == b'r' { i + 1 } else { i + 2 };
+            let mut h = hash_start;
+            while h < bytes.len() && bytes[h] == b'#' {
+                h += 1;
+            }
+            if h < bytes.len()
+                && bytes[h] == b'"'
+                && !is_ident_byte(i.checked_sub(1).map(|p| bytes[p]))
+            {
+                let fence = h - hash_start; // number of #s
+                let (start_line, start_col) = (line, col);
+                // Find closing `"` followed by `fence` #s.
+                let mut j = h + 1;
+                let close = loop {
+                    match bytes[j..].iter().position(|&b| b == b'"') {
+                        Some(p) => {
+                            let q = j + p;
+                            if bytes[q + 1..].len() >= fence
+                                && bytes[q + 1..q + 1 + fence].iter().all(|&b| b == b'#')
+                            {
+                                break q;
+                            }
+                            j = q + 1;
+                        }
+                        None => break bytes.len(), // unterminated: mask to EOF
+                    }
+                };
+                strings.push(StrLit {
+                    line: start_line,
+                    col: start_col,
+                    content: String::from_utf8_lossy(&bytes[h + 1..close.min(bytes.len())])
+                        .into_owned(),
+                });
+                let end = (close + 1 + fence).min(bytes.len());
+                blank(&mut out, h + 1, close.min(bytes.len()));
+                advance(bytes, i, end, &mut line, &mut col);
+                i = end;
+                continue;
+            }
+            // r#ident or a plain identifier starting with r/b: fall
+            // through to the identifier scanner at the bottom.
+        }
+
+        // Normal or byte string literal.
+        if c == b'"' || (c == b'b' && rest.len() > 1 && rest[1] == b'"') {
+            // Don't treat the b of an identifier ending in b as a prefix.
+            if c == b'"' || !is_ident_byte(i.checked_sub(1).map(|p| bytes[p])) {
+                let open = if c == b'"' { i } else { i + 1 };
+                let (start_line, start_col) = (line, col);
+                let mut j = open + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'\\' => j += 2,
+                        b'"' => break,
+                        _ => j += 1,
+                    }
+                }
+                let close = j.min(bytes.len());
+                strings.push(StrLit {
+                    line: start_line,
+                    col: start_col,
+                    content: String::from_utf8_lossy(&bytes[open + 1..close]).into_owned(),
+                });
+                blank(&mut out, open + 1, close);
+                let end = (close + 1).min(bytes.len());
+                advance(bytes, i, end, &mut line, &mut col);
+                i = end;
+                continue;
+            }
+        }
+
+        // Char literal vs lifetime. A `'` begins a char literal when it is
+        // `'\...'`, `'x'` (any single char, possibly multi-byte), while
+        // `'ident` with no closing quote right after is a lifetime (or a
+        // loop label), left in the masked text as ordinary code.
+        if c == b'\'' {
+            let after = &bytes[i + 1..];
+            let is_char = if after.first() == Some(&b'\\') {
+                true // escape: always a char literal
+            } else {
+                // `'X'` where X is one (possibly multi-byte) character.
+                let char_len = utf8_len(after.first().copied());
+                after.get(char_len) == Some(&b'\'')
+            };
+            if is_char {
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'\\') {
+                    // Skip the escape intro + escaped byte, then run to the
+                    // closing quote (covers '\n', '\'', '\u{1F600}').
+                    j += 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                } else {
+                    j += utf8_len(bytes.get(j).copied());
+                }
+                let end = (j + 1).min(bytes.len());
+                blank(&mut out, i + 1, end.saturating_sub(1));
+                advance(bytes, i, end, &mut line, &mut col);
+                i = end;
+                continue;
+            }
+            // Lifetime / label: emit the `'` and continue as code.
+        }
+
+        // Ordinary code byte.
+        if c == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+        i += 1;
+    }
+
+    (String::from_utf8_lossy(&out).into_owned(), comments, strings)
+}
+
+/// Whether the previous byte (if any) could continue an identifier —
+/// used to tell the `r` in `burr"` apart from a raw-string prefix.
+fn is_ident_byte(b: Option<u8>) -> bool {
+    matches!(b, Some(c) if c == b'_' || c.is_ascii_alphanumeric())
+}
+
+/// Length in bytes of the UTF-8 character starting with `b` (1 for
+/// ASCII/None, so unterminated files degrade gracefully).
+fn utf8_len(b: Option<u8>) -> usize {
+    match b {
+        Some(c) if c >= 0xF0 => 4,
+        Some(c) if c >= 0xE0 => 3,
+        Some(c) if c >= 0xC0 => 2,
+        _ => 1,
+    }
+}
+
+fn memchr_newline(bytes: &[u8], from: usize) -> usize {
+    bytes[from..].iter().position(|&b| b == b'\n').map(|p| from + p).unwrap_or(bytes.len())
+}
+
+/// Second pass: brace-nesting scan of the *masked* text that marks the
+/// line ranges of test regions.
+///
+/// A region opens at the `{` of the first block following a
+/// `#[cfg(test)]` / `#[test]` / `#[bench]` attribute or a `mod tests`
+/// header, and closes when brace depth returns to the opening level. An
+/// intervening `;` at the same depth cancels a pending attribute (e.g.
+/// `#[cfg(test)] mod tests;` declares an out-of-line module and governs
+/// no braces here).
+fn mark_test_regions(masked: &str) -> Vec<bool> {
+    let n_lines = masked.lines().count();
+    let mut mask = vec![false; n_lines];
+    let bytes = masked.as_bytes();
+
+    let mut depth: i64 = 0;
+    let mut line = 0usize; // 0-based
+    let mut pending_attr = false;
+    // Stack of depths at which a test region opened; any nesting inside
+    // stays marked until we pop back below the outermost one.
+    let mut region_open_depth: Option<i64> = None;
+
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let rest = &bytes[i..];
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+            }
+            b'{' => {
+                if pending_attr && region_open_depth.is_none() {
+                    region_open_depth = Some(depth);
+                }
+                pending_attr = false;
+                depth += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if let Some(open) = region_open_depth {
+                    if depth <= open {
+                        // Mark the closing line too, then end the region.
+                        if line < mask.len() {
+                            mask[line] = true;
+                        }
+                        region_open_depth = None;
+                    }
+                }
+            }
+            b';' => {
+                pending_attr = false;
+            }
+            b'#' if rest.starts_with(b"#[") => {
+                // Scan the attribute to its closing bracket (attributes
+                // can nest brackets: #[cfg(all(test, feature = "x"))]).
+                let mut j = i + 1;
+                let mut bdepth = 0i64;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'[' => bdepth += 1,
+                        b']' => {
+                            bdepth -= 1;
+                            if bdepth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let attr = &masked[i..(j + 1).min(masked.len())];
+                if attr.contains("cfg(test") || attr_is(attr, "test") || attr_is(attr, "bench") {
+                    pending_attr = true;
+                }
+                // Attributes can span lines; account for the newlines.
+                for &b in &bytes[i..(j + 1).min(bytes.len())] {
+                    if b == b'\n' {
+                        line += 1;
+                        if region_open_depth.is_some() && line < mask.len() {
+                            mask[line] = true;
+                        }
+                        // A pending test attribute's own lines belong to
+                        // the region it is about to open; simplest to
+                        // leave them unmarked — the *body* is the region.
+                    }
+                }
+                i = (j + 1).min(bytes.len());
+                continue;
+            }
+            b'm' if rest.starts_with(b"mod ") && token_boundary_before(bytes, i) => {
+                // `mod tests` (any module literally named tests/test).
+                let name_start = i + 4;
+                let name_end = ident_end(bytes, name_start);
+                let name = &masked[name_start..name_end];
+                if name == "tests" || name == "test" {
+                    pending_attr = true;
+                }
+            }
+            _ => {}
+        }
+        if region_open_depth.is_some() && line < mask.len() {
+            mask[line] = true;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// `attr` is exactly `#[name]` (whitespace tolerated).
+fn attr_is(attr: &str, name: &str) -> bool {
+    let inner = attr.trim_start_matches("#[").trim_end_matches(']').trim();
+    inner == name
+}
+
+fn token_boundary_before(bytes: &[u8], i: usize) -> bool {
+    !is_ident_byte(i.checked_sub(1).map(|p| bytes[p]))
+}
+
+fn ident_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && is_ident_byte(Some(bytes[i])) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let l = Lexed::new("let a = 1; // unwrap()\n/* expect( */ let b = 2;\n");
+        assert!(!l.masked.contains("unwrap"));
+        assert!(!l.masked.contains("expect"));
+        assert!(l.masked.contains("let a = 1;"));
+        assert!(l.masked.contains("let b = 2;"));
+        assert_eq!(l.comments.len(), 2);
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let l = Lexed::new("a /* outer /* inner */ still comment */ b\n");
+        assert!(l.masked.contains('a'));
+        assert!(l.masked.contains('b'));
+        assert!(!l.masked.contains("inner"));
+        assert!(!l.masked.contains("still"));
+    }
+
+    #[test]
+    fn masks_strings_but_keeps_positions() {
+        let src = "let s = \"x.unwrap()\"; let t = 1;\n";
+        let l = Lexed::new(src);
+        assert_eq!(l.masked.len(), src.len());
+        assert!(!l.masked.contains("unwrap"));
+        assert!(l.masked.contains("let t = 1;"));
+        assert_eq!(l.strings.len(), 1);
+        assert_eq!(l.strings[0].content, "x.unwrap()");
+    }
+
+    #[test]
+    fn raw_strings_and_raw_identifiers() {
+        let l = Lexed::new("let a = r#\"has \"quotes\" and unwrap()\"#; let r#fn = 1;\n");
+        assert!(!l.masked.contains("unwrap"));
+        assert_eq!(l.strings.len(), 1);
+        assert!(l.strings[0].content.contains("\"quotes\""));
+        // r#fn survives as code.
+        assert!(l.masked.contains("r#fn"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; let c = 'x'; }\n";
+        let l = Lexed::new(src);
+        // The quote char literal must not open a string.
+        assert_eq!(l.strings.len(), 0);
+        assert!(l.masked.contains("<'a>"));
+        assert!(l.masked.contains("&'a str"));
+    }
+
+    #[test]
+    fn cfg_test_region_detection() {
+        let src = "fn prod() { work(); }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n\
+                   fn prod2() {}\n";
+        let l = Lexed::new(src);
+        assert!(!l.is_test_line(1));
+        assert!(l.is_test_line(5)); // body of t()
+        assert!(!l.is_test_line(7)); // prod2
+    }
+
+    #[test]
+    fn cfg_test_on_out_of_line_mod_does_not_capture_next_block() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() { x(); }\n";
+        let l = Lexed::new(src);
+        assert!(!l.is_test_line(3));
+    }
+}

@@ -1,0 +1,116 @@
+//! `db-audit` — the workspace invariant auditor.
+//!
+//! A zero-dependency static-analysis pass that turns the project's
+//! conventions — bit-determinism across thread counts, squared-space
+//! distance discipline, NaN-total orderings, panic-freedom of service
+//! paths, `u32`-id cast safety, deterministic iteration, metric naming,
+//! and the serve-crate lock order — into *named, machine-checked rules*
+//! with span-aware diagnostics and an explicit, reasoned suppression
+//! syntax.
+//!
+//! Layers:
+//!
+//! * [`lexer`] — a small Rust lexer: comments, strings, raw strings,
+//!   char-vs-lifetime disambiguation, nesting-aware brace tracking, and
+//!   `#[cfg(test)]` / `mod tests` / `#[test]` region detection, so rules
+//!   can scan *code* (not comments or string contents) and distinguish
+//!   test from production lines.
+//! * [`engine`] — [`engine::SourceFile`], [`engine::Finding`], the
+//!   suppression protocol (`// db-audit: allow(<rule>) -- <reason>`,
+//!   reason mandatory), and the runner.
+//! * [`rules`] — the rule catalogue; see its module docs for the list
+//!   and the provenance of each invariant.
+//! * [`walk`] — the workspace file walk (honors `target/` exclusions).
+//! * [`budget`] — the checked-in suppression budget CI pins.
+//!
+//! The `db-audit` binary wires these together; `--json` emits a
+//! machine-readable report and the exit code is nonzero on any finding.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+/// Runs the given rules (all when `rule_ids` is empty) over every Rust
+/// file under `root`.
+///
+/// # Errors
+///
+/// An error string for an unreadable tree or an unknown rule id.
+pub fn audit_workspace(root: &Path, rule_ids: &[String]) -> Result<engine::Report, String> {
+    let all = rules::all_rules();
+    let selected: Vec<&dyn rules::Rule> = if rule_ids.is_empty() {
+        all.iter().map(|r| &**r).collect()
+    } else {
+        let mut sel = Vec::new();
+        for id in rule_ids {
+            match all.iter().find(|r| r.id() == id) {
+                Some(r) => sel.push(&**r),
+                None => return Err(format!("unknown rule `{id}` (try --list-rules)")),
+            }
+        }
+        sel
+    };
+    let files = walk::rust_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut sources = Vec::with_capacity(files.len());
+    for (rel, path) in files {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        sources.push(engine::SourceFile::new(&rel, &text));
+    }
+    Ok(engine::run(&sources, &selected, rule_ids.is_empty()))
+}
+
+/// Minimal JSON string escaping for report output (the workspace rule:
+/// no external crates, so the auditor writes its own JSON like everyone
+/// else here).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a [`engine::Report`] as a JSON object.
+pub fn report_json(report: &engine::Report) -> String {
+    let mut s = String::from("{\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"suggestion\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message),
+            json_escape(&f.suggestion),
+        ));
+    }
+    s.push_str("],\"suppressions\":{");
+    for (i, (rule, count)) in report.suppressions.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":{}", json_escape(rule), count));
+    }
+    s.push_str(&format!("}},\"files_scanned\":{}}}", report.files_scanned));
+    s
+}

@@ -1,0 +1,124 @@
+//! The `db-audit` binary: audit the workspace, print findings, gate CI.
+//!
+//! ```text
+//! db-audit [--root <dir>] [--rule <id>]... [--json] [--budget <file>] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (and budget matched, when given), `1` findings
+//! or budget drift, `2` usage / I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use db_audit::rules::all_rules;
+use db_audit::{audit_workspace, budget, report_json};
+
+struct Args {
+    root: PathBuf,
+    rules: Vec<String>,
+    json: bool,
+    budget: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        rules: Vec::new(),
+        json: false,
+        budget: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--rule" => args.rules.push(it.next().ok_or("--rule needs a value")?),
+            "--json" => args.json = true,
+            "--budget" => {
+                args.budget = Some(PathBuf::from(it.next().ok_or("--budget needs a value")?));
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: db-audit [--root <dir>] [--rule <id>]... [--json] \
+                            [--budget <file>] [--list-rules]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for r in all_rules() {
+            println!("{:<22} {}", r.id(), r.summary());
+        }
+        let meta = [
+            ("bad-allow", "suppression without a reason or naming an unknown rule"),
+            ("unused-allow", "suppression that matches no finding"),
+        ];
+        for (id, summary) in meta {
+            println!("{id:<22} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match audit_workspace(&args.root, &args.rules) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("db-audit: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let budget_result = match &args.budget {
+        None => Ok(()),
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("db-audit: reading budget {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            Ok(text) => match budget::parse(&text) {
+                Err(e) => {
+                    eprintln!("db-audit: {e}");
+                    return ExitCode::from(2);
+                }
+                Ok(b) => budget::check(&report, &b),
+            },
+        },
+    };
+
+    if args.json {
+        println!("{}", report_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+        let total_allows: usize = report.suppressions.values().sum();
+        println!(
+            "db-audit: {} finding(s), {} reasoned suppression(s), {} file(s) scanned",
+            report.findings.len(),
+            total_allows,
+            report.files_scanned
+        );
+    }
+    if let Err(e) = &budget_result {
+        eprintln!("db-audit: {e}");
+    }
+
+    if report.findings.is_empty() && budget_result.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

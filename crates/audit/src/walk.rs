@@ -1,0 +1,45 @@
+//! Workspace walk: find every `.rs` file the audit should see.
+//!
+//! The walk starts at the workspace root and descends recursively,
+//! skipping build output (`target/`), VCS metadata, and hidden
+//! directories. Paths are returned workspace-relative with forward
+//! slashes so rule scoping and diagnostics are stable across machines.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "results", "related"];
+
+/// Collects all `.rs` files under `root`, sorted by relative path.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk (an unreadable root is
+/// an audit failure, not something to skip silently).
+pub fn rust_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}

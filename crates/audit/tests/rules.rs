@@ -1,0 +1,450 @@
+//! Fixture tests for every audit rule: each rule must *fire* on a
+//! minimal violation (positive), *stay quiet* on compliant or
+//! out-of-scope code (negative), and *honor a reasoned allow comment*
+//! (allow). Plus a lexer torture test and the self-audit: the workspace
+//! this crate lives in must be clean under its own binary.
+//!
+//! Fixture paths are synthetic — rule scoping keys off the
+//! `crates/<name>/...` prefix, so a fixture "lives" wherever its path
+//! says it does.
+
+use db_audit::engine::{analyze_source, Report};
+
+/// Findings for `rule` (empty slice = full set) over one fixture file.
+fn findings(path: &str, src: &str, rule: &str) -> Report {
+    let rules: &[&str] = if rule.is_empty() { &[] } else { std::slice::from_ref(&rule) };
+    analyze_source(path, src, rules)
+}
+
+fn rule_count(r: &Report, rule: &str) -> usize {
+    r.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+// ------------------------------------------------------------------
+// no-unwrap-prod
+// ------------------------------------------------------------------
+
+#[test]
+fn no_unwrap_prod_fires() {
+    let r = findings(
+        "crates/serve/src/x.rs",
+        "fn f() {\n    y().unwrap();\n    z().expect(\"boom\");\n}\n",
+        "no-unwrap-prod",
+    );
+    assert_eq!(rule_count(&r, "no-unwrap-prod"), 2);
+    assert_eq!(r.findings[0].line, 2);
+}
+
+#[test]
+fn no_unwrap_prod_quiet_on_tests_recoveries_and_other_crates() {
+    // Test region in scope → quiet.
+    let r = findings(
+        "crates/supervise/src/x.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y().unwrap(); }\n}\n",
+        "no-unwrap-prod",
+    );
+    assert_eq!(r.findings.len(), 0);
+    // unwrap_or_else is a recovery, not a panic.
+    let r = findings(
+        "crates/serve/src/x.rs",
+        "fn f() { y().unwrap_or_else(|_| 0); }\n",
+        "no-unwrap-prod",
+    );
+    assert_eq!(r.findings.len(), 0);
+    // Out-of-scope crate → quiet.
+    let r = findings("crates/optics/src/x.rs", "fn f() { y().unwrap(); }\n", "no-unwrap-prod");
+    assert_eq!(r.findings.len(), 0);
+}
+
+#[test]
+fn no_unwrap_prod_allow() {
+    let r = findings(
+        "crates/serve/src/x.rs",
+        "fn f() {\n    // db-audit: allow(no-unwrap-prod) -- lock poisoning is unreachable here\n    y().unwrap();\n}\n",
+        "no-unwrap-prod",
+    );
+    assert_eq!(r.findings.len(), 0);
+    assert_eq!(r.suppressions.get("no-unwrap-prod"), Some(&1));
+}
+
+// ------------------------------------------------------------------
+// total-cmp
+// ------------------------------------------------------------------
+
+#[test]
+fn total_cmp_fires() {
+    let r = findings(
+        "crates/eval/src/x.rs",
+        "fn f(a: f64, b: f64) { v.sort_by(|x, y| x.partial_cmp(y).unwrap()); }\n",
+        "total-cmp",
+    );
+    assert_eq!(rule_count(&r, "total-cmp"), 1);
+}
+
+#[test]
+fn total_cmp_quiet_in_helper_and_on_total_cmp() {
+    let r = findings(
+        "crates/spatial/src/order.rs",
+        "impl PartialOrd for DistId { fn partial_cmp(&self, o: &Self) -> Option<Ordering> { Some(self.cmp(o)) } }\n",
+        "total-cmp",
+    );
+    assert_eq!(r.findings.len(), 0);
+    let r = findings("crates/eval/src/x.rs", "fn f() { a.total_cmp(&b); }\n", "total-cmp");
+    assert_eq!(r.findings.len(), 0);
+}
+
+#[test]
+fn total_cmp_allow() {
+    let r = findings(
+        "crates/eval/src/x.rs",
+        "// db-audit: allow(total-cmp) -- comparing against a non-float key type\nfn f() { a.partial_cmp(&b); }\n",
+        "total-cmp",
+    );
+    assert_eq!(r.findings.len(), 0);
+    assert_eq!(r.suppressions.get("total-cmp"), Some(&1));
+}
+
+// ------------------------------------------------------------------
+// no-naked-sqrt
+// ------------------------------------------------------------------
+
+#[test]
+fn no_naked_sqrt_fires() {
+    let r =
+        findings("crates/optics/src/x.rs", "fn f(d2: f64) -> f64 { d2.sqrt() }\n", "no-naked-sqrt");
+    assert_eq!(rule_count(&r, "no-naked-sqrt"), 1);
+}
+
+#[test]
+fn no_naked_sqrt_quiet_in_kernels_and_out_of_scope() {
+    let r = findings(
+        "crates/spatial/src/kernels.rs",
+        "fn f(d2: f64) -> f64 { d2.sqrt() }\n",
+        "no-naked-sqrt",
+    );
+    assert_eq!(r.findings.len(), 0);
+    // datagen generates data; it is not part of the distance pipeline.
+    let r =
+        findings("crates/datagen/src/x.rs", "fn f(x: f64) -> f64 { x.sqrt() }\n", "no-naked-sqrt");
+    assert_eq!(r.findings.len(), 0);
+}
+
+#[test]
+fn no_naked_sqrt_allow() {
+    let r = findings(
+        "crates/core/src/x.rs",
+        "// db-audit: allow(no-naked-sqrt) -- reporting flush site\nfn f(d2: f64) -> f64 { d2.sqrt() }\n",
+        "no-naked-sqrt",
+    );
+    assert_eq!(r.findings.len(), 0);
+    assert_eq!(r.suppressions.get("no-naked-sqrt"), Some(&1));
+}
+
+// ------------------------------------------------------------------
+// no-wallclock-in-core
+// ------------------------------------------------------------------
+
+#[test]
+fn no_wallclock_fires() {
+    let r = findings(
+        "crates/birch/src/x.rs",
+        "fn f() { let t = std::time::Instant::now(); }\n",
+        "no-wallclock-in-core",
+    );
+    assert_eq!(rule_count(&r, "no-wallclock-in-core"), 1);
+    let r = findings("crates/rng/src/x.rs", "use std::time::SystemTime;\n", "no-wallclock-in-core");
+    assert_eq!(rule_count(&r, "no-wallclock-in-core"), 1);
+}
+
+#[test]
+fn no_wallclock_quiet_in_obs_layers() {
+    for path in ["crates/obs/src/x.rs", "crates/supervise/src/x.rs", "crates/bench/src/x.rs"] {
+        let r = findings(path, "fn f() { let t = Instant::now(); }\n", "no-wallclock-in-core");
+        assert_eq!(r.findings.len(), 0, "{path} should be out of scope");
+    }
+}
+
+#[test]
+fn no_wallclock_allow() {
+    let r = findings(
+        "crates/core/src/x.rs",
+        "// db-audit: allow(no-wallclock-in-core) -- timing metadata only\nfn f() { let t = Instant::now(); }\n",
+        "no-wallclock-in-core",
+    );
+    assert_eq!(r.findings.len(), 0);
+    assert_eq!(r.suppressions.get("no-wallclock-in-core"), Some(&1));
+}
+
+// ------------------------------------------------------------------
+// checked-id-cast
+// ------------------------------------------------------------------
+
+#[test]
+fn checked_id_cast_fires() {
+    let r = findings(
+        "crates/sampling/src/x.rs",
+        "fn f(n: usize) -> u32 { n as u32 }\n",
+        "checked-id-cast",
+    );
+    assert_eq!(rule_count(&r, "checked-id-cast"), 1);
+}
+
+#[test]
+fn checked_id_cast_quiet_on_helpers_and_other_widths() {
+    let r = findings(
+        "crates/core/src/x.rs",
+        "fn f(n: usize) -> u32 { id_u32(n) }\nfn g(n: usize) -> f64 { n as f64 }\n",
+        "checked-id-cast",
+    );
+    assert_eq!(r.findings.len(), 0);
+    // The helpers themselves live in db-spatial, outside the rule's scope.
+    let r = findings(
+        "crates/spatial/src/id.rs",
+        "fn f(n: usize) -> u32 { n as u32 }\n",
+        "checked-id-cast",
+    );
+    assert_eq!(r.findings.len(), 0);
+}
+
+#[test]
+fn checked_id_cast_allow() {
+    let r = findings(
+        "crates/serve/src/x.rs",
+        "fn f(n: usize) -> u32 {\n    n as u32 // db-audit: allow(checked-id-cast) -- n is a bounded enum tag, not an id\n}\n",
+        "checked-id-cast",
+    );
+    assert_eq!(r.findings.len(), 0);
+    assert_eq!(r.suppressions.get("checked-id-cast"), Some(&1));
+}
+
+// ------------------------------------------------------------------
+// no-hashmap-iter-order
+// ------------------------------------------------------------------
+
+#[test]
+fn hashmap_iter_fires() {
+    let src = "fn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in &m { use_it(k, v); }\n    let s: Vec<_> = m.iter().collect();\n}\n";
+    let r = findings("crates/core/src/x.rs", src, "no-hashmap-iter-order");
+    assert_eq!(rule_count(&r, "no-hashmap-iter-order"), 2);
+}
+
+#[test]
+fn hashmap_iter_quiet_on_lookup_only_and_btreemap() {
+    let src = "fn f() {\n    let mut m = std::collections::HashMap::new();\n    *m.entry(k).or_insert(0) += 1;\n    let v = m.get(&k);\n}\n";
+    let r = findings("crates/sampling/src/x.rs", src, "no-hashmap-iter-order");
+    assert_eq!(r.findings.len(), 0);
+    let src = "fn f() {\n    let mut m: BTreeMap<u32, u32> = BTreeMap::new();\n    for (k, v) in &m {}\n}\n";
+    let r = findings("crates/core/src/x.rs", src, "no-hashmap-iter-order");
+    assert_eq!(r.findings.len(), 0);
+    // serve assembles no orderings; out of scope.
+    let src = "fn f() { let mut m: HashMap<u32, u32> = HashMap::new(); for x in &m {} }\n";
+    let r = findings("crates/serve/src/x.rs", src, "no-hashmap-iter-order");
+    assert_eq!(r.findings.len(), 0);
+}
+
+#[test]
+fn hashmap_iter_allow() {
+    let src = "fn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    // db-audit: allow(no-hashmap-iter-order) -- feeds a commutative sum\n    for (_, v) in &m { total += v; }\n}\n";
+    let r = findings("crates/core/src/x.rs", src, "no-hashmap-iter-order");
+    assert_eq!(r.findings.len(), 0);
+    assert_eq!(r.suppressions.get("no-hashmap-iter-order"), Some(&1));
+}
+
+// ------------------------------------------------------------------
+// counter-naming
+// ------------------------------------------------------------------
+
+#[test]
+fn counter_naming_fires() {
+    let r = findings(
+        "crates/birch/src/x.rs",
+        "fn f() {\n    db_obs::counter!(\"inserts\").incr();\n    let _s = db_obs::span!(\"Birch.Phase1\");\n}\n",
+        "counter-naming",
+    );
+    assert_eq!(rule_count(&r, "counter-naming"), 2);
+}
+
+#[test]
+fn counter_naming_quiet_on_convention_and_non_literals() {
+    let r = findings(
+        "crates/birch/src/x.rs",
+        "fn f() {\n    db_obs::counter!(\"birch.inserts\").incr();\n    db_obs::histogram!(\"serve.ingest.batch_points\", [1.0]).record(2.0);\n    registry_counter(name).incr();\n}\n",
+        "counter-naming",
+    );
+    assert_eq!(r.findings.len(), 0);
+}
+
+#[test]
+fn counter_naming_allow() {
+    let r = findings(
+        "crates/obs/src/x.rs",
+        "fn f() {\n    // db-audit: allow(counter-naming) -- legacy exporter fixture name\n    db_obs::counter!(\"legacyflat\").incr();\n}\n",
+        "counter-naming",
+    );
+    assert_eq!(r.findings.len(), 0);
+    assert_eq!(r.suppressions.get("counter-naming"), Some(&1));
+}
+
+// ------------------------------------------------------------------
+// lock-order
+// ------------------------------------------------------------------
+
+#[test]
+fn lock_order_fires_on_cache_then_live() {
+    let src = "impl S {\n    fn f(&self) {\n        let cache = lock(&self.shared.cache);\n        let live = lock(&self.shared.live);\n    }\n}\n";
+    let r = findings("crates/serve/src/x.rs", src, "lock-order");
+    assert_eq!(rule_count(&r, "lock-order"), 1);
+    assert_eq!(r.findings[0].line, 4);
+    // Method-call style is seen too.
+    let src = "fn f(s: &Shared) {\n    let c = s.cache.lock();\n    let l = s.live.lock();\n}\n";
+    let r = findings("crates/serve/src/x.rs", src, "lock-order");
+    assert_eq!(rule_count(&r, "lock-order"), 1);
+}
+
+#[test]
+fn lock_order_quiet_on_legal_nesting_and_separate_fns() {
+    // live → cache is the legal nesting.
+    let src = "fn f(s: &S) {\n    let live = lock(&s.live);\n    let cache = lock(&s.cache);\n}\n";
+    let r = findings("crates/serve/src/x.rs", src, "lock-order");
+    assert_eq!(r.findings.len(), 0);
+    // Acquisitions in different functions are unrelated.
+    let src = "fn a(s: &S) { let c = lock(&s.cache); }\nfn b(s: &S) { let l = lock(&s.live); }\n";
+    let r = findings("crates/serve/src/x.rs", src, "lock-order");
+    assert_eq!(r.findings.len(), 0);
+    // Other crates never match.
+    let src = "fn f(s: &S) { let c = lock(&s.cache); let l = lock(&s.live); }\n";
+    let r = findings("crates/obsd/src/x.rs", src, "lock-order");
+    assert_eq!(r.findings.len(), 0);
+}
+
+#[test]
+fn lock_order_allow() {
+    let src = "fn f(s: &S) {\n    let c = lock(&s.cache);\n    drop(c);\n    // db-audit: allow(lock-order) -- cache guard dropped on the previous line\n    let l = lock(&s.live);\n}\n";
+    let r = findings("crates/serve/src/x.rs", src, "lock-order");
+    assert_eq!(r.findings.len(), 0);
+    assert_eq!(r.suppressions.get("lock-order"), Some(&1));
+}
+
+// ------------------------------------------------------------------
+// meta rules: bad-allow / unused-allow
+// ------------------------------------------------------------------
+
+#[test]
+fn allow_without_reason_is_a_finding() {
+    let r = findings(
+        "crates/serve/src/x.rs",
+        "// db-audit: allow(no-unwrap-prod)\nfn f() { y().unwrap(); }\n",
+        "",
+    );
+    // The reasonless allow suppresses nothing: both findings surface.
+    assert_eq!(rule_count(&r, "bad-allow"), 1);
+    assert_eq!(rule_count(&r, "no-unwrap-prod"), 1);
+}
+
+#[test]
+fn allow_naming_unknown_rule_is_a_finding() {
+    let r = findings(
+        "crates/serve/src/x.rs",
+        "// db-audit: allow(no-such-rule) -- because\nfn f() {}\n",
+        "",
+    );
+    assert_eq!(rule_count(&r, "bad-allow"), 1);
+}
+
+#[test]
+fn unused_allow_is_a_finding_under_the_full_rule_set() {
+    let r = findings(
+        "crates/serve/src/x.rs",
+        "// db-audit: allow(no-unwrap-prod) -- stale excuse\nfn f() { clean(); }\n",
+        "",
+    );
+    assert_eq!(rule_count(&r, "unused-allow"), 1);
+    // ...but not under a --rule subset, where other rules never ran.
+    let r = findings(
+        "crates/serve/src/x.rs",
+        "// db-audit: allow(total-cmp) -- governs a rule not in this run\nfn f() { clean(); }\n",
+        "no-unwrap-prod",
+    );
+    assert_eq!(r.findings.len(), 0);
+}
+
+#[test]
+fn doc_comments_cannot_suppress() {
+    // A doc comment showing the syntax is documentation, not an allow:
+    // the finding on the next line survives.
+    let r = findings(
+        "crates/serve/src/x.rs",
+        "/// db-audit: allow(no-unwrap-prod) -- just documenting the syntax\nfn f() { y().unwrap(); }\n",
+        "no-unwrap-prod",
+    );
+    assert_eq!(rule_count(&r, "no-unwrap-prod"), 1);
+}
+
+// ------------------------------------------------------------------
+// Lexer torture: the rules must see through every masking trap.
+// ------------------------------------------------------------------
+
+#[test]
+fn lexer_torture_strings_comments_chars_cfg_test() {
+    // Violation-shaped text hidden in places a rule must NOT look:
+    // strings, raw strings with fences, nested block comments, doc
+    // comments, char literals next to lifetimes — plus one real
+    // violation in production code and one inside #[cfg(test)].
+    let src = r##"
+fn prod<'a>(x: &'a str) -> u32 {
+    let s = "y().unwrap() and partial_cmp and Instant::now";
+    let raw = r#"lock(&self.cache); lock(&self.live); "quoted" .sqrt()"#;
+    let q = '"'; let nl = '\n'; let tick = '\'';
+    /* outer /* nested partial_cmp */ still comment .unwrap() */
+    // plain comment: .expect( as u32
+    y().unwrap(); // <- the only real production violation
+    0
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { z().unwrap(); w().expect("fine in tests"); }
+}
+"##;
+    let r = findings("crates/serve/src/torture.rs", src, "");
+    let unwraps = rule_count(&r, "no-unwrap-prod");
+    assert_eq!(unwraps, 1, "findings: {:#?}", r.findings);
+    assert_eq!(rule_count(&r, "total-cmp"), 0);
+    assert_eq!(rule_count(&r, "no-wallclock-in-core"), 0);
+    assert_eq!(rule_count(&r, "lock-order"), 0);
+    assert_eq!(rule_count(&r, "checked-id-cast"), 0);
+}
+
+#[test]
+fn lexer_torture_test_region_boundaries() {
+    // Production code after a test module is production again.
+    let src =
+        "#[cfg(test)]\nmod tests {\n    fn t() { a().unwrap(); }\n}\nfn prod() { b().unwrap(); }\n";
+    let r = findings("crates/serve/src/x.rs", src, "no-unwrap-prod");
+    assert_eq!(rule_count(&r, "no-unwrap-prod"), 1);
+    assert_eq!(r.findings[0].line, 5);
+}
+
+// ------------------------------------------------------------------
+// Self-audit: the real workspace is clean under the real binary.
+// ------------------------------------------------------------------
+
+#[test]
+fn self_audit_workspace_is_clean_with_budget() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_db-audit"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--budget")
+        .arg(root.join("audit.budget"))
+        .arg("--json")
+        .output()
+        .expect("spawn db-audit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "self-audit failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("\"findings\":[]"), "expected zero findings: {stdout}");
+}

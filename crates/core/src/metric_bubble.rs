@@ -23,7 +23,7 @@
 
 use db_optics::OpticsSpace;
 use db_rng::Rng;
-use db_spatial::Neighbor;
+use db_spatial::{id_u32, Neighbor};
 
 /// Upper bound on the number of members sampled per bubble when estimating
 /// the k-NN distance table.
@@ -118,7 +118,7 @@ pub fn compress_metric(
             }
         };
         let nn = tree.nearest(&dq).expect("k >= 1");
-        *slot = nn.id as u32;
+        *slot = id_u32(nn.id);
         members[nn.id].push(i);
     }
 

@@ -3,6 +3,7 @@
 //! weighted variants, §8 step 5 for the bubble variants).
 
 use db_optics::ClusterOrdering;
+use db_spatial::id_u32;
 use db_supervise::{Stop, Supervisor, Ticker};
 
 use crate::distance::virtual_reachability;
@@ -137,7 +138,7 @@ pub fn expand_weighted_supervised(
         let filler = e.reachability.min(next_reach);
         for (m, &obj) in members[e.id].iter().enumerate() {
             entries.push(ExpandedEntry {
-                object: obj as u32,
+                object: id_u32(obj),
                 reachability: if m == 0 { e.reachability } else { filler },
                 core_estimate: e.core_distance,
             });
@@ -206,7 +207,7 @@ pub fn expand_bubbles_supervised(
         let vreach = virtual_reachability(bubble, min_pts, core);
         for (m, &obj) in members[e.id].iter().enumerate() {
             entries.push(ExpandedEntry {
-                object: obj as u32,
+                object: id_u32(obj),
                 reachability: if m == 0 { e.reachability } else { vreach },
                 core_estimate: vreach,
             });

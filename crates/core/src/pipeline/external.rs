@@ -23,7 +23,7 @@ use db_birch::Cf;
 use db_optics::{optics, ClusterOrdering};
 use db_rng::Rng;
 use db_spatial::io::{read_csv_from, CsvError, CsvOptions};
-use db_spatial::{auto_index, Dataset, SpatialIndex};
+use db_spatial::{auto_index, id_u32, Dataset, SpatialIndex};
 
 use crate::bubble::DataBubble;
 use crate::pipeline::{expand_bubbles, ExpandedOrdering, PipelineTimings};
@@ -165,6 +165,8 @@ pub fn run_external(
 ) -> Result<ExternalOutput, ExternalError> {
     // ---------------------------------------------------------- pass 1
     let _span = db_obs::span!("pipeline.external");
+    // db-audit: allow(no-wallclock-in-core) -- PipelineTimings metadata:
+    // phase wall times are reported in the output, never steer computation.
     let t0 = Instant::now();
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut reservoir: Vec<Vec<f64>> = Vec::with_capacity(cfg.k);
@@ -215,13 +217,15 @@ pub fn run_external(
             return Err(ExternalError::NotEnoughRows { rows: 0, k: cfg.k });
         };
         stats[nn.id].add_point(&coords);
-        assignment.push(nn.id as u32);
+        assignment.push(id_u32(nn.id));
         offsets.push(offset);
         Ok(())
     })?;
     let compression = t0.elapsed();
 
     // ----------------------------------------------------- OPTICS step
+    // db-audit: allow(no-wallclock-in-core) -- PipelineTimings metadata:
+    // phase wall times are reported in the output, never steer computation.
     let t1 = Instant::now();
     // Duplicate rows can shadow a sampled representative entirely (all
     // copies classify to the lowest-indexed one); drop empty statistics
@@ -230,7 +234,7 @@ pub fn run_external(
     let mut kept: Vec<Cf> = Vec::with_capacity(stats.len());
     for (j, cf) in stats.into_iter().enumerate() {
         if !cf.is_empty() {
-            remap[j] = kept.len() as u32;
+            remap[j] = id_u32(kept.len());
             kept.push(cf);
         }
     }
@@ -249,6 +253,8 @@ pub fn run_external(
     let clustering = t1.elapsed();
 
     // ---------------------------------------------------------- pass 3
+    // db-audit: allow(no-wallclock-in-core) -- PipelineTimings metadata:
+    // phase wall times are reported in the output, never steer computation.
     let t2 = Instant::now();
     let mut src = File::open(input)?;
     let mut out = BufWriter::new(File::create(output)?);

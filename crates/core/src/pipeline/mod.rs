@@ -377,6 +377,8 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineOutput
     );
 
     // ------------------------------------------------------ step 1
+    // db-audit: allow(no-wallclock-in-core) -- PipelineTimings metadata:
+    // phase wall times are reported in the output, never steer computation.
     let t0 = Instant::now();
     let span_compression = db_obs::span!("pipeline.compression");
     fault::inject("compression", sup.token());
@@ -483,6 +485,8 @@ fn cluster_and_recover(
     sup: &Supervisor,
 ) -> Result<ClusterRecover, PipelineError> {
     // ------------------------------------------------------ step 2
+    // db-audit: allow(no-wallclock-in-core) -- PipelineTimings metadata:
+    // phase wall times are reported in the output, never steer computation.
     let t1 = Instant::now();
     let span_clustering = db_obs::span!("pipeline.clustering");
     fault::inject("clustering", sup.token());
@@ -515,6 +519,8 @@ fn cluster_and_recover(
     let clustering = t1.elapsed();
 
     // ------------------------------------------------------ step 3
+    // db-audit: allow(no-wallclock-in-core) -- PipelineTimings metadata:
+    // phase wall times are reported in the output, never steer computation.
     let t2 = Instant::now();
     let span_recovery = db_obs::span!("pipeline.recovery");
     fault::inject("recovery", sup.token());

@@ -107,6 +107,8 @@ pub fn agglomerative_from_fn(
         active[j] = false;
         sizes[i] += sizes[j];
         let new_node = n + merges.len();
+        // db-audit: allow(no-naked-sqrt) -- flush site: merge heights are
+        // computed in squared space and converted once when reported.
         let height = if squared { h.max(0.0).sqrt() } else { h };
         merges.push(Merge { a: node_of[i], b: node_of[j], dist: height });
         node_of[i] = new_node;

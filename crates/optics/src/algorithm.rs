@@ -4,6 +4,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use db_spatial::order::DistId;
 use db_spatial::{Dataset, Neighbor};
 use db_supervise::{Stop, Supervisor, Ticker};
 
@@ -15,24 +16,9 @@ use crate::space::{OpticsParams, OpticsSpace, PointSpace};
 /// supervisor every 16 objects reacts well within the 50ms target.
 const WALK_TICK: u32 = 16;
 
-/// A seed-list entry ordered by (reachability, id); the heap is a min-heap
-/// over this ordering, with lazy deletion of stale entries.
-#[derive(PartialEq)]
-struct Seed(f64, usize);
-
-impl Eq for Seed {}
-
-impl PartialOrd for Seed {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Seed {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
-    }
-}
+// Seed-list entries are (reachability, id) pairs under the shared total
+// order [`DistId`]; the heap is a min-heap over it, with lazy deletion
+// of stale entries.
 
 /// Runs OPTICS over any [`OpticsSpace`], producing the cluster ordering.
 ///
@@ -79,14 +65,14 @@ pub fn optics_supervised<S: OpticsSpace>(
     // Best reachability seen so far per object; used both as decrease-key
     // state and to detect stale heap entries.
     let mut reach = vec![UNDEFINED; n];
-    let mut heap: BinaryHeap<Reverse<Seed>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<DistId>> = BinaryHeap::new();
     let mut neighbors: Vec<Neighbor> = Vec::new();
 
     let process = |i: usize,
                    reachability: f64,
                    processed: &mut Vec<bool>,
                    reach: &mut Vec<f64>,
-                   heap: &mut BinaryHeap<Reverse<Seed>>,
+                   heap: &mut BinaryHeap<Reverse<DistId>>,
                    neighbors: &mut Vec<Neighbor>,
                    ordering: &mut ClusterOrdering| {
         processed[i] = true;
@@ -110,7 +96,7 @@ pub fn optics_supervised<S: OpticsSpace>(
                 let new_reach = core.max(nb.dist);
                 if new_reach < reach[nb.id] {
                     reach[nb.id] = new_reach;
-                    heap.push(Reverse(Seed(new_reach, nb.id)));
+                    heap.push(Reverse(DistId(new_reach, nb.id)));
                     db_obs::counter!("optics.seed_updates").incr();
                 }
             }
@@ -133,7 +119,7 @@ pub fn optics_supervised<S: OpticsSpace>(
             &mut ordering,
         );
         // Drain the seed list (lazy deletion of stale entries).
-        while let Some(Reverse(Seed(r, id))) = heap.pop() {
+        while let Some(Reverse(DistId(r, id))) = heap.pop() {
             if processed[id] || r > reach[id] {
                 db_obs::counter!("optics.stale_seed_skips").incr();
                 continue;

@@ -22,7 +22,7 @@
 //! validated input only.
 
 use db_birch::Cf;
-use db_spatial::{auto_index, AnyIndex, Dataset, SpatialError, SpatialIndex};
+use db_spatial::{auto_index, id_u32, AnyIndex, Dataset, SpatialError, SpatialIndex};
 
 use crate::CompressedSample;
 
@@ -61,7 +61,7 @@ impl IncrementalCompression {
     pub fn from_representatives(reps: Dataset) -> Self {
         assert!(!reps.is_empty(), "need at least one representative");
         let stats = reps.iter().map(Cf::from_point).collect();
-        let assignment: Vec<u32> = (0..reps.len() as u32).collect();
+        let assignment: Vec<u32> = (0..id_u32(reps.len())).collect();
         let absorbed = assignment.len();
         let index = auto_index(&reps, None);
         Self { reps, index, stats, assignment, absorbed }
@@ -129,7 +129,7 @@ impl IncrementalCompression {
     fn absorb_unchecked(&mut self, point: &[f64]) -> usize {
         let nn = self.index.nearest(&self.reps, point).expect("reps non-empty");
         self.stats[nn.id].add_point(point);
-        self.assignment.push(nn.id as u32);
+        self.assignment.push(id_u32(nn.id));
         self.absorbed += 1;
         nn.id
     }

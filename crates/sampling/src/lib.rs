@@ -49,7 +49,7 @@ use std::num::NonZeroUsize;
 
 use db_birch::Cf;
 use db_rng::Rng;
-use db_spatial::Dataset;
+use db_spatial::{id_u32, Dataset};
 use db_supervise::{Stop, Supervisor};
 
 /// Errors of the sampling compressor.
@@ -242,7 +242,7 @@ pub fn compress_by_sampling_supervised(
         let mut kept_stats = Vec::new();
         for (j, cf) in stats.into_iter().enumerate() {
             if !cf.is_empty() {
-                remap[j] = kept_ids.len() as u32;
+                remap[j] = id_u32(kept_ids.len());
                 kept_ids.push(sample_ids[j]);
                 kept_stats.push(cf);
             }

@@ -27,7 +27,7 @@
 use std::num::NonZeroUsize;
 
 use db_birch::Cf;
-use db_spatial::{auto_index, kernels, AnyIndex, Dataset, SpatialIndex};
+use db_spatial::{auto_index, id_u32, kernels, AnyIndex, Dataset, SpatialIndex};
 use db_supervise::{catch_shared, fault, first_stop, panic_message, Stop, Supervisor, Ticker};
 
 /// Largest representative set classified through the batched brute-force
@@ -135,7 +135,7 @@ pub(crate) fn classify_into(
                 let nn = index.nearest(reps, p).expect("reps non-empty");
                 // Lossless: `Dataset` caps its length at
                 // `Dataset::MAX_POINTS` (u32 ids), enforced at ingest.
-                *slot = nn.id as u32;
+                *slot = id_u32(nn.id);
             }
         }
     }

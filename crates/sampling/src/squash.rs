@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 
 use db_birch::Cf;
-use db_spatial::Dataset;
+use db_spatial::{id_u32, Dataset};
 
 /// The result of grid squashing.
 #[derive(Debug, Clone)]
@@ -60,7 +60,7 @@ pub fn squash_compress(ds: &Dataset, bins_per_dim: usize) -> SquashResult {
         }
         let idx = *region_of.entry(key.clone()).or_insert_with(|| {
             regions.push(Cf::empty(dim));
-            (regions.len() - 1) as u32
+            id_u32(regions.len() - 1)
         });
         regions[idx as usize].add_point(p);
         assignment.push(idx);

@@ -1,0 +1,75 @@
+//! Blessed `usize → u32` id casts.
+//!
+//! Object and bubble ids travel through the pipelines as `u32`; the
+//! ingest boundary caps datasets at [`Dataset::MAX_POINTS`] so every id
+//! fits. A bare `as u32` elsewhere re-introduces the silent-truncation
+//! hazard the cap closed (a 5-billion-point "dataset" would quietly
+//! alias ids), so the `checked-id-cast` audit rule requires casts to go
+//! through one of these two helpers:
+//!
+//! * [`checked_id`] at *boundaries* — the count is untrusted and the
+//!   caller can surface [`SpatialError::TooManyPoints`].
+//! * [`id_u32`] in *interior* code — the cap is already enforced
+//!   upstream (the value derives from a `Dataset` length or a
+//!   representative count), so overflow is a programmer error caught by
+//!   the debug assertion, not a data error.
+
+use crate::dataset::Dataset;
+use crate::error::SpatialError;
+
+/// Fallibly narrows a count/index to a `u32` id.
+///
+/// # Errors
+///
+/// [`SpatialError::TooManyPoints`] when `u` exceeds
+/// [`Dataset::MAX_POINTS`].
+#[inline]
+pub fn checked_id(u: usize) -> Result<u32, SpatialError> {
+    u32::try_from(u).map_err(|_| SpatialError::TooManyPoints { len: u, max: Dataset::MAX_POINTS })
+}
+
+/// Narrows an id already bounded by [`Dataset::MAX_POINTS`] upstream.
+///
+/// # Panics
+///
+/// Debug builds assert the bound; release builds rely on the upstream
+/// cap (ingest rejects datasets whose ids would not fit).
+#[inline]
+pub fn id_u32(u: usize) -> u32 {
+    debug_assert!(
+        u <= Dataset::MAX_POINTS,
+        "id {u} exceeds the u32 id range — missing ingest cap?"
+    );
+    u as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_id_round_trips_and_rejects() {
+        assert_eq!(checked_id(0), Ok(0));
+        assert_eq!(checked_id(Dataset::MAX_POINTS), Ok(u32::MAX));
+        assert_eq!(
+            checked_id(Dataset::MAX_POINTS + 1),
+            Err(SpatialError::TooManyPoints {
+                len: Dataset::MAX_POINTS + 1,
+                max: Dataset::MAX_POINTS
+            })
+        );
+    }
+
+    #[test]
+    fn id_u32_narrows_in_range() {
+        assert_eq!(id_u32(42), 42);
+        assert_eq!(id_u32(Dataset::MAX_POINTS), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 id range")]
+    #[cfg(debug_assertions)]
+    fn id_u32_asserts_out_of_range() {
+        let _ = id_u32(Dataset::MAX_POINTS + 1);
+    }
+}

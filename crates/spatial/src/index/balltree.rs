@@ -62,6 +62,8 @@ impl BallTree {
     #[inline]
     fn min_dist(&self, i: usize, q: &[f64]) -> f64 {
         let b = &self.balls[i];
+        // db-audit: allow(no-naked-sqrt) -- by design: the triangle-inequality
+        // bound |q - center| - radius only exists in true-distance space.
         (SquaredEuclidean.dist(q, &b.center).sqrt() - b.radius).max(0.0)
     }
 }
@@ -91,6 +93,8 @@ fn build_rec(
         .iter()
         .map(|&id| SquaredEuclidean.dist(&center, ds.point(id as usize)))
         .fold(0.0f64, f64::max)
+        // db-audit: allow(no-naked-sqrt) -- build-time only: ball radii live in
+        // true space to pair with the min_dist triangle-inequality bound.
         .sqrt();
     balls[node] = Ball { center, radius };
 
@@ -207,19 +211,9 @@ impl SpatialIndex for BallTree {
         if self.n == 0 || k == 0 {
             return;
         }
-        #[derive(PartialEq)]
-        struct Cand(f64, usize);
-        impl Eq for Cand {}
-        impl PartialOrd for Cand {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Cand {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
-            }
-        }
+        // (dist, id) under the shared total order; the id tie-break keeps
+        // result order identical to LinearScan.
+        use crate::order::DistId as Cand;
         let k = k.min(self.n);
         let (mut visited, mut evals, mut bound_sqrts) = (0u64, 0u64, 0u64);
         let flat = ds.as_flat();

@@ -182,21 +182,9 @@ impl SpatialIndex for KdTree {
         if self.n == 0 || k == 0 {
             return;
         }
-        // Max-heap of the current k best (dist², id); ordering includes the
-        // id so tie-breaking matches LinearScan exactly.
-        #[derive(PartialEq)]
-        struct Cand(f64, usize);
-        impl Eq for Cand {}
-        impl PartialOrd for Cand {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Cand {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
-            }
-        }
+        // Max-heap of the current k best (dist², id); the shared total
+        // order includes the id so tie-breaking matches LinearScan exactly.
+        use crate::order::DistId as Cand;
 
         let k = k.min(self.n);
         let (mut visited, mut evals) = (0u64, 0u64);

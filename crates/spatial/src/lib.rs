@@ -34,15 +34,18 @@
 
 mod dataset;
 mod error;
+pub mod id;
 pub mod io;
 pub mod kernels;
 mod metric;
+pub mod order;
 pub mod vptree;
 
 pub mod index;
 
 pub use dataset::Dataset;
 pub use error::SpatialError;
+pub use id::{checked_id, id_u32};
 pub use index::balltree::BallTree;
 pub use index::grid::GridIndex;
 pub use index::kdtree::KdTree;
@@ -51,6 +54,7 @@ pub use index::{auto_index, AnyIndex, Neighbor, SpatialIndex};
 pub use io::{read_csv, read_csv_from, write_csv, write_csv_to, CsvError, CsvOptions};
 pub use kernels::{dist_tile, dists_to_block, dists_to_indexed, nn_block};
 pub use metric::{Chebyshev, Euclidean, Manhattan, Metric, SquaredEuclidean};
+pub use order::DistId;
 pub use vptree::{MetricNeighbor, VpTree};
 
 /// Euclidean distance between two slices of equal length.

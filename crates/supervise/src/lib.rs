@@ -31,6 +31,10 @@
 //! supervision is bit-for-bit identical to an unsupervised run.
 
 #![warn(missing_docs)]
+// Supervision is the layer that turns panics into typed errors — it must
+// not introduce its own. Same policy as db-obsd, db-serve, and
+// core::pipeline; the db-audit `no-unwrap-prod` rule pins the same set.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod fault;
 

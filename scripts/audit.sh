@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Run the workspace invariant auditor exactly as CI does.
+#
+#   scripts/audit.sh              # human-readable findings, budget check
+#   scripts/audit.sh --json       # machine-readable report
+#   scripts/audit.sh --rule total-cmp   # one rule, no budget gate
+#
+# Exits nonzero on any finding or on suppression-budget drift
+# (see audit.budget and DESIGN.md §14).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+args=("--root" ".")
+budget=1
+for a in "$@"; do
+    # A --rule subset skips meta-rules, so the full-run budget no longer
+    # applies; pass the flag through and drop the gate.
+    [[ "$a" == "--rule" ]] && budget=0
+    args+=("$a")
+done
+if [[ "$budget" == 1 ]]; then
+    args+=("--budget" "audit.budget")
+fi
+
+exec cargo run -q --release -p db-audit -- "${args[@]}"
